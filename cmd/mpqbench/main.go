@@ -1,0 +1,187 @@
+// mpqbench reproduces the experimental evaluation of the paper
+// (Section 7): Figure 12's six panels (optimization time, number of
+// created plans, number of solved linear programs; for chain and star
+// queries with one and two parameters), plus the Section 1.1 result-set
+// blow-up experiment and ablations of the Section 6.2 refinements.
+//
+// Usage:
+//
+//	mpqbench -experiment figure12 [-quick] [-reps 25] [-csv]
+//	mpqbench -experiment pqblowup
+//	mpqbench -experiment ablation [-tables 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpq/internal/baseline"
+	"mpq/internal/bench"
+	"mpq/internal/cloud"
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+	"mpq/internal/region"
+	"mpq/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "figure12", "experiment to run: figure12, pqblowup, ablation")
+		quick      = flag.Bool("quick", false, "reduced ranges and repetitions for a fast run")
+		reps       = flag.Int("reps", 0, "random queries per data point (default: 25, quick: 5)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		maxChain1  = flag.Int("max-chain-1p", 12, "max tables for chain, 1 parameter")
+		maxStar1   = flag.Int("max-star-1p", 12, "max tables for star, 1 parameter")
+		maxChain2  = flag.Int("max-chain-2p", 10, "max tables for chain, 2 parameters")
+		maxStar2   = flag.Int("max-star-2p", 10, "max tables for star, 2 parameters")
+		tables     = flag.Int("tables", 6, "query size for the ablation experiment")
+	)
+	flag.Parse()
+
+	switch *experiment {
+	case "figure12":
+		runFigure12(*quick, *reps, *csv, *seed, *maxChain1, *maxStar1, *maxChain2, *maxStar2)
+	case "pqblowup":
+		runPQBlowup()
+	case "ablation":
+		runAblation(*tables, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func runFigure12(quick bool, reps int, csv bool, seed int64, maxChain1, maxStar1, maxChain2, maxStar2 int) {
+	if reps == 0 {
+		if quick {
+			reps = 5
+		} else {
+			reps = 25
+		}
+	}
+	if quick {
+		if maxChain1 > 10 {
+			maxChain1 = 10
+		}
+		if maxStar1 > 9 {
+			maxStar1 = 9
+		}
+		if maxChain2 > 7 {
+			maxChain2 = 7
+		}
+		if maxStar2 > 6 {
+			maxStar2 = 6
+		}
+	}
+	type curve struct {
+		shape  workload.Shape
+		params int
+		max    int
+	}
+	curves := []curve{
+		{workload.Chain, 1, maxChain1},
+		{workload.Chain, 2, maxChain2},
+		{workload.Star, 1, maxStar1},
+		{workload.Star, 2, maxStar2},
+	}
+	var series []*bench.Series
+	start := time.Now()
+	for _, c := range curves {
+		s, err := bench.RunSeries(bench.Config{
+			Shape:       c.shape,
+			Params:      c.params,
+			MinTables:   2,
+			MaxTables:   c.max,
+			Repetitions: reps,
+			Seed:        seed,
+			Progress:    os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		series = append(series, s)
+	}
+	fmt.Fprintf(os.Stderr, "total experiment time: %v\n", time.Since(start))
+	if csv {
+		bench.FormatCSV(os.Stdout, series)
+	} else {
+		bench.FormatTable(os.Stdout, series)
+	}
+}
+
+// runPQBlowup demonstrates the Section 1.1 argument: encoding a cost
+// metric as a parameter makes the PQ result set larger than the MPQ
+// result set by an arbitrary factor.
+func runPQBlowup() {
+	fmt.Println("Result-set sizes when encoding the fee metric as a parameter (Section 1.1):")
+	fmt.Printf("%-12s %-12s %-16s %s\n", "plans (k)", "MPQ result", "PQ-encoded", "blow-up")
+	for _, k := range []int{10, 20, 50, 100, 200} {
+		mStar := 5
+		alts, space := baseline.BlowupInstance(k, mStar)
+		schema := core.StaticSchema(1, []float64{0}, []float64{1})
+		model := &core.StaticModel{ParamSpace: space, Metrics: []string{"time", "fees"}, Plans: alts}
+		res, err := core.Optimize(schema, model, core.DefaultOptions())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		algebra := core.NewPWLAlgebra(geometry.NewContext(), 2)
+		pqSize := baseline.PQEncodedSetSize(alts, algebra, geometry.Vector{0.5})
+		fmt.Printf("%-12d %-12d %-16d %.1fx\n", k, len(res.Plans), pqSize, float64(pqSize)/float64(len(res.Plans)))
+	}
+}
+
+// runAblation measures the Section 6.2 refinements: relevance points,
+// redundant-cutout elimination, and the emptiness strategy.
+func runAblation(tables int, seed int64) {
+	type variant struct {
+		name string
+		opts core.Options
+	}
+	mk := func(strategy region.EmptinessStrategy, points int, elim bool) core.Options {
+		return core.Options{
+			Region: region.Options{
+				Strategy:                  strategy,
+				RelevancePoints:           points,
+				EliminateRedundantCutouts: elim,
+			},
+			PostponeCartesian: true,
+		}
+	}
+	variants := []variant{
+		{"all refinements (bemporad)", mk(region.StrategyBemporad, 16, true)},
+		{"all refinements (coverdiff)", mk(region.StrategyCoverDiff, 16, true)},
+		{"no relevance points", mk(region.StrategyBemporad, 0, true)},
+		{"no cutout elimination", mk(region.StrategyBemporad, 16, false)},
+		{"no refinements", mk(region.StrategyBemporad, 0, false)},
+		{"no cartesian postponement", func() core.Options {
+			o := mk(region.StrategyBemporad, 16, true)
+			o.PostponeCartesian = false
+			return o
+		}()},
+	}
+	fmt.Printf("Ablation on chain queries, %d tables, 1 parameter (medians of 5):\n", tables)
+	fmt.Printf("%-30s %-14s %-14s %-12s\n", "variant", "time(ms)", "LPs", "plans")
+	for _, v := range variants {
+		opts := v.opts
+		cfg := bench.Config{
+			Shape:       workload.Chain,
+			Params:      1,
+			Repetitions: 5,
+			Seed:        seed,
+			Options:     &opts,
+		}
+		p, err := bench.RunPoint(cfg, tables)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-30s %-14.1f %-14d %-12d\n", v.name,
+			float64(p.MedianTime.Microseconds())/1000, p.MedianLPs, p.MedianPlans)
+	}
+	_ = cloud.DefaultConfig()
+}

@@ -1,0 +1,44 @@
+// Package mpq is a Go implementation of Multi-Objective Parametric
+// Query Optimization (MPQ) as introduced by Trummer and Koch (VLDB
+// 2014): query optimization where plans are compared according to
+// multiple cost metrics (e.g. execution time and monetary fees) and
+// plan costs are functions of parameters unknown at optimization time
+// (e.g. predicate selectivities).
+//
+// The optimizer produces a Pareto plan set: for every possible plan p
+// and every point x of the parameter space, the set contains a plan
+// that is at least as good as p at x on every metric. At run time, when
+// parameter values and user preferences are known, the final plan is
+// selected from the precomputed set without further optimization.
+//
+// # Quick start
+//
+//	schema, _ := mpq.GenerateWorkload(mpq.WorkloadConfig{
+//		Tables: 4, Params: 1, Shape: mpq.Chain, Seed: 1,
+//	})
+//	ctx := mpq.NewContext()
+//	model, _ := mpq.NewCloudModel(schema, mpq.DefaultCloudConfig(), ctx)
+//	opts := mpq.DefaultOptions()
+//	opts.Context = ctx
+//	result, _ := mpq.Optimize(schema, model, opts)
+//	for _, info := range result.Plans {
+//		fmt.Println(info.Plan)
+//	}
+//
+// The core algorithm is the Relevance Region Pruning Algorithm (RRPA):
+// dynamic programming over table sets where every plan carries a
+// relevance region — the part of the parameter space for which no
+// known alternative dominates it. Plans whose relevance region becomes
+// empty are pruned. The PWL specialization (PWL-RRPA) represents cost
+// functions as piecewise-linear functions over convex polytopes and
+// implements all pruning geometry with small linear programs.
+//
+// The subpackages under internal implement the machinery: geometry
+// (polytopes, simplex LP solver, region difference, convexity
+// recognition), pwl (piecewise-linear cost functions), region
+// (relevance regions), catalog/workload (schemas and random query
+// generation), cloud (the time/fees cost model of the paper's
+// evaluation), core (the optimizer), baseline (comparison algorithms
+// and exhaustive ground truth), sampled (a non-PWL cost algebra for the
+// generic algorithm) and bench (the Figure 12 experiment harness).
+package mpq

@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"fmt"
+
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+	"mpq/internal/pwl"
+)
+
+// BlowupInstance constructs the synthetic scenario of Section 1.1 that
+// shows why cost metrics cannot be modeled as parameters: k alternative
+// plans for the same result with fees i = 1..k USD, where the plan
+// priced at mStar has the lowest execution time of all plans with fees
+// >= mStar. Execution time additionally depends on one genuine
+// selectivity parameter x in [0,1] (a uniform shift, so Pareto
+// relationships are parameter-independent).
+//
+// The MPQ result set contains exactly the plans {p1..pmStar}: every more
+// expensive plan is strictly dominated by pmStar. A PQ algorithm that
+// encodes fees as a parameter must cover the entire fee range with
+// time-optimal plans of that fee, generating all k plans — larger than
+// the MPQ result by the arbitrary factor k/mStar (the result-set blowup
+// argument of Section 1.1).
+func BlowupInstance(k, mStar int) ([]core.Alternative, *geometry.Polytope) {
+	if mStar < 1 || mStar > k {
+		panic("baseline: mStar out of range")
+	}
+	space := geometry.Interval(0, 1)
+	alts := make([]core.Alternative, 0, k)
+	for i := 1; i <= k; i++ {
+		d := i - mStar
+		if d < 0 {
+			d = -d
+		}
+		base := float64(d + 1)
+		time := pwl.Linear(space, geometry.Vector{1}, base) // base + x
+		fees := pwl.Constant(space, float64(i))
+		alts = append(alts, core.Alternative{
+			Op:   fmt.Sprintf("p%d", i),
+			Cost: pwl.NewMulti(time, fees),
+		})
+	}
+	return alts, space
+}
+
+// PQEncodedSetSize computes the result-set size of the parameter-space
+// covering semantics of PQ applied to the blow-up instance: for every
+// possible fee value b in 1..k the PQ result must contain a plan with
+// minimal execution time among the plans of that fee level ("generate
+// plans with minimal execution time for each possible cost value",
+// Section 1.1). With distinct fee levels this retains every plan.
+func PQEncodedSetSize(alts []core.Alternative, algebra core.Algebra, x geometry.Vector) int {
+	type key struct{ fees int64 }
+	kept := make(map[key]int)
+	for i, alt := range alts {
+		v := algebra.Eval(alt.Cost, x)
+		fees := int64(v[1]*1000 + 0.5)
+		k := key{fees}
+		if old, ok := kept[k]; ok {
+			// Keep the faster plan at this fee level.
+			vOld := algebra.Eval(alts[old].Cost, x)
+			if v[0] < vOld[0] {
+				kept[k] = i
+			}
+			continue
+		}
+		kept[k] = i
+	}
+	return len(kept)
+}

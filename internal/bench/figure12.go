@@ -1,0 +1,204 @@
+// Package bench implements the experiment harness reproducing the
+// paper's evaluation (Section 7, Figure 12): optimization time, number
+// of generated plans, and number of solved linear programs for randomly
+// generated chain and star queries with one and two parameters, as
+// medians over repeated runs with different random queries.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"mpq/internal/cloud"
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+	"mpq/internal/workload"
+)
+
+// Point is one data point of the Figure 12 series: medians over
+// Repetitions random queries of one size.
+type Point struct {
+	Tables int
+	// MedianTime is the median optimization time.
+	MedianTime time.Duration
+	// MedianPlans is the median number of created plans (including
+	// partial and pruned plans).
+	MedianPlans int
+	// MedianLPs is the median number of solved linear programs.
+	MedianLPs int64
+	// MedianFinal is the median Pareto-plan-set size for the full query
+	// (not part of Figure 12 but reported for Theorem 6 context).
+	MedianFinal int
+	// Repetitions is the number of random queries aggregated.
+	Repetitions int
+}
+
+// Series is one curve of Figure 12: a shape and parameter count over a
+// range of table counts.
+type Series struct {
+	Shape  workload.Shape
+	Params int
+	Points []Point
+}
+
+// Config controls the experiment scale.
+type Config struct {
+	// Shape of the join graph (chain and star in the paper).
+	Shape workload.Shape
+	// Params is the number of parameters (1 and 2 in the paper).
+	Params int
+	// MinTables and MaxTables bound the query sizes (2..12 for one
+	// parameter and 2..10 for two parameters in the paper).
+	MinTables, MaxTables int
+	// Repetitions is the number of random queries per point (25 in the
+	// paper).
+	Repetitions int
+	// Seed offsets the workload generator seeds, making runs
+	// reproducible.
+	Seed int64
+	// Optimizer options; zero value means core.DefaultOptions.
+	Options *core.Options
+	// Cloud cost model configuration; zero value means
+	// cloud.DefaultConfig.
+	Cloud *cloud.Config
+	// Progress, when non-nil, receives a line per completed point.
+	Progress io.Writer
+}
+
+// RunSeries executes the experiment for one curve.
+func RunSeries(cfg Config) (*Series, error) {
+	if cfg.Repetitions < 1 {
+		cfg.Repetitions = 1
+	}
+	if cfg.MinTables < 2 {
+		cfg.MinTables = 2
+	}
+	s := &Series{Shape: cfg.Shape, Params: cfg.Params}
+	for n := cfg.MinTables; n <= cfg.MaxTables; n++ {
+		p, err := RunPoint(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, *p)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "%s %dp n=%-2d  time=%-12v plans=%-7d LPs=%-8d final=%d\n",
+				cfg.Shape, cfg.Params, n, p.MedianTime, p.MedianPlans, p.MedianLPs, p.MedianFinal)
+		}
+	}
+	return s, nil
+}
+
+// RunPoint executes all repetitions for one query size and aggregates
+// medians.
+func RunPoint(cfg Config, tables int) (*Point, error) {
+	times := make([]time.Duration, 0, cfg.Repetitions)
+	plans := make([]int, 0, cfg.Repetitions)
+	lps := make([]int64, 0, cfg.Repetitions)
+	finals := make([]int, 0, cfg.Repetitions)
+	params := cfg.Params
+	if params > tables {
+		params = tables
+	}
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		seed := cfg.Seed + int64(rep)*1000 + int64(tables)
+		stats, err := RunOnce(cfg, tables, params, seed)
+		if err != nil {
+			return nil, err
+		}
+		times = append(times, stats.Duration)
+		plans = append(plans, stats.CreatedPlans)
+		lps = append(lps, stats.Geometry.LPs)
+		finals = append(finals, stats.FinalPlans)
+	}
+	return &Point{
+		Tables:      tables,
+		MedianTime:  medianDuration(times),
+		MedianPlans: medianInt(plans),
+		MedianLPs:   medianInt64(lps),
+		MedianFinal: medianInt(finals),
+		Repetitions: cfg.Repetitions,
+	}, nil
+}
+
+// RunOnce optimizes a single random query and returns the optimizer
+// statistics.
+func RunOnce(cfg Config, tables, params int, seed int64) (*core.Stats, error) {
+	schema, err := workload.Generate(workload.Config{
+		Tables: tables,
+		Params: params,
+		Shape:  cfg.Shape,
+		Seed:   seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx := geometry.NewContext()
+	cloudCfg := cloud.DefaultConfig()
+	if cfg.Cloud != nil {
+		cloudCfg = *cfg.Cloud
+	}
+	model, err := cloud.NewModel(schema, cloudCfg, ctx)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	if cfg.Options != nil {
+		opts = *cfg.Options
+	}
+	opts.Context = ctx
+	res, err := core.Optimize(schema, model, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &res.Stats, nil
+}
+
+// FormatTable renders series as the text analogue of Figure 12.
+func FormatTable(w io.Writer, series []*Series) {
+	for _, s := range series {
+		fmt.Fprintf(w, "\n=== %s queries, %d parameter(s) — medians of %d random queries ===\n",
+			s.Shape, s.Params, repsOf(s))
+		fmt.Fprintf(w, "%-8s %-14s %-16s %-16s %s\n", "tables", "time(ms)", "created plans", "solved LPs", "final plans")
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%-8d %-14.1f %-16d %-16d %d\n",
+				p.Tables, float64(p.MedianTime.Microseconds())/1000, p.MedianPlans, p.MedianLPs, p.MedianFinal)
+		}
+	}
+}
+
+// FormatCSV renders series as CSV rows for plotting.
+func FormatCSV(w io.Writer, series []*Series) {
+	fmt.Fprintln(w, "shape,params,tables,time_ms,created_plans,solved_lps,final_plans,repetitions")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%s,%d,%d,%.3f,%d,%d,%d,%d\n",
+				s.Shape, s.Params, p.Tables,
+				float64(p.MedianTime.Microseconds())/1000,
+				p.MedianPlans, p.MedianLPs, p.MedianFinal, p.Repetitions)
+		}
+	}
+}
+
+func repsOf(s *Series) int {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[0].Repetitions
+}
+
+func medianDuration(v []time.Duration) time.Duration {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
+}
+
+func medianInt(v []int) int {
+	sort.Ints(v)
+	return v[len(v)/2]
+}
+
+func medianInt64(v []int64) int64 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
+}

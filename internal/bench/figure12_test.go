@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mpq/internal/workload"
+)
+
+func TestRunSeriesSmall(t *testing.T) {
+	var progress bytes.Buffer
+	s, err := RunSeries(Config{
+		Shape:       workload.Chain,
+		Params:      1,
+		MinTables:   2,
+		MaxTables:   4,
+		Repetitions: 3,
+		Seed:        7,
+		Progress:    &progress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(s.Points))
+	}
+	for i, p := range s.Points {
+		if p.Tables != 2+i {
+			t.Errorf("point %d tables = %d", i, p.Tables)
+		}
+		if p.MedianPlans <= 0 || p.MedianLPs <= 0 || p.MedianTime <= 0 {
+			t.Errorf("point %d has non-positive medians: %+v", i, p)
+		}
+		if p.MedianFinal < 1 {
+			t.Errorf("point %d final plans = %d", i, p.MedianFinal)
+		}
+	}
+	// Work grows with the number of tables.
+	if s.Points[2].MedianPlans <= s.Points[0].MedianPlans {
+		t.Errorf("plans did not grow: %d -> %d", s.Points[0].MedianPlans, s.Points[2].MedianPlans)
+	}
+	if progress.Len() == 0 {
+		t.Error("no progress output")
+	}
+}
+
+func TestRunPointMedianStability(t *testing.T) {
+	cfg := Config{Shape: workload.Star, Params: 1, Repetitions: 3, Seed: 1}
+	a, err := RunPoint(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPoint(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic work metrics across identical runs (time may vary).
+	if a.MedianPlans != b.MedianPlans || a.MedianLPs != b.MedianLPs {
+		t.Errorf("medians not reproducible: %+v vs %+v", a, b)
+	}
+}
+
+func TestParamsClampedToTables(t *testing.T) {
+	cfg := Config{Shape: workload.Chain, Params: 2, Repetitions: 1, Seed: 3}
+	// tables=2 with params=2 is fine; also works when params would
+	// exceed tables after clamping.
+	if _, err := RunPoint(cfg, 2); err != nil {
+		t.Fatalf("RunPoint: %v", err)
+	}
+}
+
+func TestFormatTableAndCSV(t *testing.T) {
+	s := &Series{
+		Shape:  workload.Chain,
+		Params: 1,
+		Points: []Point{
+			{Tables: 2, MedianTime: 1500 * time.Microsecond, MedianPlans: 10, MedianLPs: 100, MedianFinal: 2, Repetitions: 5},
+			{Tables: 3, MedianTime: 4 * time.Millisecond, MedianPlans: 30, MedianLPs: 400, MedianFinal: 3, Repetitions: 5},
+		},
+	}
+	var tb bytes.Buffer
+	FormatTable(&tb, []*Series{s})
+	out := tb.String()
+	if !strings.Contains(out, "chain queries, 1 parameter(s)") {
+		t.Errorf("missing header: %s", out)
+	}
+	if !strings.Contains(out, "1.5") {
+		t.Errorf("missing ms value: %s", out)
+	}
+	var cb bytes.Buffer
+	FormatCSV(&cb, []*Series{s})
+	lines := strings.Split(strings.TrimSpace(cb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "chain,1,2,1.500,10,100,2,5") {
+		t.Errorf("CSV row = %q", lines[1])
+	}
+}
+
+func TestMedianHelpers(t *testing.T) {
+	if medianInt([]int{5, 1, 3}) != 3 {
+		t.Error("medianInt wrong")
+	}
+	if medianInt64([]int64{4, 2}) != 4 { // upper median for even length
+		t.Error("medianInt64 wrong")
+	}
+	if medianDuration([]time.Duration{3, 1, 2}) != 2 {
+		t.Error("medianDuration wrong")
+	}
+}

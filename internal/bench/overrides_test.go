@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"testing"
+
+	"mpq/internal/cloud"
+	"mpq/internal/core"
+	"mpq/internal/region"
+	"mpq/internal/workload"
+)
+
+// TestRunOnceWithOverrides exercises the custom optimizer-options and
+// cloud-config paths used by the ablation experiments.
+func TestRunOnceWithOverrides(t *testing.T) {
+	opts := core.Options{
+		Region: region.Options{
+			Strategy:        region.StrategyCoverDiff,
+			RelevancePoints: 4,
+		},
+		PostponeCartesian: true,
+	}
+	cloudCfg := cloud.DefaultConfig()
+	cloudCfg.ParallelDegrees = []int{4, 16}
+	cfg := Config{Shape: workload.Star, Options: &opts, Cloud: &cloudCfg}
+	stats, err := RunOnce(cfg, 3, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CreatedPlans <= 0 || stats.Geometry.LPs <= 0 {
+		t.Errorf("stats not populated: %+v", stats)
+	}
+	// Three join operators (1 single-node + 2 parallel degrees) create
+	// more plans than the default two.
+	defStats, err := RunOnce(Config{Shape: workload.Star}, 3, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CreatedPlans <= defStats.CreatedPlans {
+		t.Errorf("extra parallel degree did not increase created plans: %d vs %d",
+			stats.CreatedPlans, defStats.CreatedPlans)
+	}
+}
+
+func TestRunOnceInvalidWorkload(t *testing.T) {
+	if _, err := RunOnce(Config{Shape: workload.Cycle}, 2, 1, 1); err == nil {
+		t.Error("2-table cycle accepted")
+	}
+}
+
+func TestRunSeriesClampsMinTables(t *testing.T) {
+	s, err := RunSeries(Config{Shape: workload.Chain, Params: 1, MinTables: 0, MaxTables: 2, Repetitions: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 1 || s.Points[0].Tables != 2 {
+		t.Errorf("points = %+v, want single point at 2 tables", s.Points)
+	}
+}

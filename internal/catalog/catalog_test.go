@@ -1,0 +1,195 @@
+package catalog
+
+import (
+	"testing"
+
+	"mpq/internal/geometry"
+)
+
+func TestTableSetBasics(t *testing.T) {
+	s := SetOf(0, 2, 5)
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+	if !s.Contains(2) || s.Contains(1) {
+		t.Error("Contains wrong")
+	}
+	if got := s.With(1).Count(); got != 4 {
+		t.Errorf("With: count = %d, want 4", got)
+	}
+	if got := s.Without(2).Count(); got != 2 {
+		t.Errorf("Without: count = %d, want 2", got)
+	}
+	if s.Union(SetOf(1)).Count() != 4 {
+		t.Error("Union wrong")
+	}
+	if s.Intersect(SetOf(2, 3)).Count() != 1 {
+		t.Error("Intersect wrong")
+	}
+	if s.Minus(SetOf(0)).Contains(0) {
+		t.Error("Minus wrong")
+	}
+	tables := s.Tables()
+	if len(tables) != 3 || tables[0] != 0 || tables[1] != 2 || tables[2] != 5 {
+		t.Errorf("Tables = %v", tables)
+	}
+	if SetOf(3).Single() != 3 {
+		t.Error("Single wrong")
+	}
+	if s.String() != "{T1,T3,T6}" {
+		t.Errorf("String = %q", s.String())
+	}
+	if FullSet(3) != SetOf(0, 1, 2) {
+		t.Error("FullSet wrong")
+	}
+}
+
+func TestSubsetsProper(t *testing.T) {
+	s := SetOf(0, 1, 2)
+	var subs []TableSet
+	s.SubsetsProper(func(sub TableSet) bool {
+		subs = append(subs, sub)
+		return true
+	})
+	// 2^3 - 2 = 6 proper non-empty subsets.
+	if len(subs) != 6 {
+		t.Fatalf("got %d subsets, want 6", len(subs))
+	}
+	seen := map[TableSet]bool{}
+	for _, sub := range subs {
+		if sub.IsEmpty() || sub == s {
+			t.Errorf("subset %v not proper/non-empty", sub)
+		}
+		if sub.Minus(s) != 0 {
+			t.Errorf("subset %v not within %v", sub, s)
+		}
+		if seen[sub] {
+			t.Errorf("duplicate subset %v", sub)
+		}
+		seen[sub] = true
+	}
+	// Early exit.
+	count := 0
+	s.SubsetsProper(func(sub TableSet) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early exit visited %d, want 2", count)
+	}
+}
+
+func chainSchema() *Schema {
+	return &Schema{
+		Tables: []Table{
+			{Name: "T1", Card: 1000, TupleBytes: 100, Pred: &Predicate{Column: "a", ParamIndex: 0}, HasIndex: true},
+			{Name: "T2", Card: 2000, TupleBytes: 100},
+			{Name: "T3", Card: 4000, TupleBytes: 100},
+		},
+		Edges: []JoinEdge{
+			{A: 0, B: 1, Sel: 0.01},
+			{A: 1, B: 2, Sel: 0.001},
+		},
+		NumParams: 1,
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := chainSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	bad := chainSchema()
+	bad.Tables[0].Card = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero cardinality accepted")
+	}
+	bad = chainSchema()
+	bad.Tables[0].Pred.ParamIndex = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range parameter accepted")
+	}
+	bad = chainSchema()
+	bad.Edges[0].Sel = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero join selectivity accepted")
+	}
+	bad = chainSchema()
+	bad.Edges[0].B = 9
+	if err := bad.Validate(); err == nil {
+		t.Error("dangling edge accepted")
+	}
+	if err := (&Schema{}).Validate(); err == nil {
+		t.Error("empty schema accepted")
+	}
+}
+
+func TestSelectivityAndCard(t *testing.T) {
+	s := chainSchema()
+	x := geometry.Vector{0.5}
+	if got := s.PredSelectivity(0, x); got != 0.5 {
+		t.Errorf("parametric selectivity = %v, want 0.5", got)
+	}
+	if got := s.PredSelectivity(1, x); got != 1 {
+		t.Errorf("no-predicate selectivity = %v, want 1", got)
+	}
+	if got := s.BaseOutputCard(0, x); got != 500 {
+		t.Errorf("base card = %v, want 500", got)
+	}
+	// {T1,T2}: 1000*0.5 * 2000 * 0.01 = 10000.
+	if got := s.OutputCard(SetOf(0, 1), x); got != 10000 {
+		t.Errorf("join card = %v, want 10000", got)
+	}
+	// Full: 10000 * 4000 * 0.001 = 40000.
+	if got := s.OutputCard(SetOf(0, 1, 2), x); got != 40000 {
+		t.Errorf("full card = %v, want 40000", got)
+	}
+	// Disconnected set {T1,T3}: no edge applies.
+	if got := s.OutputCard(SetOf(0, 2), x); got != 500*4000 {
+		t.Errorf("cartesian card = %v, want %v", got, 500.0*4000)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	s := chainSchema()
+	if !s.Connected(SetOf(0, 1)) || !s.Connected(SetOf(0, 1, 2)) {
+		t.Error("connected sets reported disconnected")
+	}
+	if s.Connected(SetOf(0, 2)) {
+		t.Error("{T1,T3} reported connected in a chain")
+	}
+	if !s.Connected(SetOf(1)) || !s.Connected(TableSet(0)) {
+		t.Error("trivial sets must be connected")
+	}
+	if !s.HasEdgeBetween(SetOf(0), SetOf(1, 2)) {
+		t.Error("edge T1-T2 not found between {T1} and {T2,T3}")
+	}
+	if s.HasEdgeBetween(SetOf(0), SetOf(2)) {
+		t.Error("phantom edge between T1 and T3")
+	}
+}
+
+func TestParameterSpace(t *testing.T) {
+	s := chainSchema()
+	lo, hi := s.ParameterBounds()
+	if len(lo) != 1 || lo[0] <= 0 || hi[0] != 1 {
+		t.Errorf("default bounds = %v..%v", lo, hi)
+	}
+	space := s.ParameterSpace()
+	if space.Dim() != 1 {
+		t.Errorf("space dim = %d", space.Dim())
+	}
+	s.ParamLo, s.ParamHi = []float64{0.2}, []float64{0.8}
+	lo, hi = s.ParameterBounds()
+	if lo[0] != 0.2 || hi[0] != 0.8 {
+		t.Errorf("custom bounds = %v..%v", lo, hi)
+	}
+}
+
+func TestParametricTables(t *testing.T) {
+	s := chainSchema()
+	pts := s.ParametricTables()
+	if len(pts) != 1 || pts[0] != 0 {
+		t.Errorf("parametric tables = %v, want [0]", pts)
+	}
+}

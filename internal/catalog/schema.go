@@ -1,0 +1,208 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+
+	"mpq/internal/geometry"
+)
+
+// Predicate is an equality predicate on a table column. Its selectivity
+// is either a constant or one of the optimization parameters (an
+// unspecified predicate of a query template, Scenario 1 of the paper).
+type Predicate struct {
+	// Column names the predicate column (for display).
+	Column string
+	// ParamIndex is the index of the parameter representing the
+	// selectivity, or -1 when the selectivity is the constant ConstSel.
+	ParamIndex int
+	// ConstSel is the constant selectivity used when ParamIndex < 0.
+	ConstSel float64
+}
+
+// Parametric reports whether the predicate selectivity is a parameter.
+func (p *Predicate) Parametric() bool { return p != nil && p.ParamIndex >= 0 }
+
+// Table describes a base table.
+type Table struct {
+	// Name is the table name.
+	Name string
+	// Card is the base cardinality (number of rows).
+	Card float64
+	// TupleBytes is the width of a row in bytes.
+	TupleBytes float64
+	// Pred is the optional equality predicate on the table.
+	Pred *Predicate
+	// HasIndex reports whether an index exists on the predicate column.
+	HasIndex bool
+}
+
+// JoinEdge is a join predicate between two tables with a fixed
+// selectivity.
+type JoinEdge struct {
+	A, B TableID
+	Sel  float64
+}
+
+// Schema is a query: the set of tables to join (Section 2: "a query is
+// represented by a set of tables that need to be joined"), the join
+// predicates, and the parameter space of unspecified predicate
+// selectivities.
+type Schema struct {
+	Tables []Table
+	Edges  []JoinEdge
+	// NumParams is the dimensionality of the parameter space.
+	NumParams int
+	// ParamLo and ParamHi bound each parameter; when empty they default
+	// to [0, 1] (selectivities).
+	ParamLo, ParamHi []float64
+}
+
+// NumTables returns the number of tables.
+func (s *Schema) NumTables() int { return len(s.Tables) }
+
+// AllTables returns the set of all tables.
+func (s *Schema) AllTables() TableSet { return FullSet(len(s.Tables)) }
+
+// Validate checks structural consistency.
+func (s *Schema) Validate() error {
+	if len(s.Tables) == 0 {
+		return errors.New("catalog: schema without tables")
+	}
+	if len(s.Tables) > 63 {
+		return errors.New("catalog: more than 63 tables")
+	}
+	for i, t := range s.Tables {
+		if t.Card <= 0 {
+			return fmt.Errorf("catalog: table %d has non-positive cardinality", i)
+		}
+		if t.Pred != nil && t.Pred.ParamIndex >= s.NumParams {
+			return fmt.Errorf("catalog: table %d references parameter %d (have %d)", i, t.Pred.ParamIndex, s.NumParams)
+		}
+		if t.Pred != nil && t.Pred.ParamIndex < 0 && (t.Pred.ConstSel <= 0 || t.Pred.ConstSel > 1) {
+			return fmt.Errorf("catalog: table %d has invalid constant selectivity %v", i, t.Pred.ConstSel)
+		}
+	}
+	for _, e := range s.Edges {
+		if int(e.A) >= len(s.Tables) || int(e.B) >= len(s.Tables) || e.A == e.B {
+			return fmt.Errorf("catalog: invalid edge %v-%v", e.A, e.B)
+		}
+		if e.Sel <= 0 || e.Sel > 1 {
+			return fmt.Errorf("catalog: edge %v-%v has invalid selectivity %v", e.A, e.B, e.Sel)
+		}
+	}
+	if s.ParamLo != nil && (len(s.ParamLo) != s.NumParams || len(s.ParamHi) != s.NumParams) {
+		return errors.New("catalog: parameter bound length mismatch")
+	}
+	return nil
+}
+
+// ParameterBounds returns the per-parameter bounds, defaulting to
+// [0.001, 1] per dimension: selectivities of equality predicates are
+// positive and at most one.
+func (s *Schema) ParameterBounds() (lo, hi geometry.Vector) {
+	lo = geometry.NewVector(s.NumParams)
+	hi = geometry.NewVector(s.NumParams)
+	for i := 0; i < s.NumParams; i++ {
+		if s.ParamLo != nil {
+			lo[i], hi[i] = s.ParamLo[i], s.ParamHi[i]
+		} else {
+			lo[i], hi[i] = 0.001, 1
+		}
+	}
+	return lo, hi
+}
+
+// ParameterSpace returns the parameter space X as a convex polytope (a
+// box), the standard assumption of PWL-MPQ (Section 2).
+func (s *Schema) ParameterSpace() *geometry.Polytope {
+	lo, hi := s.ParameterBounds()
+	return geometry.Box(lo, hi)
+}
+
+// PredSelectivity evaluates the predicate selectivity of table t at
+// parameter vector x (1 when the table has no predicate).
+func (s *Schema) PredSelectivity(t TableID, x geometry.Vector) float64 {
+	p := s.Tables[t].Pred
+	if p == nil {
+		return 1
+	}
+	if p.ParamIndex >= 0 {
+		return x[p.ParamIndex]
+	}
+	return p.ConstSel
+}
+
+// BaseOutputCard is the output cardinality of scanning table t with its
+// predicate applied, at parameter vector x.
+func (s *Schema) BaseOutputCard(t TableID, x geometry.Vector) float64 {
+	return s.Tables[t].Card * s.PredSelectivity(t, x)
+}
+
+// OutputCard estimates the result cardinality of joining the tables in
+// set at parameter vector x with the textbook product formula:
+// product of filtered base cardinalities times the selectivities of all
+// join edges inside the set.
+func (s *Schema) OutputCard(set TableSet, x geometry.Vector) float64 {
+	card := 1.0
+	for _, t := range set.Tables() {
+		card *= s.BaseOutputCard(t, x)
+	}
+	for _, e := range s.Edges {
+		if set.Contains(e.A) && set.Contains(e.B) {
+			card *= e.Sel
+		}
+	}
+	return card
+}
+
+// HasEdgeBetween reports whether some join edge connects set a with set
+// b, used for Cartesian-product postponement.
+func (s *Schema) HasEdgeBetween(a, b TableSet) bool {
+	for _, e := range s.Edges {
+		if (a.Contains(e.A) && b.Contains(e.B)) || (a.Contains(e.B) && b.Contains(e.A)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Connected reports whether the join graph restricted to set is
+// connected. Empty and singleton sets are connected.
+func (s *Schema) Connected(set TableSet) bool {
+	if set.Count() <= 1 {
+		return true
+	}
+	tables := set.Tables()
+	start := SetOf(tables[0])
+	frontier := start
+	reached := start
+	for !frontier.IsEmpty() {
+		var next TableSet
+		for _, e := range s.Edges {
+			if set.Contains(e.A) && set.Contains(e.B) {
+				if frontier.Contains(e.A) && !reached.Contains(e.B) {
+					next = next.With(e.B)
+				}
+				if frontier.Contains(e.B) && !reached.Contains(e.A) {
+					next = next.With(e.A)
+				}
+			}
+		}
+		reached = reached.Union(next)
+		frontier = next
+	}
+	return reached == set
+}
+
+// ParametricTables lists the tables whose predicate selectivity is a
+// parameter.
+func (s *Schema) ParametricTables() []TableID {
+	var out []TableID
+	for i, t := range s.Tables {
+		if t.Pred.Parametric() {
+			out = append(out, TableID(i))
+		}
+	}
+	return out
+}

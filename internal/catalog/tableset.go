@@ -1,0 +1,103 @@
+// Package catalog models the database schema and statistics that drive
+// cost estimation: tables with cardinalities, optional equality
+// predicates whose selectivities are either constants or optimization
+// parameters, indexes, and join edges with selectivities. It matches the
+// experimental setup of Section 7 of the paper: "Base tables are
+// associated with equality predicates whose selectivities are
+// represented by parameters; one parameter is required for each table
+// with a predicate. Indices are available for each column with a
+// predicate."
+package catalog
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// TableID identifies a table by its index in the schema.
+type TableID int
+
+// TableSet is a set of tables represented as a bitmask; it supports
+// queries over up to 64 tables, far beyond the exhaustive optimization
+// range.
+type TableSet uint64
+
+// SetOf builds a TableSet from table IDs.
+func SetOf(ts ...TableID) TableSet {
+	var s TableSet
+	for _, t := range ts {
+		s |= 1 << uint(t)
+	}
+	return s
+}
+
+// FullSet returns the set {0, ..., n-1}.
+func FullSet(n int) TableSet {
+	if n >= 64 {
+		panic("catalog: table sets support at most 63 tables")
+	}
+	return TableSet((1 << uint(n)) - 1)
+}
+
+// Contains reports whether t is in the set.
+func (s TableSet) Contains(t TableID) bool { return s&(1<<uint(t)) != 0 }
+
+// With returns the set extended by t.
+func (s TableSet) With(t TableID) TableSet { return s | 1<<uint(t) }
+
+// Without returns the set with t removed.
+func (s TableSet) Without(t TableID) TableSet { return s &^ (1 << uint(t)) }
+
+// Union returns the union of s and o.
+func (s TableSet) Union(o TableSet) TableSet { return s | o }
+
+// Intersect returns the intersection of s and o.
+func (s TableSet) Intersect(o TableSet) TableSet { return s & o }
+
+// Minus returns s \ o.
+func (s TableSet) Minus(o TableSet) TableSet { return s &^ o }
+
+// IsEmpty reports whether the set has no tables.
+func (s TableSet) IsEmpty() bool { return s == 0 }
+
+// Count returns the number of tables in the set.
+func (s TableSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Tables lists the members in ascending order.
+func (s TableSet) Tables() []TableID {
+	out := make([]TableID, 0, s.Count())
+	for m := s; m != 0; {
+		t := TableID(bits.TrailingZeros64(uint64(m)))
+		out = append(out, t)
+		m &= m - 1
+	}
+	return out
+}
+
+// Single returns the only member of a singleton set.
+func (s TableSet) Single() TableID {
+	if s.Count() != 1 {
+		panic(fmt.Sprintf("catalog: Single on set of size %d", s.Count()))
+	}
+	return TableID(bits.TrailingZeros64(uint64(s)))
+}
+
+// SubsetsProper invokes fn for every non-empty proper subset of s,
+// enumerated with the standard bitmask-subset trick.
+func (s TableSet) SubsetsProper(fn func(sub TableSet) bool) {
+	for sub := (s - 1) & s; sub != 0; sub = (sub - 1) & s {
+		if !fn(sub) {
+			return
+		}
+	}
+}
+
+// String renders the set as {T1, T3, ...} using 1-based table numbers.
+func (s TableSet) String() string {
+	parts := make([]string, 0, s.Count())
+	for _, t := range s.Tables() {
+		parts = append(parts, fmt.Sprintf("T%d", int(t)+1))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,28 @@
+package cloud
+
+import (
+	"mpq/internal/catalog"
+	"mpq/internal/core"
+)
+
+// ScanAlternatives implements core.CostModel.
+func (m *Model) ScanAlternatives(t catalog.TableID) []core.Alternative {
+	scans := m.ScanCosts(t)
+	out := make([]core.Alternative, len(scans))
+	for i, s := range scans {
+		out[i] = core.Alternative{Op: s.Op, Cost: s.Cost}
+	}
+	return out
+}
+
+// JoinAlternatives implements core.CostModel.
+func (m *Model) JoinAlternatives(left, right catalog.TableSet) []core.Alternative {
+	joins := m.JoinCosts(left, right)
+	out := make([]core.Alternative, len(joins))
+	for i, j := range joins {
+		out[i] = core.Alternative{Op: j.Op, Cost: j.Cost}
+	}
+	return out
+}
+
+var _ core.CostModel = (*Model)(nil)

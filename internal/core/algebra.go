@@ -1,0 +1,90 @@
+// Package core implements the paper's primary contribution: the
+// Relevance Region Pruning Algorithm (RRPA, Algorithm 1) for
+// multi-objective parametric query optimization, and its specialization
+// PWL-RRPA for piecewise-linear cost functions (Section 6).
+//
+// RRPA is generic over the class of cost functions: the dynamic program
+// only needs two operations — accumulating the cost of a new plan from
+// its sub-plans and the join operator, and computing the parameter-space
+// region in which one cost function dominates another. Those operations
+// are abstracted by the Algebra interface; PWLAlgebra instantiates them
+// with the exact piecewise-linear operations of Algorithm 3, yielding
+// PWL-RRPA. The sampled algebra in mpq/internal/sampled demonstrates the
+// generic algorithm on arbitrary (non-PWL) cost closures.
+package core
+
+import (
+	"mpq/internal/geometry"
+	"mpq/internal/pwl"
+)
+
+// Cost is an opaque plan cost function; its concrete type is fixed by
+// the Algebra in use (e.g. *pwl.Multi for PWLAlgebra).
+type Cost any
+
+// Algebra supplies the cost-function operations RRPA needs. An Algebra
+// must treat dominance inclusively: ties count as dominance, matching
+// the paper's Dom definition.
+type Algebra interface {
+	// Dom returns convex polytopes covering the parameter-space region
+	// in which c1 dominates c2 (c1 at most c2 on every metric).
+	Dom(c1, c2 Cost) []*geometry.Polytope
+	// Accumulate combines the costs of two sub-plans and the cost of
+	// the join step into the cost of the combined plan (the paper's
+	// AccumulateCost).
+	Accumulate(step, c1, c2 Cost) Cost
+	// Eval evaluates the cost vector at a parameter point, for
+	// diagnostics, plan selection, and tests.
+	Eval(c Cost, x geometry.Vector) geometry.Vector
+}
+
+// PWLAlgebra implements Algebra for piecewise-linear cost functions
+// (*pwl.Multi), turning RRPA into PWL-RRPA.
+type PWLAlgebra struct {
+	// Ctx carries tolerances and the LP counter.
+	Ctx *geometry.Context
+	// Modes is the per-metric accumulation of sub-plan costs.
+	Modes []pwl.AccumMode
+	// Compact merges equal-function pieces after accumulation, keeping
+	// piece counts near the shared approximation grid size.
+	Compact bool
+	// SimplifyRegions removes redundant constraints from piece regions
+	// after accumulation (first refinement of Section 6.2).
+	SimplifyRegions bool
+}
+
+// NewPWLAlgebra returns a PWLAlgebra with compaction enabled and
+// sum-accumulation on every metric.
+func NewPWLAlgebra(ctx *geometry.Context, metrics int) *PWLAlgebra {
+	modes := make([]pwl.AccumMode, metrics)
+	return &PWLAlgebra{Ctx: ctx, Modes: modes, Compact: true}
+}
+
+// Dom implements Algebra using the exact PWL dominance-region
+// computation of Algorithm 3.
+func (a *PWLAlgebra) Dom(c1, c2 Cost) []*geometry.Polytope {
+	return pwl.Dom(a.Ctx, c1.(*pwl.Multi), c2.(*pwl.Multi))
+}
+
+// Accumulate implements Algebra with the piecewise addition (and
+// min/max) of Algorithm 3.
+func (a *PWLAlgebra) Accumulate(step, c1, c2 Cost) Cost {
+	acc := pwl.AccumulateMulti(a.Ctx, a.Modes, step.(*pwl.Multi), c1.(*pwl.Multi), c2.(*pwl.Multi))
+	if a.Compact {
+		comps := make([]*pwl.Function, acc.NumMetrics())
+		for i := range comps {
+			comps[i] = pwl.Compact(a.Ctx, acc.Component(i))
+		}
+		acc = pwl.NewMulti(comps...)
+	}
+	if a.SimplifyRegions {
+		acc = pwl.SimplifyMulti(a.Ctx, acc)
+	}
+	return acc
+}
+
+// Eval implements Algebra.
+func (a *PWLAlgebra) Eval(c Cost, x geometry.Vector) geometry.Vector {
+	v, _ := c.(*pwl.Multi).Eval(x)
+	return v
+}

@@ -1,0 +1,223 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpq/internal/baseline"
+	"mpq/internal/catalog"
+	"mpq/internal/cloud"
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+	"mpq/internal/region"
+	"mpq/internal/workload"
+)
+
+func cloudSetup(t *testing.T, tables, params int, shape workload.Shape, seed int64) (*catalog.Schema, *cloud.Model, *geometry.Context) {
+	t.Helper()
+	schema, err := workload.Generate(workload.Config{Tables: tables, Params: params, Shape: shape, Seed: seed})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	ctx := geometry.NewContext()
+	model, err := cloud.NewModel(schema, cloud.DefaultConfig(), ctx)
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	return schema, model, ctx
+}
+
+func sampleParams(schema *catalog.Schema, perDim int) []geometry.Vector {
+	lo, hi := schema.ParameterBounds()
+	return geometry.SamplePointsInBox(lo, hi, perDim, 64)
+}
+
+// TestTheorem3Completeness is the executable form of the paper's main
+// correctness result: the plan set produced by PWL-RRPA must contain,
+// for every possible plan p and every parameter point x, a plan that
+// weakly dominates p at x. We verify against exhaustive enumeration of
+// the full bushy plan space on randomly generated chain and star
+// queries.
+func TestTheorem3Completeness(t *testing.T) {
+	cases := []struct {
+		tables, params int
+		shape          workload.Shape
+	}{
+		{3, 1, workload.Chain},
+		{4, 1, workload.Chain},
+		{4, 1, workload.Star},
+		{3, 2, workload.Chain},
+		{4, 2, workload.Star},
+	}
+	for _, tc := range cases {
+		for seed := int64(1); seed <= 3; seed++ {
+			name := fmt.Sprintf("%s-%dt-%dp-seed%d", tc.shape, tc.tables, tc.params, seed)
+			t.Run(name, func(t *testing.T) {
+				schema, model, ctx := cloudSetup(t, tc.tables, tc.params, tc.shape, seed)
+				opts := core.DefaultOptions()
+				opts.Context = ctx
+				res, err := core.Optimize(schema, model, opts)
+				if err != nil {
+					t.Fatalf("optimize: %v", err)
+				}
+				// Ground truth: enumerate the full bushy plan space with
+				// the LP-free pointwise algebra over the sample grid.
+				points := sampleParams(schema, 5)
+				pointwise := &baseline.PointwiseAlgebra{Points: points}
+				all := baseline.EnumerateAll(schema, model, pointwise, true)
+				if len(all) == 0 {
+					t.Fatal("no plans enumerated")
+				}
+				pwlAlg := core.NewPWLAlgebra(geometry.NewContext(), 2)
+				for _, x := range points {
+					keptCosts := make([]geometry.Vector, len(res.Plans))
+					for i, kept := range res.Plans {
+						keptCosts[i] = pwlAlg.Eval(kept.Cost, x)
+					}
+					for _, p := range all {
+						pc := pointwise.Eval(p.Cost, x)
+						covered := false
+						for _, kc := range keptCosts {
+							if weaklyDominatesTol(kc, pc, 1e-6) {
+								covered = true
+								break
+							}
+						}
+						if !covered {
+							t.Fatalf("plan %v with cost %v at x=%v not dominated by any of %d kept plans",
+								p.Plan, pc, x, len(res.Plans))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func weaklyDominatesTol(a, b geometry.Vector, rtol float64) bool {
+	for i := range a {
+		if a[i] > b[i]+rtol*(1+b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompletenessAcrossOptions re-runs the completeness check under
+// every combination of emptiness strategy and refinement flags: the
+// refinements must not change the correctness guarantee.
+func TestCompletenessAcrossOptions(t *testing.T) {
+	schema, model, _ := cloudSetup(t, 4, 1, workload.Chain, 11)
+	algebra := core.NewPWLAlgebra(geometry.NewContext(), 2)
+	all := baseline.EnumerateAll(schema, model, algebra, true)
+
+	for _, strat := range []region.EmptinessStrategy{region.StrategyBemporad, region.StrategyCoverDiff} {
+		for _, points := range []int{0, 16} {
+			for _, elim := range []bool{false, true} {
+				name := fmt.Sprintf("%v-pts%d-elim%v", strat, points, elim)
+				t.Run(name, func(t *testing.T) {
+					ctx := geometry.NewContext()
+					opts := core.Options{
+						Region: region.Options{
+							Strategy:                  strat,
+							RelevancePoints:           points,
+							EliminateRedundantCutouts: elim,
+						},
+						PostponeCartesian: true,
+						Context:           ctx,
+					}
+					res, err := core.Optimize(schema, model, opts)
+					if err != nil {
+						t.Fatalf("optimize: %v", err)
+					}
+					for _, x := range sampleParams(schema, 5) {
+						front := baseline.TrueFrontAt(all, algebra, x)
+						for _, f := range front {
+							covered := false
+							for _, kept := range res.Plans {
+								if weaklyDominatesTol(algebra.Eval(kept.Cost, x), f, 1e-6) {
+									covered = true
+									break
+								}
+							}
+							if !covered {
+								t.Fatalf("front point %v at x=%v uncovered", f, x)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestOptimizeKeepPerSet verifies intermediate plan sets are retained on
+// request and every stored table set has at least one plan.
+func TestOptimizeKeepPerSet(t *testing.T) {
+	schema, model, ctx := cloudSetup(t, 4, 1, workload.Chain, 3)
+	opts := core.DefaultOptions()
+	opts.Context = ctx
+	opts.KeepPerSet = true
+	res, err := core.Optimize(schema, model, opts)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if res.PerSet == nil {
+		t.Fatal("PerSet not populated")
+	}
+	// Chain over 4 tables: connected subsets are contiguous runs:
+	// 4 singletons + 3 pairs + 2 triples + 1 quad = 10.
+	if len(res.PerSet) != 10 {
+		t.Errorf("PerSet has %d table sets, want 10 (connected subsets of a 4-chain)", len(res.PerSet))
+	}
+	for set, plans := range res.PerSet {
+		if len(plans) == 0 {
+			t.Errorf("table set %v has empty plan set", set)
+		}
+		for _, info := range plans {
+			if info.Plan.Set != set {
+				t.Errorf("plan %v stored under wrong set %v", info.Plan, set)
+			}
+		}
+	}
+}
+
+// TestPostponeCartesianReducesWork: with Cartesian postponement the
+// optimizer must create no more plans than without, and both must cover
+// the true Pareto front.
+func TestPostponeCartesianReducesWork(t *testing.T) {
+	schema, model, _ := cloudSetup(t, 4, 1, workload.Chain, 5)
+	run := func(postpone bool) *core.Result {
+		opts := core.DefaultOptions()
+		opts.PostponeCartesian = postpone
+		opts.Context = geometry.NewContext()
+		res, err := core.Optimize(schema, model, opts)
+		if err != nil {
+			t.Fatalf("optimize(postpone=%v): %v", postpone, err)
+		}
+		return res
+	}
+	with := run(true)
+	without := run(false)
+	if with.Stats.CreatedPlans >= without.Stats.CreatedPlans {
+		t.Errorf("postponement created %d plans, without %d — expected fewer",
+			with.Stats.CreatedPlans, without.Stats.CreatedPlans)
+	}
+	// Both plan sets must mutually cover each other at sample points.
+	algebra := core.NewPWLAlgebra(geometry.NewContext(), 2)
+	for _, x := range sampleParams(schema, 5) {
+		for _, a := range with.Plans {
+			ac := algebra.Eval(a.Cost, x)
+			covered := false
+			for _, b := range without.Plans {
+				if weaklyDominatesTol(algebra.Eval(b.Cost, x), ac, 1e-6) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Errorf("plan %v at x=%v not covered by full search space result", a.Plan, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"mpq/internal/catalog"
+	"mpq/internal/geometry"
+)
+
+// Alternative pairs an operator name with a cost: for scans the full
+// cost of producing the table's (filtered) tuples, for joins the cost of
+// executing only the final join step.
+type Alternative struct {
+	Op   string
+	Cost Cost
+}
+
+// CostModel supplies operator alternatives and their parametric cost
+// functions to the optimizer. The concrete Cost type must match the
+// Algebra in use.
+type CostModel interface {
+	// Space is the parameter space X, a convex polytope (the standard
+	// PWL-MPQ assumption, Section 2).
+	Space() *geometry.Polytope
+	// MetricNames names the cost metrics, index-aligned with cost
+	// vector components.
+	MetricNames() []string
+	// ScanAlternatives lists the access paths for a base table.
+	ScanAlternatives(t catalog.TableID) []Alternative
+	// JoinAlternatives lists the join operators applicable to joining
+	// the results of left and right (left is the build side), with the
+	// cost of the final join step.
+	JoinAlternatives(left, right catalog.TableSet) []Alternative
+}
+
+// StaticModel is a CostModel for a single result with an explicit list
+// of alternative plans, used for the paper's hand-constructed examples
+// (Example 2, Figures 4-6) and for unit tests: every alternative is an
+// access path of the single pseudo-table.
+type StaticModel struct {
+	ParamSpace *geometry.Polytope
+	Metrics    []string
+	Plans      []Alternative
+}
+
+// StaticSchema returns the one-table schema matching a StaticModel.
+func StaticSchema(numParams int, lo, hi []float64) *catalog.Schema {
+	return &catalog.Schema{
+		Tables:    []catalog.Table{{Name: "T1", Card: 1, TupleBytes: 1}},
+		NumParams: numParams,
+		ParamLo:   lo,
+		ParamHi:   hi,
+	}
+}
+
+// Space implements CostModel.
+func (m *StaticModel) Space() *geometry.Polytope { return m.ParamSpace }
+
+// MetricNames implements CostModel.
+func (m *StaticModel) MetricNames() []string { return m.Metrics }
+
+// ScanAlternatives implements CostModel.
+func (m *StaticModel) ScanAlternatives(t catalog.TableID) []Alternative { return m.Plans }
+
+// JoinAlternatives implements CostModel; a StaticModel has no joins.
+func (m *StaticModel) JoinAlternatives(left, right catalog.TableSet) []Alternative { return nil }

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mpq/internal/catalog"
+	"mpq/internal/geometry"
+	"mpq/internal/plan"
+	"mpq/internal/region"
+)
+
+// Options configures an optimizer run.
+type Options struct {
+	// Region configures relevance regions (emptiness strategy and the
+	// Section 6.2 refinements).
+	Region region.Options
+	// PostponeCartesian skips splits without a connecting join
+	// predicate whenever an edged split exists, the heuristic of
+	// state-of-the-art optimizers adopted by the paper's experiments.
+	PostponeCartesian bool
+	// Context supplies tolerances and LP counters; a fresh context is
+	// created when nil.
+	Context *geometry.Context
+	// Algebra supplies cost operations; defaults to a PWLAlgebra over
+	// Context with sum accumulation on every metric.
+	Algebra Algebra
+	// KeepPerSet retains the Pareto plan sets of all intermediate table
+	// sets in the result, for inspection and validation.
+	KeepPerSet bool
+}
+
+// DefaultOptions mirrors the configuration of the paper's experiments.
+func DefaultOptions() Options {
+	return Options{
+		Region:            region.DefaultOptions(),
+		PostponeCartesian: true,
+	}
+}
+
+// PlanInfo is a plan of a Pareto plan set together with its cost
+// function and relevance region (the relevance mapping of Section 2).
+type PlanInfo struct {
+	Plan *plan.Node
+	Cost Cost
+	RR   *region.Region
+}
+
+// Stats reports the work of an optimizer run; CreatedPlans and the LP
+// count inside Geometry are the quantities of Figure 12.
+type Stats struct {
+	// CreatedPlans counts every generated plan, including partial plans
+	// and plans pruned during optimization (Figure 12, middle row).
+	CreatedPlans int
+	// PrunedPlans counts plans discarded because their relevance region
+	// became empty.
+	PrunedPlans int
+	// FinalPlans is the size of the returned Pareto plan set.
+	FinalPlans int
+	// MaxPlansPerSet is the largest Pareto set size over all table sets
+	// (bounded in expectation by Theorem 6).
+	MaxPlansPerSet int
+	// Geometry carries LP counts (Figure 12, bottom row) and related
+	// counters.
+	Geometry geometry.Stats
+	// Duration is the wall-clock optimization time (Figure 12, top
+	// row).
+	Duration time.Duration
+}
+
+// Result of an optimization: the Pareto plan set for the full query with
+// the relevance mapping, plus statistics.
+type Result struct {
+	// Query is the full table set.
+	Query catalog.TableSet
+	// Plans is the Pareto plan set (PPS) for the query.
+	Plans []*PlanInfo
+	// PerSet holds the PPS of every planned table set (only when
+	// Options.KeepPerSet).
+	PerSet map[catalog.TableSet][]*PlanInfo
+	// Stats is the run's work summary.
+	Stats Stats
+}
+
+// Optimize runs RRPA (Algorithm 1) on the query described by schema,
+// with operator costs from model, and returns a Pareto plan set for the
+// full query. With the default PWL algebra this is PWL-RRPA.
+func Optimize(schema *catalog.Schema, model CostModel, opts Options) (*Result, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = geometry.NewContext()
+	}
+	algebra := opts.Algebra
+	if algebra == nil {
+		algebra = NewPWLAlgebra(ctx, len(model.MetricNames()))
+	}
+	o := &optimizer{
+		schema:  schema,
+		model:   model,
+		algebra: algebra,
+		ctx:     ctx,
+		opts:    opts,
+		best:    make(map[catalog.TableSet][]*PlanInfo),
+	}
+	return o.run()
+}
+
+type optimizer struct {
+	schema  *catalog.Schema
+	model   CostModel
+	algebra Algebra
+	ctx     *geometry.Context
+	opts    Options
+	best    map[catalog.TableSet][]*PlanInfo
+	stats   Stats
+}
+
+func (o *optimizer) run() (*Result, error) {
+	start := time.Now()
+	lpsBefore := o.ctx.Stats
+
+	// Initialize plan sets for base tables (Algorithm 1 lines 3-6):
+	// consider all scan plans and prune.
+	for i := range o.schema.Tables {
+		t := catalog.TableID(i)
+		q := catalog.SetOf(t)
+		for _, alt := range o.model.ScanAlternatives(t) {
+			o.prune(q, plan.Scan(t, alt.Op), alt.Cost)
+		}
+		if len(o.best[q]) == 0 {
+			return nil, fmt.Errorf("core: no scan plan for table %d", i)
+		}
+	}
+
+	// Consider table sets of increasing cardinality (lines 7-13).
+	n := o.schema.NumTables()
+	all := o.schema.AllTables()
+	fullyConnected := o.schema.Connected(all)
+	for k := 2; k <= n; k++ {
+		for mask := catalog.TableSet(1); mask <= all; mask++ {
+			if mask.Count() != k {
+				continue
+			}
+			if o.opts.PostponeCartesian && fullyConnected && !o.schema.Connected(mask) {
+				// Plans for disconnected subsets are never needed when
+				// Cartesian products are postponed in a connected query
+				// graph.
+				continue
+			}
+			o.planSet(mask)
+		}
+	}
+
+	final := o.best[all]
+	if len(final) == 0 && n > 0 {
+		return nil, errors.New("core: no plan for the full query")
+	}
+	o.stats.FinalPlans = len(final)
+	for _, infos := range o.best {
+		if len(infos) > o.stats.MaxPlansPerSet {
+			o.stats.MaxPlansPerSet = len(infos)
+		}
+	}
+	o.stats.Duration = time.Since(start)
+	o.stats.Geometry = o.ctx.Stats
+	o.stats.Geometry.LPs -= lpsBefore.LPs
+	o.stats.Geometry.LPIterations -= lpsBefore.LPIterations
+	o.stats.Geometry.RegionDiffs -= lpsBefore.RegionDiffs
+	o.stats.Geometry.ConvexityChecks -= lpsBefore.ConvexityChecks
+
+	res := &Result{Query: all, Plans: final, Stats: o.stats}
+	if o.opts.KeepPerSet {
+		res.PerSet = o.best
+	}
+	return res, nil
+}
+
+// planSet generates the Pareto plan set for joining table set q
+// (Algorithm 1, GenerateParetoPlanSet): all splits into two non-empty
+// subsets, all join operators, all pairs of sub-plans. With Cartesian
+// postponement, splits without a connecting join predicate are only
+// considered when no edged split produced plans.
+func (o *optimizer) planSet(q catalog.TableSet) {
+	produced := o.trySplits(q, true)
+	if !produced {
+		o.trySplits(q, false)
+	}
+}
+
+func (o *optimizer) trySplits(q catalog.TableSet, requireEdge bool) bool {
+	produced := false
+	q.SubsetsProper(func(q1 catalog.TableSet) bool {
+		q2 := q.Minus(q1)
+		p1s, p2s := o.best[q1], o.best[q2]
+		if len(p1s) == 0 || len(p2s) == 0 {
+			return true
+		}
+		if o.opts.PostponeCartesian && requireEdge && !o.schema.HasEdgeBetween(q1, q2) {
+			return true
+		}
+		alts := o.model.JoinAlternatives(q1, q2)
+		if len(alts) == 0 {
+			return true
+		}
+		for _, i1 := range p1s {
+			for _, i2 := range p2s {
+				for _, alt := range alts {
+					// Construct the new plan and accumulate its cost
+					// (lines 23-26).
+					pn := plan.Join(alt.Op, i1.Plan, i2.Plan)
+					cost := o.algebra.Accumulate(alt.Cost, i1.Cost, i2.Cost)
+					o.prune(q, pn, cost)
+					produced = true
+				}
+			}
+		}
+		return true
+	})
+	return produced
+}
+
+// prune implements the pruning function of Algorithm 1 (lines 33-57):
+// the relevance region of the new plan starts as the full parameter
+// space and is reduced by the dominance regions of all existing plans;
+// if it empties, the plan is discarded. Otherwise the existing plans'
+// relevance regions are reduced by the new plan's dominance regions and
+// plans with empty regions are dropped; finally the new plan is
+// inserted.
+func (o *optimizer) prune(q catalog.TableSet, pn *plan.Node, cost Cost) {
+	o.stats.CreatedPlans++
+	rr := region.New(o.ctx, o.model.Space(), o.opts.Region)
+	for _, old := range o.best[q] {
+		rr.Subtract(o.ctx, o.algebra.Dom(old.Cost, cost)...)
+		if rr.IsEmpty(o.ctx) {
+			o.stats.PrunedPlans++
+			return // do not insert the new plan
+		}
+	}
+	// The new plan will be inserted; discard irrelevant old plans.
+	kept := o.best[q][:0]
+	for _, old := range o.best[q] {
+		old.RR.Subtract(o.ctx, o.algebra.Dom(cost, old.Cost)...)
+		if old.RR.IsEmpty(o.ctx) {
+			o.stats.PrunedPlans++
+			continue
+		}
+		kept = append(kept, old)
+	}
+	o.best[q] = append(kept, &PlanInfo{Plan: pn, Cost: cost, RR: rr})
+}
+
+// ParetoFrontAt evaluates the result's plan set at a concrete parameter
+// vector and returns the plans whose cost vectors are Pareto-optimal
+// within the set, in plan order — the run-time plan-selection step of
+// Figure 2.
+func (r *Result) ParetoFrontAt(algebra Algebra, x geometry.Vector) []*PlanInfo {
+	type entry struct {
+		info *PlanInfo
+		cost geometry.Vector
+	}
+	entries := make([]entry, 0, len(r.Plans))
+	for _, info := range r.Plans {
+		entries = append(entries, entry{info, algebra.Eval(info.Cost, x)})
+	}
+	var out []*PlanInfo
+	for i, e := range entries {
+		dominated := false
+		for j, other := range entries {
+			if i == j {
+				continue
+			}
+			if dominatesVec(other.cost, e.cost) && !other.cost.Equal(e.cost, 1e-12) {
+				dominated = true
+				break
+			}
+			// Among equal-cost plans keep only the first.
+			if j < i && other.cost.Equal(e.cost, 1e-12) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, e.info)
+		}
+	}
+	return out
+}
+
+// dominatesVec reports a <= b component-wise (with tolerance).
+func dominatesVec(a, b geometry.Vector) bool {
+	for i := range a {
+		if a[i] > b[i]+1e-12 {
+			return false
+		}
+	}
+	return true
+}

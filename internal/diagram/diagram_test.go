@@ -1,0 +1,159 @@
+package diagram
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpq/internal/geometry"
+	"mpq/internal/pwl"
+)
+
+func twoPlanSlice() *MultiSlice {
+	space := geometry.Interval(0, 1)
+	return &MultiSlice{
+		Names: []string{"rising", "falling"},
+		Costs: []*pwl.Multi{
+			pwl.NewMulti(pwl.Linear(space, geometry.Vector{1}, 0), pwl.Constant(space, 1)),
+			pwl.NewMulti(pwl.Linear(space, geometry.Vector{-1}, 1), pwl.Constant(space, 1)),
+		},
+	}
+}
+
+func TestFrontSize1D(t *testing.T) {
+	// Metric 2 ties; metric 1 crosses at 0.5: each side has exactly one
+	// Pareto plan, the crossing cell may see both.
+	d, err := FrontSize(twoPlanSlice(), geometry.Vector{0}, geometry.Vector{1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 8 {
+		t.Fatalf("cells = %d", len(d.Cells))
+	}
+	for _, c := range d.Cells {
+		if c.Value != 1 {
+			t.Errorf("front size at %v = %d, want 1 (one plan dominates per side)", c.X, c.Value)
+		}
+	}
+}
+
+func TestFrontSizeWithTradeoff(t *testing.T) {
+	space := geometry.Interval(0, 1)
+	plans := &MultiSlice{
+		Names: []string{"fast-expensive", "slow-cheap"},
+		Costs: []*pwl.Multi{
+			pwl.NewMulti(pwl.Constant(space, 1), pwl.Constant(space, 10)),
+			pwl.NewMulti(pwl.Constant(space, 5), pwl.Constant(space, 1)),
+		},
+	}
+	d, err := FrontSize(plans, geometry.Vector{0}, geometry.Vector{1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Cells {
+		if c.Value != 2 {
+			t.Errorf("front size at %v = %d, want 2 (true tradeoff)", c.X, c.Value)
+		}
+	}
+}
+
+func TestWinnerDiagram1D(t *testing.T) {
+	d, err := Winner(twoPlanSlice(), geometry.Vector{0}, geometry.Vector{1}, 10, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low x: "rising" is cheaper on metric 0; high x: "falling".
+	if d.Cells[0].Value != 0 {
+		t.Errorf("low-x winner = %d, want 0", d.Cells[0].Value)
+	}
+	if d.Cells[9].Value != 1 {
+		t.Errorf("high-x winner = %d, want 1", d.Cells[9].Value)
+	}
+	if d.Distinct() != 2 {
+		t.Errorf("distinct winners = %d, want 2", d.Distinct())
+	}
+	if d.Legend[0] != "rising" || d.Legend[1] != "falling" {
+		t.Errorf("legend = %v", d.Legend)
+	}
+}
+
+func TestWinnerDiagram2D(t *testing.T) {
+	space := geometry.Box(geometry.Vector{0, 0}, geometry.Vector{1, 1})
+	plans := &MultiSlice{
+		Names: []string{"p0", "p1"},
+		Costs: []*pwl.Multi{
+			pwl.NewMulti(pwl.Linear(space, geometry.Vector{1, 0}, 0)),
+			pwl.NewMulti(pwl.Linear(space, geometry.Vector{0, 1}, 0)),
+		},
+	}
+	d, err := Winner(plans, geometry.Vector{0, 0}, geometry.Vector{1, 1}, 6, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 36 {
+		t.Fatalf("cells = %d", len(d.Cells))
+	}
+	// Below the diagonal (x1 < x2) plan p0 wins; above it p1.
+	for _, c := range d.Cells {
+		want := 0
+		if c.X[1] < c.X[0] {
+			want = 1
+		}
+		if c.Value != want {
+			t.Errorf("winner at %v = %d, want %d", c.X, c.Value, want)
+		}
+	}
+}
+
+func TestRenderASCIIAndCSV(t *testing.T) {
+	d, err := Winner(twoPlanSlice(), geometry.Vector{0}, geometry.Vector{1}, 6, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	d.RenderASCII(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "000111") {
+		t.Errorf("ASCII output missing winner row:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "rising") {
+		t.Errorf("ASCII output missing legend:\n%s", out)
+	}
+	buf.Reset()
+	d.WriteCSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 7 || lines[0] != "x1,value" {
+		t.Errorf("CSV output wrong:\n%s", buf.String())
+	}
+
+	// 2D rendering.
+	space := geometry.Box(geometry.Vector{0, 0}, geometry.Vector{1, 1})
+	plans := &MultiSlice{
+		Names: []string{"a"},
+		Costs: []*pwl.Multi{pwl.NewMulti(pwl.Constant(space, 1))},
+	}
+	d2, err := Winner(plans, geometry.Vector{0, 0}, geometry.Vector{1, 1}, 3, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	d2.RenderASCII(&buf)
+	if !strings.Contains(buf.String(), "000") {
+		t.Errorf("2D ASCII wrong:\n%s", buf.String())
+	}
+	buf.Reset()
+	d2.WriteCSV(&buf)
+	if !strings.HasPrefix(buf.String(), "x1,x2,value") {
+		t.Errorf("2D CSV wrong:\n%s", buf.String())
+	}
+}
+
+func TestDiagramErrors(t *testing.T) {
+	plans := twoPlanSlice()
+	if _, err := FrontSize(plans, geometry.Vector{0, 0, 0}, geometry.Vector{1, 1, 1}, 4); err == nil {
+		t.Error("3D diagram accepted")
+	}
+	if _, err := FrontSize(plans, geometry.Vector{0}, geometry.Vector{1}, 0); err == nil {
+		t.Error("zero resolution accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package geometry
+
+import "fmt"
+
+// Stats counts the work performed through a Context. The LP counter is
+// the quantity reported as "number of solved linear programs" in
+// Figure 12 of the paper.
+type Stats struct {
+	// LPs is the number of linear programs solved.
+	LPs int64
+	// LPIterations is the total number of simplex pivots across all LPs.
+	LPIterations int64
+	// RegionDiffs counts region-difference computations.
+	RegionDiffs int64
+	// ConvexityChecks counts union-convexity recognitions.
+	ConvexityChecks int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.LPs += other.LPs
+	s.LPIterations += other.LPIterations
+	s.RegionDiffs += other.RegionDiffs
+	s.ConvexityChecks += other.ConvexityChecks
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("LPs=%d pivots=%d regionDiffs=%d convexityChecks=%d",
+		s.LPs, s.LPIterations, s.RegionDiffs, s.ConvexityChecks)
+}
+
+// Context carries numerical tolerances and work counters for geometric
+// operations. A Context is not safe for concurrent use; create one per
+// optimizer run.
+type Context struct {
+	// Eps is the basic numerical tolerance for comparisons against zero.
+	Eps float64
+	// RadiusTol is the Chebyshev-radius threshold below which a polytope
+	// is treated as lower-dimensional ("thin") and therefore empty for
+	// the purposes of cover checks. See DESIGN.md, "Emptiness with
+	// tolerance".
+	RadiusTol float64
+	// MaxSimplexIter bounds the pivots of a single LP before the solver
+	// switches from Dantzig to Bland's anti-cycling rule.
+	MaxSimplexIter int
+	// Stats accumulates counters.
+	Stats Stats
+
+	// Scratch buffers reused across the many small LPs of an optimizer
+	// run (a Context is single-threaded and LPs never nest).
+	scratchTableau tableau
+	scratchRows    [][]float64
+	scratchBasis   []int
+	scratchBacking []float64
+	scratchObj1    []float64
+	scratchObj2    []float64
+}
+
+// NewContext returns a Context with default tolerances.
+func NewContext() *Context {
+	return &Context{
+		Eps:            1e-9,
+		RadiusTol:      1e-7,
+		MaxSimplexIter: 500,
+	}
+}
+
+// ResetStats zeroes the counters.
+func (ctx *Context) ResetStats() { ctx.Stats = Stats{} }

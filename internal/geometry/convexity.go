@@ -1,0 +1,62 @@
+package geometry
+
+// UnionConvex recognizes whether the union of the given polytopes is
+// convex, following the algorithm of Bemporad, Fukuda and Torrisi
+// ("Convexity Recognition of the Union of Polyhedra", Computational
+// Geometry 2001), cited as [6] by the paper and used by Theorem 5's
+// emptiness check:
+//
+//  1. Build the envelope E: keep a constraint of some polytope iff it is
+//     valid for (i.e. satisfied everywhere on) every other polytope. The
+//     envelope always contains the union.
+//  2. The union is convex iff E \ union is empty, in which case the union
+//     equals E.
+//
+// The returned polytope is the union (=envelope) when convex is true.
+// Emptiness of E \ union is decided up to lower-dimensional slivers,
+// consistent with the rest of the package.
+//
+// Degenerate inputs: an empty list yields (nil, true) — the union of zero
+// polytopes is the empty set, which is convex; a single polytope is its
+// own union.
+func (ctx *Context) UnionConvex(polys []*Polytope) (*Polytope, bool) {
+	ctx.Stats.ConvexityChecks++
+	switch len(polys) {
+	case 0:
+		return nil, true
+	case 1:
+		return polys[0], true
+	}
+	dim := polys[0].Dim()
+	var env []Halfspace
+	for i, p := range polys {
+		for _, h := range p.Constraints() {
+			valid := true
+			for j, q := range polys {
+				if j == i {
+					continue
+				}
+				val, ok, unbounded := ctx.SupportValue(q, h.W)
+				if unbounded {
+					valid = false
+					break
+				}
+				if !ok {
+					continue // q empty: vacuously valid
+				}
+				if val > h.B+1e-7 {
+					valid = false
+					break
+				}
+			}
+			if valid {
+				env = append(env, h)
+			}
+		}
+	}
+	e := NewPolytope(dim, env...)
+	if ctx.UnionCovers(e, polys) {
+		return e, true
+	}
+	return nil, false
+}

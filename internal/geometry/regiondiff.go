@@ -1,0 +1,96 @@
+package geometry
+
+// RegionDiff computes a set of convex polytopes whose union is the
+// closure of P minus the union of the cutouts, up to lower-dimensional
+// (thin) slivers: residual pieces with Chebyshev radius below
+// ctx.RadiusTol are dropped, because such pieces lie on the boundary of a
+// closed cutout and are therefore covered by it. The returned pieces have
+// pairwise disjoint interiors.
+//
+// This is the classical staircase subdivision used by parametric
+// optimization toolkits: the first cutout splits P into at most
+// len(C.Constraints()) pieces, each of which is recursively reduced by
+// the remaining cutouts.
+func (ctx *Context) RegionDiff(p *Polytope, cutouts []*Polytope) []*Polytope {
+	ctx.Stats.RegionDiffs++
+	var out []*Polytope
+	ctx.regionDiffRec(p, cutouts, func(res *Polytope) bool {
+		out = append(out, res)
+		return false
+	})
+	return out
+}
+
+// UnionCovers reports whether the union of the cutouts covers P up to
+// lower-dimensional slivers. It is the early-exit form of RegionDiff.
+func (ctx *Context) UnionCovers(p *Polytope, cutouts []*Polytope) bool {
+	ctx.Stats.RegionDiffs++
+	covered := true
+	ctx.regionDiffRec(p, cutouts, func(res *Polytope) bool {
+		covered = false
+		return true // stop at first witness
+	})
+	return covered
+}
+
+// UncoveredWitness returns a full-dimensional polytope inside P that is
+// disjoint from all cutouts, or nil when the cutouts cover P.
+func (ctx *Context) UncoveredWitness(p *Polytope, cutouts []*Polytope) *Polytope {
+	ctx.Stats.RegionDiffs++
+	var witness *Polytope
+	ctx.regionDiffRec(p, cutouts, func(res *Polytope) bool {
+		witness = res
+		return true
+	})
+	return witness
+}
+
+// regionDiffRec enumerates the full-dimensional pieces of
+// piece \ union(cutouts) depth-first, invoking visit for each; visit
+// returning true stops the enumeration. Returns whether enumeration was
+// stopped. knownFullDim skips the entry check when the caller already
+// certified the piece.
+func (ctx *Context) regionDiffRec(piece *Polytope, cutouts []*Polytope, visit func(*Polytope) bool) bool {
+	return ctx.regionDiffRecKnown(piece, false, cutouts, visit)
+}
+
+func (ctx *Context) regionDiffRecKnown(piece *Polytope, knownFullDim bool, cutouts []*Polytope, visit func(*Polytope) bool) bool {
+	if !knownFullDim && !ctx.IsFullDim(piece) {
+		return false
+	}
+	if len(cutouts) == 0 {
+		return visit(piece)
+	}
+	c := cutouts[0]
+	rest := cutouts[1:]
+	if !ctx.BallCertifiesFullDim(piece, c.Constraints()...) {
+		inter := piece.Intersect(c)
+		if !ctx.IsFullDim(inter) {
+			// The cutout misses this piece (or only touches its
+			// boundary).
+			return ctx.regionDiffRecKnown(piece, true, rest, visit)
+		}
+	}
+	// Staircase subdivision of piece \ c: for constraints h1..hk of c,
+	// the pieces are piece ∩ !h1, piece ∩ h1 ∩ !h2, ... Each !hi is the
+	// flipped (closed-complement) halfspace. Trivial constraints have an
+	// empty complement and are skipped.
+	base := piece
+	for _, h := range c.Constraints() {
+		if h.IsTrivial(1e-12) {
+			continue
+		}
+		flipped := h.Flip()
+		if ctx.BallCertifiesFullDim(base, flipped) {
+			if ctx.regionDiffRecKnown(base.With(flipped), true, rest, visit) {
+				return true
+			}
+		} else if outPiece := base.With(flipped); ctx.IsFullDim(outPiece) {
+			if ctx.regionDiffRecKnown(outPiece, true, rest, visit) {
+				return true
+			}
+		}
+		base = base.With(h)
+	}
+	return false
+}

@@ -1,0 +1,406 @@
+package geometry
+
+import "math"
+
+// LPStatus classifies the outcome of a linear program.
+type LPStatus int
+
+const (
+	// LPOptimal means an optimal solution was found.
+	LPOptimal LPStatus = iota
+	// LPInfeasible means the constraint set is empty.
+	LPInfeasible
+	// LPUnbounded means the objective is unbounded above.
+	LPUnbounded
+	// LPMaxIter means the solver gave up after the iteration cap;
+	// callers should treat the result conservatively.
+	LPMaxIter
+)
+
+func (s LPStatus) String() string {
+	switch s {
+	case LPOptimal:
+		return "optimal"
+	case LPInfeasible:
+		return "infeasible"
+	case LPUnbounded:
+		return "unbounded"
+	case LPMaxIter:
+		return "max-iterations"
+	}
+	return "unknown"
+}
+
+// LPResult is the outcome of a linear program solve.
+type LPResult struct {
+	Status LPStatus
+	// Value is the optimal objective value (for LPOptimal).
+	Value float64
+	// X is the optimizing point (for LPOptimal) or a feasible point
+	// (for FeasiblePoint).
+	X Vector
+}
+
+// Maximize solves
+//
+//	max  obj·x
+//	s.t. h.W·x <= h.B  for every h in hs,
+//
+// with x free, using a dense two-phase simplex method. Degenerate
+// halfspaces (zero weight vectors) are resolved directly. Every call
+// increments ctx.Stats.LPs.
+func (ctx *Context) Maximize(obj Vector, hs []Halfspace) LPResult {
+	ctx.Stats.LPs++
+	dim := len(obj)
+	t, infeasible := newTableau(ctx, dim, hs)
+	if infeasible {
+		return LPResult{Status: LPInfeasible}
+	}
+	if st := t.phase1(); st != LPOptimal {
+		return LPResult{Status: st}
+	}
+	st := t.phase2(obj)
+	if st != LPOptimal {
+		return LPResult{Status: st}
+	}
+	x := t.solution()
+	return LPResult{Status: LPOptimal, Value: obj.Dot(x), X: x}
+}
+
+// FeasiblePoint returns a point satisfying all halfspaces, if one exists.
+// It runs only phase 1 of the simplex method and counts as one LP.
+func (ctx *Context) FeasiblePoint(hs []Halfspace, dim int) LPResult {
+	ctx.Stats.LPs++
+	t, infeasible := newTableau(ctx, dim, hs)
+	if infeasible {
+		return LPResult{Status: LPInfeasible}
+	}
+	if st := t.phase1(); st != LPOptimal {
+		return LPResult{Status: st}
+	}
+	x := t.solution()
+	return LPResult{Status: LPOptimal, X: x}
+}
+
+// tableau is a dense simplex tableau for the standard-form program
+//
+//	min c·y  s.t.  A y = b, y >= 0, b >= 0,
+//
+// derived from free variables x = u - v plus one slack per row and one
+// artificial per row. Column layout: u(0..d-1), v(d..2d-1),
+// s(2d..2d+m-1), artificials(2d+m..2d+2m-1).
+type tableau struct {
+	ctx   *Context
+	dim   int
+	m     int // active rows
+	n     int // total columns (incl. artificials), excl. RHS
+	noArt int // first artificial column
+	nArt  int // number of artificial columns
+	rows  [][]float64
+	obj   []float64 // reduced costs, len n+1; [n] = -objective value
+	basis []int
+}
+
+// newTableau builds the tableau, filtering degenerate halfspaces and
+// normalizing rows in place. Scratch buffers on the Context are reused
+// across LPs to keep allocation pressure low (Contexts are
+// single-threaded; no LP nests inside another). infeasible is true when
+// a degenerate constraint 0·x <= b with b < 0 is present.
+//
+// Rows with non-negative bounds start with their slack variable basic;
+// only rows with negative bounds need an artificial variable. When no
+// artificials are needed, phase 1 is skipped entirely.
+func newTableau(ctx *Context, dim int, hs []Halfspace) (t *tableau, infeasible bool) {
+	// Count usable rows and needed artificials first.
+	m, nArt := 0, 0
+	for _, h := range hs {
+		if h.IsInfeasible(ctx.Eps) {
+			return nil, true
+		}
+		if !h.IsTrivial(ctx.Eps) {
+			m++
+			if h.B < 0 {
+				nArt++
+			}
+		}
+	}
+	noArt := 2*dim + m
+	n := noArt + nArt
+	t = &ctx.scratchTableau
+	*t = tableau{ctx: ctx, dim: dim, m: m, n: n, noArt: noArt, nArt: nArt}
+	t.rows = growRows(&ctx.scratchRows, m)
+	t.basis = growInts(&ctx.scratchBasis, m)
+	backing := growFloats(&ctx.scratchBacking, m*(n+1))
+	for i := range backing {
+		backing[i] = 0
+	}
+	i, art := 0, 0
+	for _, h := range hs {
+		if h.IsTrivial(ctx.Eps) {
+			continue
+		}
+		row := backing[i*(n+1) : (i+1)*(n+1)]
+		scale := 1.0
+		if mInf := h.W.NormInf(); mInf > 1e-300 {
+			scale = 1 / mInf
+		}
+		sign := scale
+		if h.B < 0 {
+			sign = -scale
+		}
+		for j := 0; j < dim; j++ {
+			row[j] = sign * h.W[j]
+			row[dim+j] = -sign * h.W[j]
+		}
+		if h.B < 0 {
+			row[2*dim+i] = -1 // slack (sign-flipped row)
+			row[noArt+art] = 1
+			t.basis[i] = noArt + art
+			art++
+		} else {
+			row[2*dim+i] = 1
+			t.basis[i] = 2*dim + i // slack starts basic
+		}
+		row[n] = sign * h.B
+		t.rows[i] = row
+		i++
+	}
+	return t, false
+}
+
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+func growRows(buf *[][]float64, n int) [][]float64 {
+	if cap(*buf) < n {
+		*buf = make([][]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
+// phase1 minimizes the sum of artificials. On success the artificials are
+// driven out of the basis (redundant rows are deleted) and the tableau is
+// feasible for phase 2.
+func (t *tableau) phase1() LPStatus {
+	if t.nArt == 0 {
+		// All slacks basic with non-negative bounds: feasible as built.
+		return LPOptimal
+	}
+	// Phase-1 objective: cost 1 on artificials. Reduced costs after
+	// eliminating the basic artificial columns (rows whose basis entry
+	// is an artificial).
+	obj := growFloats(&t.ctx.scratchObj1, t.n+1)
+	for i := range obj {
+		obj[i] = 0
+	}
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.noArt {
+			continue
+		}
+		for j := 0; j <= t.n; j++ {
+			if j < t.noArt || j == t.n {
+				obj[j] -= t.rows[i][j]
+			}
+		}
+	}
+	t.obj = obj
+	st := t.iterate(false)
+	if st == LPUnbounded {
+		// Phase 1 is bounded below by 0; unbounded indicates a numerical
+		// failure, treat as iteration cap.
+		return LPMaxIter
+	}
+	if st != LPOptimal {
+		return st
+	}
+	if -t.obj[t.n] > 1e-7 {
+		return LPInfeasible
+	}
+	t.driveOutArtificials()
+	return LPOptimal
+}
+
+// driveOutArtificials pivots basic artificials to structural columns or
+// deletes redundant rows.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; {
+		if t.basis[i] < t.noArt {
+			i++
+			continue
+		}
+		// Find a structural column with a nonzero entry.
+		col := -1
+		for j := 0; j < t.noArt; j++ {
+			if math.Abs(t.rows[i][j]) > 1e-8 {
+				col = j
+				break
+			}
+		}
+		if col >= 0 {
+			t.pivot(i, col)
+			i++
+			continue
+		}
+		// Redundant row: delete it.
+		t.rows[i] = t.rows[t.m-1]
+		t.basis[i] = t.basis[t.m-1]
+		t.rows = t.rows[:t.m-1]
+		t.basis = t.basis[:t.m-1]
+		t.m--
+	}
+}
+
+// phase2 maximizes objX·x, i.e. minimizes -objX·(u-v).
+func (t *tableau) phase2(objX Vector) LPStatus {
+	obj := growFloats(&t.ctx.scratchObj2, t.n+1)
+	for i := range obj {
+		obj[i] = 0
+	}
+	for j := 0; j < t.dim; j++ {
+		obj[j] = -objX[j]
+		obj[t.dim+j] = objX[j]
+	}
+	// Eliminate basic columns from the objective row.
+	for i := 0; i < t.m; i++ {
+		c := obj[t.basis[i]]
+		if c == 0 {
+			continue
+		}
+		for j := 0; j <= t.n; j++ {
+			obj[j] -= c * t.rows[i][j]
+		}
+	}
+	t.obj = obj
+	return t.iterate(true)
+}
+
+// iterate runs simplex pivots until optimality, unboundedness, or the
+// iteration cap. Artificial columns are blocked from entering when
+// blockArt is set (phase 2).
+func (t *tableau) iterate(blockArt bool) LPStatus {
+	eps := t.ctx.Eps
+	maxIter := t.ctx.MaxSimplexIter
+	if maxIter <= 0 {
+		maxIter = 500
+	}
+	hardCap := 50 * maxIter
+	bland := false
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			bland = true
+		}
+		if iter > hardCap {
+			return LPMaxIter
+		}
+		t.ctx.Stats.LPIterations++
+		limit := t.n
+		if blockArt {
+			limit = t.noArt
+		}
+		col := -1
+		if bland {
+			for j := 0; j < limit; j++ {
+				if t.obj[j] < -eps {
+					col = j
+					break
+				}
+			}
+		} else {
+			best := -eps
+			for j := 0; j < limit; j++ {
+				if t.obj[j] < best {
+					best = t.obj[j]
+					col = j
+				}
+			}
+		}
+		if col < 0 {
+			return LPOptimal
+		}
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][col]
+			if a <= eps {
+				continue
+			}
+			r := t.rows[i][t.n] / a
+			if r < 0 {
+				r = 0
+			}
+			if r < bestRatio-eps {
+				bestRatio = r
+				row = i
+			} else if r < bestRatio+eps && row >= 0 && t.basis[i] < t.basis[row] {
+				row = i // Bland tie-break on leaving variable
+			}
+		}
+		if row < 0 {
+			return LPUnbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+// pivot makes column col basic in row row.
+func (t *tableau) pivot(row, col int) {
+	p := t.rows[row][col]
+	inv := 1 / p
+	r := t.rows[row]
+	for j := 0; j <= t.n; j++ {
+		r[j] *= inv
+	}
+	r[col] = 1
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := 0; j <= t.n; j++ {
+			ri[j] -= f * r[j]
+		}
+		ri[col] = 0
+		if ri[t.n] < 0 && ri[t.n] > -1e-12 {
+			ri[t.n] = 0
+		}
+	}
+	f := t.obj[col]
+	if f != 0 {
+		for j := 0; j <= t.n; j++ {
+			t.obj[j] -= f * r[j]
+		}
+		t.obj[col] = 0
+	}
+	t.basis[row] = col
+}
+
+// solution reads x = u - v from the basic variables.
+func (t *tableau) solution() Vector {
+	x := NewVector(t.dim)
+	for i := 0; i < t.m; i++ {
+		b := t.basis[i]
+		val := t.rows[i][t.n]
+		switch {
+		case b < t.dim:
+			x[b] += val
+		case b < 2*t.dim:
+			x[b-t.dim] -= val
+		}
+	}
+	return x
+}

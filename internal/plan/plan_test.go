@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"mpq/internal/catalog"
+)
+
+func TestScanNode(t *testing.T) {
+	s := Scan(2, "idxscan")
+	if !s.IsScan() {
+		t.Error("scan node not recognized")
+	}
+	if s.Set != catalog.SetOf(2) {
+		t.Errorf("set = %v", s.Set)
+	}
+	if s.Operators() != 1 {
+		t.Errorf("operators = %d", s.Operators())
+	}
+	if s.String() != "idxscan(T3)" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestJoinNode(t *testing.T) {
+	j := Join("hash", Scan(0, "scan"), Scan(1, "scan"))
+	if j.IsScan() {
+		t.Error("join node reported as scan")
+	}
+	if j.Set != catalog.SetOf(0, 1) {
+		t.Errorf("set = %v", j.Set)
+	}
+	if j.Operators() != 3 {
+		t.Errorf("operators = %d", j.Operators())
+	}
+	if j.String() != "hash(scan(T1), scan(T2))" {
+		t.Errorf("String = %q", j.String())
+	}
+}
+
+func TestJoinOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("joining overlapping sets did not panic")
+		}
+	}()
+	Join("hash", Scan(0, "scan"), Scan(0, "scan"))
+}
+
+func TestBushyTree(t *testing.T) {
+	left := Join("hash", Scan(0, "scan"), Scan(1, "scan"))
+	right := Join("parhash8", Scan(2, "idxscan"), Scan(3, "scan"))
+	root := Join("hash", left, right)
+	if root.Set != catalog.FullSet(4) {
+		t.Errorf("set = %v", root.Set)
+	}
+	if root.Operators() != 7 {
+		t.Errorf("operators = %d", root.Operators())
+	}
+	expl := root.Explain()
+	if !strings.Contains(expl, "parhash8") || !strings.Contains(expl, "idxscan on T3") {
+		t.Errorf("explain missing operators:\n%s", expl)
+	}
+	// Indentation depth reflects tree depth.
+	lines := strings.Split(strings.TrimRight(expl, "\n"), "\n")
+	if len(lines) != 7 {
+		t.Errorf("explain has %d lines, want 7", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "  ") || !strings.HasPrefix(lines[2], "    ") {
+		t.Errorf("explain not indented:\n%s", expl)
+	}
+}
+
+func TestShapeDistinguishesPlans(t *testing.T) {
+	a := Join("hash", Scan(0, "scan"), Scan(1, "scan"))
+	b := Join("hash", Scan(1, "scan"), Scan(0, "scan"))
+	if a.Shape() == b.Shape() {
+		t.Error("swapped operands produce identical shapes")
+	}
+	c := Join("parhash8", Scan(0, "scan"), Scan(1, "scan"))
+	if a.Shape() == c.Shape() {
+		t.Error("different operators produce identical shapes")
+	}
+}

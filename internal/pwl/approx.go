@@ -1,0 +1,202 @@
+package pwl
+
+import (
+	"fmt"
+
+	"mpq/internal/geometry"
+)
+
+// Approximate builds a piecewise-linear interpolation of an arbitrary
+// cost function f on the box [lo, hi], with cells subdivisions per
+// dimension, using the Kuhn (simplicial) triangulation of every grid
+// cell: each cell is split into d! simplices and f is interpolated
+// linearly on the vertices of every simplex. The interpolation agrees
+// with f exactly at all grid vertices; if f is linear the result
+// reproduces it exactly. This is the PWL-approximation strategy the
+// parametric query optimization literature prescribes for nonlinear cost
+// functions (Hulgeri & Sudarshan, cited as [17, 18] by the paper).
+func Approximate(f func(geometry.Vector) float64, lo, hi geometry.Vector, cells int) *Function {
+	return NewGrid(lo, hi, cells).Interpolate(f)
+}
+
+// Grid is a Kuhn (simplicial) triangulation of a box, precomputed once
+// so that all cost functions approximated on it share the same region
+// objects. Shared regions let the combination and dominance operators
+// use their partition-aligned fast paths (see Function.Cover).
+type Grid struct {
+	lo, hi  geometry.Vector
+	cells   int
+	regions []*geometry.Polytope
+	verts   [][]geometry.Vector // d+1 simplex vertices per region
+	cover   *geometry.Polytope
+}
+
+// NewGrid triangulates [lo, hi] with cells subdivisions per dimension.
+func NewGrid(lo, hi geometry.Vector, cells int) *Grid {
+	dim := len(lo)
+	if dim != len(hi) {
+		panic("pwl: approximation bounds dimension mismatch")
+	}
+	if dim == 0 {
+		panic("pwl: zero-dimensional approximation")
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	h := geometry.NewVector(dim) // cell widths
+	for i := 0; i < dim; i++ {
+		h[i] = (hi[i] - lo[i]) / float64(cells)
+		if h[i] <= 0 {
+			panic(fmt.Sprintf("pwl: empty approximation box in dimension %d", i))
+		}
+	}
+	g := &Grid{lo: lo.Clone(), hi: hi.Clone(), cells: cells, cover: geometry.Box(lo, hi)}
+	family := geometry.NewFamily("kuhn-grid")
+	perms := permutations(dim)
+	idx := make([]int, dim)
+	for {
+		cellLo := geometry.NewVector(dim)
+		for i := 0; i < dim; i++ {
+			cellLo[i] = lo[i] + float64(idx[i])*h[i]
+		}
+		for _, perm := range perms {
+			region, verts := kuhnSimplex(cellLo, h, perm)
+			region.MarkFamily(family)
+			g.regions = append(g.regions, region)
+			g.verts = append(g.verts, verts)
+		}
+		// Advance odometer.
+		i := 0
+		for ; i < dim; i++ {
+			idx[i]++
+			if idx[i] < cells {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == dim {
+			break
+		}
+	}
+	return g
+}
+
+// Cover returns the triangulated box.
+func (g *Grid) Cover() *geometry.Polytope { return g.cover }
+
+// NumRegions returns the number of simplices.
+func (g *Grid) NumRegions() int { return len(g.regions) }
+
+// Interpolate builds the PWL interpolation of f on the grid, exact at
+// all simplex vertices. The returned function shares the grid's region
+// objects and carries the grid box as its cover.
+func (g *Grid) Interpolate(f func(geometry.Vector) float64) *Function {
+	dim := len(g.lo)
+	pieces := make([]Piece, 0, len(g.regions))
+	a := make([][]float64, dim+1)
+	rhs := make([]float64, dim+1)
+	for i := range a {
+		a[i] = make([]float64, dim+1)
+	}
+	for ri, region := range g.regions {
+		verts := g.verts[ri]
+		for r := 0; r <= dim; r++ {
+			copy(a[r], verts[r])
+			a[r][dim] = 1
+			rhs[r] = f(verts[r])
+		}
+		sol, ok := geometry.SolveLinearSystem(a, rhs)
+		if !ok {
+			continue
+		}
+		pieces = append(pieces, Piece{
+			Region: region,
+			W:      geometry.Vector(sol[:dim]).Clone(),
+			B:      sol[dim],
+		})
+	}
+	fn := NewFunction(pieces...)
+	fn.cover = g.cover
+	return fn
+}
+
+// kuhnSimplex builds the region and vertices of the Kuhn simplex of the
+// cell [cellLo, cellLo+h] induced by the permutation perm: the simplex
+// with vertices v_0 = cellLo, v_j = v_{j-1} + h[perm[j-1]] * e_{perm[j-1]},
+// described by the ordering constraints t_{perm[0]} >= ... >=
+// t_{perm[d-1]} on the normalized cell coordinates
+// t_i = (x_i - cellLo_i)/h_i.
+func kuhnSimplex(cellLo, h geometry.Vector, perm []int) (*geometry.Polytope, []geometry.Vector) {
+	dim := len(cellLo)
+	verts := make([]geometry.Vector, dim+1)
+	verts[0] = cellLo.Clone()
+	for j := 1; j <= dim; j++ {
+		v := verts[j-1].Clone()
+		v[perm[j-1]] += h[perm[j-1]]
+		verts[j] = v
+	}
+	var hs []geometry.Halfspace
+	// t_{perm[0]} <= 1  ⇔  x_{perm[0]} <= cellLo + h.
+	first := perm[0]
+	wFirst := geometry.NewVector(dim)
+	wFirst[first] = 1
+	hs = append(hs, geometry.Halfspace{W: wFirst, B: cellLo[first] + h[first]})
+	// t_{perm[d-1]} >= 0  ⇔  -x_{perm[d-1]} <= -cellLo.
+	last := perm[dim-1]
+	wLast := geometry.NewVector(dim)
+	wLast[last] = -1
+	hs = append(hs, geometry.Halfspace{W: wLast, B: -cellLo[last]})
+	// Ordering: t_{perm[j]} >= t_{perm[j+1]}, i.e.
+	// (x_{perm[j+1]}-cellLo)/h_{perm[j+1]} - (x_{perm[j]}-cellLo)/h_{perm[j]} <= 0.
+	for j := 0; j+1 < dim; j++ {
+		p, q := perm[j], perm[j+1]
+		w := geometry.NewVector(dim)
+		w[q] = 1 / h[q]
+		w[p] = -1 / h[p]
+		b := cellLo[q]/h[q] - cellLo[p]/h[p]
+		hs = append(hs, geometry.Halfspace{W: w, B: b})
+	}
+	return geometry.NewPolytope(dim, hs...), verts
+}
+
+// permutations enumerates all permutations of 0..n-1.
+func permutations(n int) [][]int {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := k; i < n; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// MaxAbsError samples the approximation error |approx(x) - f(x)| on a
+// grid of sample points and returns the maximum, a diagnostic used by
+// tests and the cost-model calibration.
+func MaxAbsError(approx *Function, f func(geometry.Vector) float64, lo, hi geometry.Vector, samplesPerDim int) float64 {
+	pts := geometry.SamplePointsInBox(lo, hi, samplesPerDim, 10000)
+	worst := 0.0
+	for _, x := range pts {
+		v, _ := approx.Eval(x)
+		d := v - f(x)
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,122 @@
+package pwl
+
+import (
+	"math"
+	"testing"
+
+	"mpq/internal/geometry"
+)
+
+func TestApproximateLinearIsExact(t *testing.T) {
+	f := func(x geometry.Vector) float64 { return 3*x[0] - 2*x[1] + 1 }
+	lo, hi := geometry.Vector{0, 0}, geometry.Vector{1, 1}
+	a := Approximate(f, lo, hi, 2)
+	if err := MaxAbsError(a, f, lo, hi, 9); err > 1e-9 {
+		t.Errorf("linear approximation error = %v, want ~0", err)
+	}
+}
+
+func TestApproximate1DQuadratic(t *testing.T) {
+	f := func(x geometry.Vector) float64 { return x[0] * x[0] }
+	lo, hi := geometry.Vector{0}, geometry.Vector{1}
+	coarse := Approximate(f, lo, hi, 2)
+	fine := Approximate(f, lo, hi, 8)
+	errCoarse := MaxAbsError(coarse, f, lo, hi, 33)
+	errFine := MaxAbsError(fine, f, lo, hi, 33)
+	if errFine >= errCoarse {
+		t.Errorf("finer grid should reduce error: coarse=%v fine=%v", errCoarse, errFine)
+	}
+	// Error of chord interpolation of x^2 on width-h cells is h^2/4 at
+	// the cell midpoint.
+	if want := 1.0 / (4 * 64); errFine > want+1e-9 {
+		t.Errorf("fine error = %v, want <= %v", errFine, want)
+	}
+	// Exact at grid vertices.
+	for i := 0; i <= 8; i++ {
+		x := geometry.Vector{float64(i) / 8}
+		v, _ := fine.Eval(x)
+		if !almostEqual(v, f(x), 1e-9) {
+			t.Errorf("vertex %v: approx=%v f=%v", x, v, f(x))
+		}
+	}
+}
+
+func TestApproximate2DBilinear(t *testing.T) {
+	// The bilinear x1*x2 is the canonical nonlinear cardinality term for
+	// two parameterized predicates (DESIGN.md).
+	f := func(x geometry.Vector) float64 { return x[0] * x[1] }
+	lo, hi := geometry.Vector{0, 0}, geometry.Vector{1, 1}
+	a := Approximate(f, lo, hi, 4)
+	// 4x4 cells, 2 simplices each.
+	if a.NumPieces() != 32 {
+		t.Errorf("pieces = %d, want 32", a.NumPieces())
+	}
+	if err := MaxAbsError(a, f, lo, hi, 17); err > 0.05 {
+		t.Errorf("bilinear approximation error = %v, want <= 0.05", err)
+	}
+	// Exact at vertices.
+	for i := 0; i <= 4; i++ {
+		for j := 0; j <= 4; j++ {
+			x := geometry.Vector{float64(i) / 4, float64(j) / 4}
+			v, ok := a.Eval(x)
+			if !ok || !almostEqual(v, f(x), 1e-9) {
+				t.Errorf("vertex %v: approx=%v ok=%v f=%v", x, v, ok, f(x))
+			}
+		}
+	}
+}
+
+func TestApproximateCoversDomain(t *testing.T) {
+	// Every point of the box must be inside some piece region.
+	f := func(x geometry.Vector) float64 { return math.Sin(3*x[0]) + x[1] }
+	lo, hi := geometry.Vector{0, 0}, geometry.Vector{1, 1}
+	a := Approximate(f, lo, hi, 3)
+	for _, x := range geometry.SamplePointsInBox(lo, hi, 11, 200) {
+		if _, ok := a.Eval(x); !ok {
+			t.Errorf("point %v not covered by any piece", x)
+		}
+	}
+}
+
+func TestApproximateNonUnitBox(t *testing.T) {
+	f := func(x geometry.Vector) float64 { return x[0] / (3 + x[1]) }
+	lo, hi := geometry.Vector{2, -1}, geometry.Vector{6, 3}
+	a := Approximate(f, lo, hi, 4)
+	// Vertices exact.
+	for i := 0; i <= 4; i++ {
+		for j := 0; j <= 4; j++ {
+			x := geometry.Vector{2 + float64(i), -1 + float64(j)}
+			v, ok := a.Eval(x)
+			if !ok || !almostEqual(v, f(x), 1e-9) {
+				t.Errorf("vertex %v: approx=%v ok=%v f=%v", x, v, ok, f(x))
+			}
+		}
+	}
+}
+
+func TestApproximate3D(t *testing.T) {
+	f := func(x geometry.Vector) float64 { return x[0] * x[1] * x[2] }
+	lo, hi := geometry.Vector{0, 0, 0}, geometry.Vector{1, 1, 1}
+	a := Approximate(f, lo, hi, 2)
+	// 8 cells * 3! simplices = 48 pieces.
+	if a.NumPieces() != 48 {
+		t.Errorf("pieces = %d, want 48", a.NumPieces())
+	}
+	if err := MaxAbsError(a, f, lo, hi, 5); err > 0.2 {
+		t.Errorf("error = %v, want <= 0.2", err)
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	ps := permutations(3)
+	if len(ps) != 6 {
+		t.Fatalf("got %d permutations, want 6", len(ps))
+	}
+	seen := map[[3]int]bool{}
+	for _, p := range ps {
+		seen[[3]int{p[0], p[1], p[2]}] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("permutations not distinct: %v", ps)
+	}
+}

@@ -1,0 +1,160 @@
+package pwl
+
+import (
+	"mpq/internal/geometry"
+)
+
+// domPoly is a dominance polytope together with provenance: the region
+// it was cut from and the dominance halfspaces applied, enabling
+// LP-free full-dimensionality certificates and partition-based pruning
+// in the cross-metric product.
+type domPoly struct {
+	poly *geometry.Polytope
+	base *geometry.Polytope
+	cuts []geometry.Halfspace // poly == base.With(cuts...)
+}
+
+// Dom computes a set of convex polytopes covering the parameter-space
+// region in which cost function c1 dominates cost function c2, i.e. the
+// region {x : c1_m(x) <= c2_m(x) for every metric m}. This is function
+// Dom of Algorithm 3 in the paper:
+//
+//  1. For each metric m, collect the polytopes where c1 is better than
+//     or equal to c2 according to m: for every pair of linear pieces the
+//     region is the piece-region intersection further constrained by the
+//     linear inequality (w1-w2)·x <= b2-b1 (Theorem 2: this is a convex
+//     polytope inside a linear region).
+//  2. Combine metrics by intersecting one polytope per metric, over all
+//     combinations (the last line of Algorithm 3).
+//
+// Polytopes that are not full-dimensional are dropped: they cannot
+// contribute to covering a full-dimensional relevance region and would
+// otherwise bloat cutout lists (see DESIGN.md). Pairs of polytopes cut
+// from distinct cells of one partition family are skipped in step 2
+// because their intersection is lower-dimensional by construction.
+func Dom(ctx *geometry.Context, c1, c2 *Multi) []*geometry.Polytope {
+	nM := c1.NumMetrics()
+	if c2.NumMetrics() != nM {
+		panic("pwl: dominance between functions with different metric counts")
+	}
+	perMetric := make([][]domPoly, nM)
+	for m := 0; m < nM; m++ {
+		polys := domSingle(ctx, c1.Component(m), c2.Component(m))
+		if len(polys) == 0 {
+			return nil // c1 nowhere at-least-as-good on metric m
+		}
+		perMetric[m] = polys
+	}
+	result := perMetric[0]
+	for m := 1; m < nM; m++ {
+		var next []domPoly
+		for _, a := range result {
+			for _, b := range perMetric[m] {
+				if merged, ok := intersectDomPolys(ctx, a, b); ok {
+					next = append(next, merged)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		result = next
+	}
+	out := make([]*geometry.Polytope, len(result))
+	for i, dp := range result {
+		out[i] = dp.poly
+	}
+	return out
+}
+
+// intersectDomPolys intersects two dominance polytopes, keeping only
+// full-dimensional results.
+func intersectDomPolys(ctx *geometry.Context, a, b domPoly) (domPoly, bool) {
+	if geometry.SameFamilyDisjoint(a.base, b.base) {
+		// Distinct cells of one partition: lower-dimensional overlap.
+		return domPoly{}, false
+	}
+	if a.base == b.base {
+		cuts := make([]geometry.Halfspace, 0, len(a.cuts)+len(b.cuts))
+		cuts = append(cuts, a.cuts...)
+		cuts = append(cuts, b.cuts...)
+		if ctx.BallCertifiesFullDim(a.base, cuts...) {
+			return domPoly{poly: a.base.With(cuts...), base: a.base, cuts: cuts}, true
+		}
+		p := a.base.With(cuts...)
+		if ctx.IsFullDim(p) {
+			return domPoly{poly: p, base: a.base, cuts: cuts}, true
+		}
+		return domPoly{}, false
+	}
+	p := a.poly.Intersect(b.poly)
+	if !ctx.IsFullDim(p) {
+		return domPoly{}, false
+	}
+	return domPoly{poly: p, base: p}, true
+}
+
+// domSingle returns dominance polytopes covering {x : f(x) <= g(x)} for
+// single-objective PWL functions. Shared-partition fast paths mirror
+// those of the combination operators: cross pairs of a common partition
+// have lower-dimensional intersections and are skipped without solving
+// LPs; a memoized Chebyshev-ball certificate avoids the LP for cuts that
+// clearly retain an interior ball.
+func domSingle(ctx *geometry.Context, f, g *Function) []domPoly {
+	var polys []domPoly
+	emit := func(r *geometry.Polytope, fp, gp Piece) {
+		h := geometry.Halfspace{W: fp.W.Sub(gp.W), B: gp.B - fp.B}
+		if ctx.BallCertifiesFullDim(r, h) {
+			polys = append(polys, domPoly{poly: r.With(h), base: r, cuts: []geometry.Halfspace{h}})
+			return
+		}
+		rDom := r.With(h)
+		if ctx.IsFullDim(rDom) {
+			polys = append(polys, domPoly{poly: rDom, base: r, cuts: []geometry.Halfspace{h}})
+		}
+	}
+	sharedCover := f.cover != nil && f.cover == g.cover
+	switch {
+	case sharedCover && len(f.pieces) == 1:
+		for _, gp := range g.pieces {
+			emit(gp.Region, f.pieces[0], gp)
+		}
+	case sharedCover && len(g.pieces) == 1:
+		for _, fp := range f.pieces {
+			emit(fp.Region, fp, g.pieces[0])
+		}
+	case sharedCover && alignedPartitions(f, g):
+		for i, fp := range f.pieces {
+			emit(fp.Region, fp, g.pieces[i])
+		}
+	default:
+		for _, fp := range f.pieces {
+			for _, gp := range g.pieces {
+				if geometry.SameFamilyDisjoint(fp.Region, gp.Region) {
+					continue
+				}
+				var r *geometry.Polytope
+				if fp.Region == gp.Region {
+					r = fp.Region
+				} else {
+					r = fp.Region.Intersect(gp.Region)
+					if !ctx.IsFullDim(r) {
+						continue
+					}
+				}
+				emit(r, fp, gp)
+			}
+		}
+	}
+	return polys
+}
+
+// DominatesEverywhere reports whether c1 dominates c2 on the entire
+// domain polytope: the dominance polytopes of Dom must cover the domain.
+func DominatesEverywhere(ctx *geometry.Context, c1, c2 *Multi, domain *geometry.Polytope) bool {
+	polys := Dom(ctx, c1, c2)
+	if len(polys) == 0 {
+		return false
+	}
+	return ctx.UnionCovers(domain, polys)
+}

@@ -1,0 +1,139 @@
+// Package sampled provides a cost algebra over arbitrary (non-PWL) cost
+// closures, demonstrating that RRPA is generic in the class of cost
+// functions (Section 5 of the paper): the dynamic program only needs the
+// dominance-region and accumulation operations supplied here.
+//
+// Dominance regions are under-approximated on a grid of parameter-space
+// cells: a cell belongs to the returned dominance region only when
+// dominance holds at all cell corners and the cell center. For cost
+// functions that are monotone (or piecewise-monotone at the grid
+// resolution) per cell, the check is exact; for adversarial functions it
+// is a heuristic — under-approximating dominance errs on the side of
+// keeping plans, preserving the completeness direction of Theorem 3
+// while possibly keeping extra plans. The exact algebra for PWL cost
+// functions lives in the core package (PWLAlgebra).
+package sampled
+
+import (
+	"fmt"
+
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+)
+
+// Cost is an arbitrary vector-valued cost closure over the parameter
+// space.
+type Cost struct {
+	F func(geometry.Vector) geometry.Vector
+}
+
+// Eval evaluates the closure.
+func (c Cost) Eval(x geometry.Vector) geometry.Vector { return c.F(x) }
+
+// Algebra implements core.Algebra for sampled cost closures.
+type Algebra struct {
+	// Lo and Hi bound the parameter box.
+	Lo, Hi geometry.Vector
+	// CellsPerDim is the dominance-sampling resolution.
+	CellsPerDim int
+	// Metrics is the number of cost metrics.
+	Metrics int
+}
+
+// NewAlgebra builds a sampled algebra over the box [lo, hi].
+func NewAlgebra(lo, hi geometry.Vector, cellsPerDim, metrics int) *Algebra {
+	if cellsPerDim < 1 {
+		cellsPerDim = 1
+	}
+	return &Algebra{Lo: lo.Clone(), Hi: hi.Clone(), CellsPerDim: cellsPerDim, Metrics: metrics}
+}
+
+// Accumulate implements core.Algebra: sub-plan and operator costs add
+// up pointwise.
+func (a *Algebra) Accumulate(step, c1, c2 core.Cost) core.Cost {
+	fs, f1, f2 := toCost(step), toCost(c1), toCost(c2)
+	return Cost{F: func(x geometry.Vector) geometry.Vector {
+		return fs.F(x).Add(f1.F(x)).Add(f2.F(x))
+	}}
+}
+
+// Eval implements core.Algebra.
+func (a *Algebra) Eval(c core.Cost, x geometry.Vector) geometry.Vector {
+	return toCost(c).F(x)
+}
+
+// Dom implements core.Algebra: the returned boxes cover cells where c1
+// dominates c2 at all corners and the center.
+func (a *Algebra) Dom(c1, c2 core.Cost) []*geometry.Polytope {
+	f1, f2 := toCost(c1), toCost(c2)
+	dim := len(a.Lo)
+	var out []*geometry.Polytope
+	idx := make([]int, dim)
+	cellW := geometry.NewVector(dim)
+	for i := 0; i < dim; i++ {
+		cellW[i] = (a.Hi[i] - a.Lo[i]) / float64(a.CellsPerDim)
+	}
+	for {
+		lo := geometry.NewVector(dim)
+		hi := geometry.NewVector(dim)
+		for i := 0; i < dim; i++ {
+			lo[i] = a.Lo[i] + float64(idx[i])*cellW[i]
+			hi[i] = lo[i] + cellW[i]
+		}
+		if a.cellDominated(f1, f2, lo, hi) {
+			out = append(out, geometry.Box(lo, hi))
+		}
+		i := 0
+		for ; i < dim; i++ {
+			idx[i]++
+			if idx[i] < a.CellsPerDim {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == dim {
+			break
+		}
+	}
+	return out
+}
+
+// cellDominated samples all corners and the center of the cell.
+func (a *Algebra) cellDominated(f1, f2 Cost, lo, hi geometry.Vector) bool {
+	dim := len(lo)
+	n := 1 << uint(dim)
+	check := func(x geometry.Vector) bool {
+		v1, v2 := f1.F(x), f2.F(x)
+		for m := range v1 {
+			if v1[m] > v2[m]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	for mask := 0; mask < n; mask++ {
+		x := geometry.NewVector(dim)
+		for i := 0; i < dim; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				x[i] = hi[i]
+			} else {
+				x[i] = lo[i]
+			}
+		}
+		if !check(x) {
+			return false
+		}
+	}
+	center := lo.Add(hi).Scale(0.5)
+	return check(center)
+}
+
+func toCost(c core.Cost) Cost {
+	v, ok := c.(Cost)
+	if !ok {
+		panic(fmt.Sprintf("sampled: unsupported cost type %T", c))
+	}
+	return v
+}
+
+var _ core.Algebra = (*Algebra)(nil)

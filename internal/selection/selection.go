@@ -1,0 +1,192 @@
+// Package selection implements the run-time half of the MPQ workflow
+// (Figure 2 of the paper): given a precomputed Pareto plan set, concrete
+// parameter values, and user preferences, pick the plan to execute. No
+// query optimization happens at run time.
+//
+// Three preference policies cover the scenarios of the paper's
+// introduction: a weighted scalarization (Cloud users weighting money
+// against time), bounded metrics with a minimized objective (a latency
+// budget or a minimum result precision), and lexicographic preference
+// order.
+package selection
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mpq/internal/geometry"
+	"mpq/internal/plan"
+	"mpq/internal/pwl"
+	"mpq/internal/region"
+)
+
+// Candidate is a plan available for run-time selection.
+type Candidate struct {
+	Plan *plan.Node
+	Cost *pwl.Multi
+	// RR optionally restricts the candidate to its relevance region;
+	// when nil the candidate is always considered.
+	RR *region.Region
+}
+
+// Choice is a selected plan with its cost vector at the parameter
+// point.
+type Choice struct {
+	Plan *plan.Node
+	Cost geometry.Vector
+}
+
+// ErrNoFeasiblePlan is returned when constraints exclude every plan.
+var ErrNoFeasiblePlan = errors.New("selection: no plan satisfies the constraints")
+
+// Frontier evaluates all candidates at x and returns the Pareto-optimal
+// choices sorted by the first metric — the tradeoff visualization shown
+// to users in Scenario 1. Candidates whose relevance region excludes x
+// are skipped (the relevance mapping of Section 2 guarantees the
+// remaining plans cover the front).
+func Frontier(candidates []Candidate, x geometry.Vector) []Choice {
+	evaluated := evaluate(candidates, x)
+	var front []Choice
+	for i, c := range evaluated {
+		dominated := false
+		for j, other := range evaluated {
+			if i == j {
+				continue
+			}
+			if weaklyDominates(other.Cost, c.Cost) {
+				if !other.Cost.Equal(c.Cost, 1e-12) || j < i {
+					dominated = true
+					break
+				}
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].Cost[0] < front[j].Cost[0] })
+	return front
+}
+
+// WeightedSum picks the plan minimizing the weighted sum of metric
+// values at x. Weights must be non-negative and at least one positive.
+func WeightedSum(candidates []Candidate, x geometry.Vector, weights []float64) (Choice, error) {
+	positive := false
+	for _, w := range weights {
+		if w < 0 {
+			return Choice{}, fmt.Errorf("selection: negative weight %v", w)
+		}
+		if w > 0 {
+			positive = true
+		}
+	}
+	if !positive {
+		return Choice{}, errors.New("selection: all weights are zero")
+	}
+	evaluated := evaluate(candidates, x)
+	if len(evaluated) == 0 {
+		return Choice{}, ErrNoFeasiblePlan
+	}
+	best := evaluated[0]
+	bestVal := scalarize(best.Cost, weights)
+	for _, c := range evaluated[1:] {
+		if v := scalarize(c.Cost, weights); v < bestVal {
+			best, bestVal = c, v
+		}
+	}
+	return best, nil
+}
+
+// Bound is an upper limit on one metric.
+type Bound struct {
+	Metric int
+	Max    float64
+}
+
+// MinimizeSubjectTo picks the plan minimizing the given metric among
+// plans satisfying all bounds at x — e.g. minimize fees subject to a
+// latency budget, or minimize time subject to a precision-loss limit
+// (Scenario 2).
+func MinimizeSubjectTo(candidates []Candidate, x geometry.Vector, minimize int, bounds []Bound) (Choice, error) {
+	evaluated := evaluate(candidates, x)
+	var best *Choice
+	for i := range evaluated {
+		c := evaluated[i]
+		ok := true
+		for _, b := range bounds {
+			if c.Cost[b.Metric] > b.Max+1e-12 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || c.Cost[minimize] < best.Cost[minimize] {
+			best = &c
+		}
+	}
+	if best == nil {
+		return Choice{}, ErrNoFeasiblePlan
+	}
+	return *best, nil
+}
+
+// Lexicographic picks the plan minimizing metrics in the given priority
+// order, breaking ties by the next metric (within tolerance).
+func Lexicographic(candidates []Candidate, x geometry.Vector, order []int) (Choice, error) {
+	evaluated := evaluate(candidates, x)
+	if len(evaluated) == 0 {
+		return Choice{}, ErrNoFeasiblePlan
+	}
+	best := evaluated[0]
+	for _, c := range evaluated[1:] {
+		if lexLess(c.Cost, best.Cost, order) {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+func lexLess(a, b geometry.Vector, order []int) bool {
+	const tol = 1e-12
+	for _, m := range order {
+		switch {
+		case a[m] < b[m]-tol:
+			return true
+		case a[m] > b[m]+tol:
+			return false
+		}
+	}
+	return false
+}
+
+func evaluate(candidates []Candidate, x geometry.Vector) []Choice {
+	out := make([]Choice, 0, len(candidates))
+	for _, cand := range candidates {
+		if cand.RR != nil && !cand.RR.Contains(x, 1e-9) {
+			continue
+		}
+		v, _ := cand.Cost.Eval(x)
+		out = append(out, Choice{Plan: cand.Plan, Cost: v})
+	}
+	return out
+}
+
+func scalarize(cost geometry.Vector, weights []float64) float64 {
+	s := 0.0
+	for i, w := range weights {
+		s += w * cost[i]
+	}
+	return s
+}
+
+func weaklyDominates(a, b geometry.Vector) bool {
+	for i := range a {
+		if a[i] > b[i]+1e-12 {
+			return false
+		}
+	}
+	return true
+}

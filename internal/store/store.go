@@ -1,0 +1,265 @@
+// Package store serializes Pareto plan sets so that the MPQ workflow of
+// the paper's Figure 2 can span processes: plans are computed once per
+// query template at preprocessing time, persisted, and loaded at run
+// time where a plan is selected for concrete parameter values — without
+// re-running the optimizer (the classical use case of parametric query
+// optimization for embedded SQL).
+//
+// The format is versioned JSON: operator trees, piecewise-linear cost
+// functions (weights, bases, and region constraint systems per piece)
+// and the relevance-region cutouts are stored explicitly.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mpq/internal/catalog"
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+	"mpq/internal/plan"
+	"mpq/internal/pwl"
+	"mpq/internal/region"
+)
+
+// FormatVersion identifies the serialization layout.
+const FormatVersion = 1
+
+// Document is the top-level serialized form of an optimization result.
+type Document struct {
+	Version int        `json:"version"`
+	Metrics []string   `json:"metrics"`
+	Space   polytopeJS `json:"space"`
+	Plans   []planEnt  `json:"plans"`
+}
+
+type planEnt struct {
+	Tree    nodeJS       `json:"tree"`
+	Cost    multiJS      `json:"cost"`
+	Cutouts []polytopeJS `json:"cutouts"`
+}
+
+type nodeJS struct {
+	Op    string  `json:"op"`
+	Table *int    `json:"table,omitempty"`
+	Left  *nodeJS `json:"left,omitempty"`
+	Right *nodeJS `json:"right,omitempty"`
+}
+
+type multiJS struct {
+	Components []functionJS `json:"components"`
+}
+
+type functionJS struct {
+	Pieces []pieceJS `json:"pieces"`
+}
+
+type pieceJS struct {
+	Region polytopeJS `json:"region"`
+	W      []float64  `json:"w"`
+	B      float64    `json:"b"`
+}
+
+type polytopeJS struct {
+	Dim         int           `json:"dim"`
+	Constraints []halfspaceJS `json:"constraints"`
+}
+
+type halfspaceJS struct {
+	W []float64 `json:"w"`
+	B float64   `json:"b"`
+}
+
+// Save writes the plan set of a result (plans, PWL costs, relevance
+// regions) to w. Only results produced with the PWL algebra can be
+// serialized.
+func Save(w io.Writer, metrics []string, space *geometry.Polytope, plans []*core.PlanInfo) error {
+	doc := Document{
+		Version: FormatVersion,
+		Metrics: metrics,
+		Space:   polytopeToJS(space),
+	}
+	for _, info := range plans {
+		cost, ok := info.Cost.(*pwl.Multi)
+		if !ok {
+			return fmt.Errorf("store: cost of plan %v is %T, want *pwl.Multi", info.Plan, info.Cost)
+		}
+		ent := planEnt{
+			Tree: nodeToJS(info.Plan),
+			Cost: multiToJS(cost),
+		}
+		if info.RR != nil {
+			for _, c := range info.RR.Cutouts() {
+				ent.Cutouts = append(ent.Cutouts, polytopeToJS(c))
+			}
+		}
+		doc.Plans = append(doc.Plans, ent)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// LoadedPlan is a deserialized plan with its cost function and
+// relevance region.
+type LoadedPlan struct {
+	Plan *plan.Node
+	Cost *pwl.Multi
+	RR   *region.Region
+}
+
+// PlanSet is a deserialized plan set ready for run-time selection.
+type PlanSet struct {
+	Metrics []string
+	Space   *geometry.Polytope
+	Plans   []LoadedPlan
+}
+
+// Load reads a serialized plan set.
+func Load(r io.Reader) (*PlanSet, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("store: decoding: %w", err)
+	}
+	if doc.Version != FormatVersion {
+		return nil, fmt.Errorf("store: unsupported format version %d", doc.Version)
+	}
+	if len(doc.Metrics) == 0 {
+		return nil, fmt.Errorf("store: document without metrics")
+	}
+	space, err := polytopeFromJS(doc.Space)
+	if err != nil {
+		return nil, err
+	}
+	ps := &PlanSet{Metrics: doc.Metrics, Space: space}
+	ctx := geometry.NewContext()
+	for i, ent := range doc.Plans {
+		node, err := nodeFromJS(&ent.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("store: plan %d: %w", i, err)
+		}
+		cost, err := multiFromJS(ent.Cost, len(doc.Metrics), space.Dim())
+		if err != nil {
+			return nil, fmt.Errorf("store: plan %d: %w", i, err)
+		}
+		rr := region.New(ctx, space, region.Options{})
+		for _, cj := range ent.Cutouts {
+			c, err := polytopeFromJS(cj)
+			if err != nil {
+				return nil, fmt.Errorf("store: plan %d cutout: %w", i, err)
+			}
+			rr.Subtract(ctx, c)
+		}
+		ps.Plans = append(ps.Plans, LoadedPlan{Plan: node, Cost: cost, RR: rr})
+	}
+	return ps, nil
+}
+
+func nodeToJS(n *plan.Node) nodeJS {
+	if n.IsScan() {
+		tbl := int(n.Table)
+		return nodeJS{Op: n.Op, Table: &tbl}
+	}
+	l := nodeToJS(n.Left)
+	r := nodeToJS(n.Right)
+	return nodeJS{Op: n.Op, Left: &l, Right: &r}
+}
+
+func nodeFromJS(j *nodeJS) (*plan.Node, error) {
+	if j.Table != nil {
+		if j.Left != nil || j.Right != nil {
+			return nil, fmt.Errorf("scan node with children")
+		}
+		return plan.Scan(catalog.TableID(*j.Table), j.Op), nil
+	}
+	if j.Left == nil || j.Right == nil {
+		return nil, fmt.Errorf("join node missing children")
+	}
+	l, err := nodeFromJS(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := nodeFromJS(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	if !l.Set.Intersect(r.Set).IsEmpty() {
+		return nil, fmt.Errorf("join children overlap")
+	}
+	return plan.Join(j.Op, l, r), nil
+}
+
+func multiToJS(m *pwl.Multi) multiJS {
+	out := multiJS{}
+	for i := 0; i < m.NumMetrics(); i++ {
+		f := m.Component(i)
+		fj := functionJS{}
+		for _, p := range f.Pieces() {
+			fj.Pieces = append(fj.Pieces, pieceJS{
+				Region: polytopeToJS(p.Region),
+				W:      append([]float64(nil), p.W...),
+				B:      p.B,
+			})
+		}
+		out.Components = append(out.Components, fj)
+	}
+	return out
+}
+
+func multiFromJS(j multiJS, metrics, dim int) (*pwl.Multi, error) {
+	if len(j.Components) != metrics {
+		return nil, fmt.Errorf("cost with %d components, want %d", len(j.Components), metrics)
+	}
+	comps := make([]*pwl.Function, metrics)
+	for i, fj := range j.Components {
+		if len(fj.Pieces) == 0 {
+			return nil, fmt.Errorf("component %d has no pieces", i)
+		}
+		pieces := make([]pwl.Piece, 0, len(fj.Pieces))
+		for _, pj := range fj.Pieces {
+			if len(pj.W) != dim {
+				return nil, fmt.Errorf("piece weight dimension %d, want %d", len(pj.W), dim)
+			}
+			reg, err := polytopeFromJS(pj.Region)
+			if err != nil {
+				return nil, err
+			}
+			pieces = append(pieces, pwl.Piece{
+				Region: reg,
+				W:      geometry.Vector(append([]float64(nil), pj.W...)),
+				B:      pj.B,
+			})
+		}
+		comps[i] = pwl.NewFunction(pieces...)
+	}
+	return pwl.NewMulti(comps...), nil
+}
+
+func polytopeToJS(p *geometry.Polytope) polytopeJS {
+	out := polytopeJS{Dim: p.Dim()}
+	for _, h := range p.Constraints() {
+		out.Constraints = append(out.Constraints, halfspaceJS{
+			W: append([]float64(nil), h.W...),
+			B: h.B,
+		})
+	}
+	return out
+}
+
+func polytopeFromJS(j polytopeJS) (*geometry.Polytope, error) {
+	if j.Dim <= 0 {
+		return nil, fmt.Errorf("polytope with dimension %d", j.Dim)
+	}
+	hs := make([]geometry.Halfspace, 0, len(j.Constraints))
+	for _, hj := range j.Constraints {
+		if len(hj.W) != j.Dim {
+			return nil, fmt.Errorf("constraint dimension %d, want %d", len(hj.W), j.Dim)
+		}
+		hs = append(hs, geometry.Halfspace{
+			W: geometry.Vector(append([]float64(nil), hj.W...)),
+			B: hj.B,
+		})
+	}
+	return geometry.NewPolytope(j.Dim, hs...), nil
+}

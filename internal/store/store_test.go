@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpq/internal/cloud"
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+	"mpq/internal/pwl"
+	"mpq/internal/workload"
+)
+
+func optimizeSample(t *testing.T) (*core.Result, []string, *geometry.Polytope) {
+	t.Helper()
+	schema, err := workload.Generate(workload.Config{Tables: 4, Params: 1, Shape: workload.Chain, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := geometry.NewContext()
+	model, err := cloud.NewModel(schema, cloud.DefaultConfig(), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Context = ctx
+	res, err := core.Optimize(schema, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, model.MetricNames(), model.Space()
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	res, metrics, space := optimizeSample(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, metrics, space, res.Plans); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	ps, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(ps.Plans) != len(res.Plans) {
+		t.Fatalf("loaded %d plans, want %d", len(ps.Plans), len(res.Plans))
+	}
+	if len(ps.Metrics) != 2 {
+		t.Fatalf("metrics = %v", ps.Metrics)
+	}
+	// Plan trees and cost functions survive the round trip.
+	for i, lp := range ps.Plans {
+		orig := res.Plans[i]
+		if lp.Plan.String() != orig.Plan.String() {
+			t.Errorf("plan %d tree %q != %q", i, lp.Plan, orig.Plan)
+		}
+		origCost := orig.Cost.(*pwl.Multi)
+		for _, xv := range []float64{0.01, 0.3, 0.7, 0.99} {
+			x := geometry.Vector{xv}
+			a, _ := lp.Cost.Eval(x)
+			b, _ := origCost.Eval(x)
+			if !a.Equal(b, 1e-9) {
+				t.Errorf("plan %d cost at %v: %v != %v", i, xv, a, b)
+			}
+			// Relevance regions agree pointwise (strict interior).
+			if lp.RR.Contains(x, -1e-6) != orig.RR.Contains(x, -1e-6) {
+				t.Errorf("plan %d RR membership differs at %v", i, xv)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"wrong version":  `{"version":99,"metrics":["t"],"space":{"dim":1},"plans":[]}`,
+		"no metrics":     `{"version":1,"metrics":[],"space":{"dim":1},"plans":[]}`,
+		"zero dim space": `{"version":1,"metrics":["t"],"space":{"dim":0},"plans":[]}`,
+		"bad constraint": `{"version":1,"metrics":["t"],"space":{"dim":2,"constraints":[{"w":[1],"b":0}]},"plans":[]}`,
+		"scan with kids": `{"version":1,"metrics":["t"],"space":{"dim":1},"plans":[{"tree":{"op":"x","table":0,"left":{"op":"s","table":1}},"cost":{"components":[{"pieces":[{"region":{"dim":1},"w":[1],"b":0}]}]},"cutouts":[]}]}`,
+		"metric count":   `{"version":1,"metrics":["t","f"],"space":{"dim":1},"plans":[{"tree":{"op":"s","table":0},"cost":{"components":[{"pieces":[{"region":{"dim":1},"w":[1],"b":0}]}]},"cutouts":[]}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSaveRejectsNonPWLCosts(t *testing.T) {
+	space := geometry.Interval(0, 1)
+	plans := []*core.PlanInfo{{Plan: nil, Cost: "not a pwl cost"}}
+	var buf bytes.Buffer
+	// Plan field is unused before the cost type check fails on a scan
+	// node — construct a real node to be safe.
+	schema := core.StaticSchema(1, []float64{0}, []float64{1})
+	_ = schema
+	model := &core.StaticModel{ParamSpace: space, Metrics: []string{"t"}, Plans: []core.Alternative{
+		{Op: "s", Cost: pwl.NewMulti(pwl.Constant(space, 1))},
+	}}
+	res, err := core.Optimize(core.StaticSchema(1, []float64{0}, []float64{1}), model, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans[0].Plan = res.Plans[0].Plan
+	if err := Save(&buf, []string{"t"}, space, plans); err == nil {
+		t.Error("non-PWL cost accepted")
+	}
+}
+
+// TestRoundTripStability: saving a loaded plan set reproduces an
+// equivalent document.
+func TestRoundTripStability(t *testing.T) {
+	res, metrics, space := optimizeSample(t)
+	var first bytes.Buffer
+	if err := Save(&first, metrics, space, res.Plans); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convert loaded plans back to PlanInfo for a second save.
+	infos := make([]*core.PlanInfo, len(ps.Plans))
+	for i, lp := range ps.Plans {
+		infos[i] = &core.PlanInfo{Plan: lp.Plan, Cost: lp.Cost, RR: lp.RR}
+	}
+	var second bytes.Buffer
+	if err := Save(&second, ps.Metrics, ps.Space, infos); err != nil {
+		t.Fatal(err)
+	}
+	ps2, err := Load(bytes.NewReader(second.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps2.Plans) != len(ps.Plans) {
+		t.Fatalf("second load has %d plans, want %d", len(ps2.Plans), len(ps.Plans))
+	}
+	for i := range ps2.Plans {
+		if ps2.Plans[i].Plan.String() != ps.Plans[i].Plan.String() {
+			t.Errorf("plan %d differs after double round trip", i)
+		}
+	}
+}

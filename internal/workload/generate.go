@@ -1,0 +1,189 @@
+// Package workload generates random queries following the method of
+// Steinbrunn, Moerkotte and Kemper ("Heuristic and randomized
+// optimization for the join ordering problem", VLDB Journal 1997), the
+// generator used by the paper's experiments: random table cardinalities,
+// join selectivities derived from attribute domain sizes of up to 10 %
+// of the table cardinality, and join graphs shaped as chains or stars
+// (plus cycles and cliques as an extension).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpq/internal/catalog"
+)
+
+// Shape is the join graph structure. Chain and star are the shapes
+// evaluated in Figure 12 of the paper.
+type Shape int
+
+const (
+	// Chain joins T1-T2-...-Tn linearly.
+	Chain Shape = iota
+	// Star joins the center T1 with each of T2..Tn.
+	Star
+	// Cycle is a chain closed back to the first table (extension).
+	Cycle
+	// Clique joins every table pair (extension).
+	Clique
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Chain:
+		return "chain"
+	case Star:
+		return "star"
+	case Cycle:
+		return "cycle"
+	case Clique:
+		return "clique"
+	}
+	return "unknown"
+}
+
+// ParseShape converts a shape name to a Shape.
+func ParseShape(name string) (Shape, error) {
+	switch name {
+	case "chain":
+		return Chain, nil
+	case "star":
+		return Star, nil
+	case "cycle":
+		return Cycle, nil
+	case "clique":
+		return Clique, nil
+	}
+	return 0, fmt.Errorf("workload: unknown shape %q", name)
+}
+
+// Config controls query generation.
+type Config struct {
+	// Tables is the number of tables to join.
+	Tables int
+	// Params is the number of parameters: the first Params tables carry
+	// an equality predicate whose selectivity is an optimization
+	// parameter (one parameter per table with a predicate, Section 7).
+	Params int
+	// Shape selects the join graph structure.
+	Shape Shape
+	// Seed makes generation deterministic.
+	Seed int64
+	// MinCard and MaxCard bound table cardinalities; rows are drawn
+	// log-uniformly. Defaults: 1 000 and 100 000.
+	MinCard, MaxCard float64
+	// TupleBytes is the row width in bytes; default 100.
+	TupleBytes float64
+	// MaxDomainFraction bounds attribute domain sizes relative to table
+	// cardinality ("unique values occupy up to 10% of a table column",
+	// Section 7); default 0.1.
+	MaxDomainFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinCard == 0 {
+		c.MinCard = 1000
+	}
+	if c.MaxCard == 0 {
+		c.MaxCard = 100000
+	}
+	if c.TupleBytes == 0 {
+		c.TupleBytes = 100
+	}
+	if c.MaxDomainFraction == 0 {
+		c.MaxDomainFraction = 0.1
+	}
+	return c
+}
+
+// Generate builds a random query schema. Generation is fully determined
+// by cfg (including Seed).
+func Generate(cfg Config) (*catalog.Schema, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Tables < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 table, got %d", cfg.Tables)
+	}
+	if cfg.Tables > 63 {
+		return nil, fmt.Errorf("workload: at most 63 tables, got %d", cfg.Tables)
+	}
+	if cfg.Params < 0 || cfg.Params > cfg.Tables {
+		return nil, fmt.Errorf("workload: params %d out of range [0,%d]", cfg.Params, cfg.Tables)
+	}
+	if cfg.Shape == Cycle && cfg.Tables < 3 {
+		return nil, fmt.Errorf("workload: cycle needs at least 3 tables")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	s := &catalog.Schema{NumParams: cfg.Params}
+	for i := 0; i < cfg.Tables; i++ {
+		card := logUniform(rng, cfg.MinCard, cfg.MaxCard)
+		t := catalog.Table{
+			Name:       fmt.Sprintf("T%d", i+1),
+			Card:       math.Round(card),
+			TupleBytes: cfg.TupleBytes,
+		}
+		if i < cfg.Params {
+			// Parameterized equality predicate with an index (Section 7:
+			// indices are available for each column with a predicate).
+			t.Pred = &catalog.Predicate{Column: fmt.Sprintf("a%d", i+1), ParamIndex: i}
+			t.HasIndex = true
+		}
+		s.Tables = append(s.Tables, t)
+	}
+	for _, e := range edgesForShape(cfg.Shape, cfg.Tables) {
+		sel := joinSelectivity(rng, s.Tables[e[0]].Card, s.Tables[e[1]].Card, cfg.MaxDomainFraction)
+		s.Edges = append(s.Edges, catalog.JoinEdge{A: catalog.TableID(e[0]), B: catalog.TableID(e[1]), Sel: sel})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// edgesForShape lists the table index pairs joined under the shape.
+func edgesForShape(shape Shape, n int) [][2]int {
+	var edges [][2]int
+	switch shape {
+	case Chain:
+		for i := 0; i+1 < n; i++ {
+			edges = append(edges, [2]int{i, i + 1})
+		}
+	case Star:
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{0, i})
+		}
+	case Cycle:
+		for i := 0; i+1 < n; i++ {
+			edges = append(edges, [2]int{i, i + 1})
+		}
+		edges = append(edges, [2]int{n - 1, 0})
+	case Clique:
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return edges
+}
+
+// joinSelectivity derives an equi-join selectivity 1/max(V(A), V(B))
+// from random attribute domain sizes, each up to maxFrac of the table
+// cardinality (Steinbrunn's recipe).
+func joinSelectivity(rng *rand.Rand, cardA, cardB, maxFrac float64) float64 {
+	vA := 1 + rng.Float64()*(maxFrac*cardA-1)
+	vB := 1 + rng.Float64()*(maxFrac*cardB-1)
+	sel := 1 / math.Max(vA, vB)
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// logUniform draws from [lo, hi] log-uniformly, giving the wide spread
+// of table sizes typical of Steinbrunn workloads.
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"testing"
+
+	"mpq/internal/catalog"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Tables: 6, Params: 2, Shape: Chain, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tables {
+		if a.Tables[i].Card != b.Tables[i].Card {
+			t.Fatalf("table %d cards differ: %v vs %v", i, a.Tables[i].Card, b.Tables[i].Card)
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i].Sel != b.Edges[i].Sel {
+			t.Fatalf("edge %d selectivities differ", i)
+		}
+	}
+	c, err := Generate(Config{Tables: 6, Params: 2, Shape: Chain, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Tables {
+		if a.Tables[i].Card != c.Tables[i].Card {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical cardinalities")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, tc := range []struct {
+		shape Shape
+		n     int
+		edges int
+	}{
+		{Chain, 5, 4},
+		{Star, 5, 4},
+		{Cycle, 5, 5},
+		{Clique, 5, 10},
+	} {
+		s, err := Generate(Config{Tables: tc.n, Params: 1, Shape: tc.shape, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.shape, err)
+		}
+		if len(s.Edges) != tc.edges {
+			t.Errorf("%v: %d edges, want %d", tc.shape, len(s.Edges), tc.edges)
+		}
+		if !s.Connected(s.AllTables()) {
+			t.Errorf("%v: graph not connected", tc.shape)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v: invalid schema: %v", tc.shape, err)
+		}
+	}
+	// Star: every edge touches the center.
+	s, _ := Generate(Config{Tables: 6, Params: 1, Shape: Star, Seed: 2})
+	for _, e := range s.Edges {
+		if e.A != 0 && e.B != 0 {
+			t.Errorf("star edge %v-%v misses center", e.A, e.B)
+		}
+	}
+	// Chain: consecutive tables.
+	s, _ = Generate(Config{Tables: 6, Params: 1, Shape: Chain, Seed: 2})
+	for i, e := range s.Edges {
+		if int(e.A) != i || int(e.B) != i+1 {
+			t.Errorf("chain edge %d = %v-%v", i, e.A, e.B)
+		}
+	}
+}
+
+func TestGenerateParams(t *testing.T) {
+	s, err := Generate(Config{Tables: 5, Params: 2, Shape: Chain, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumParams != 2 {
+		t.Fatalf("NumParams = %d", s.NumParams)
+	}
+	pts := s.ParametricTables()
+	if len(pts) != 2 {
+		t.Fatalf("parametric tables = %v, want 2", pts)
+	}
+	for i, tid := range pts {
+		tab := s.Tables[tid]
+		if tab.Pred == nil || tab.Pred.ParamIndex != i {
+			t.Errorf("table %d predicate wrong: %+v", tid, tab.Pred)
+		}
+		if !tab.HasIndex {
+			t.Errorf("table %d missing index (Section 7: index per predicate column)", tid)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if s.Tables[i].Pred != nil {
+			t.Errorf("table %d unexpectedly has predicate", i)
+		}
+	}
+}
+
+func TestGenerateBoundsAndRanges(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s, err := Generate(Config{Tables: 8, Params: 1, Shape: Star, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tab := range s.Tables {
+			if tab.Card < 1000 || tab.Card > 100000 {
+				t.Errorf("seed %d: card %v out of [1000,100000]", seed, tab.Card)
+			}
+		}
+		for _, e := range s.Edges {
+			if e.Sel <= 0 || e.Sel > 1 {
+				t.Errorf("seed %d: selectivity %v out of (0,1]", seed, e.Sel)
+			}
+			// Domain sizes are at most 10% of cardinality, so the
+			// selectivity is at least 1/(0.1*maxCard).
+			if e.Sel < 1/(0.1*100000)-1e-12 {
+				t.Errorf("seed %d: selectivity %v below Steinbrunn bound", seed, e.Sel)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Tables: 0, Shape: Chain}); err == nil {
+		t.Error("0 tables accepted")
+	}
+	if _, err := Generate(Config{Tables: 64, Shape: Chain}); err == nil {
+		t.Error("64 tables accepted")
+	}
+	if _, err := Generate(Config{Tables: 3, Params: 4, Shape: Chain}); err == nil {
+		t.Error("params > tables accepted")
+	}
+	if _, err := Generate(Config{Tables: 2, Shape: Cycle}); err == nil {
+		t.Error("2-table cycle accepted")
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	for _, name := range []string{"chain", "star", "cycle", "clique"} {
+		sh, err := ParseShape(name)
+		if err != nil {
+			t.Errorf("ParseShape(%q): %v", name, err)
+		}
+		if sh.String() != name {
+			t.Errorf("round trip %q -> %v", name, sh)
+		}
+	}
+	if _, err := ParseShape("tree"); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestGeneratedSchemaUsableByCatalog(t *testing.T) {
+	s, err := Generate(Config{Tables: 4, Params: 1, Shape: Chain, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := catalog.FullSet(4)
+	if s.OutputCard(full, []float64{0.5}) <= 0 {
+		t.Error("non-positive output cardinality")
+	}
+}

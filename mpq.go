@@ -1,0 +1,276 @@
+package mpq
+
+import (
+	"io"
+
+	"mpq/internal/baseline"
+	"mpq/internal/bench"
+	"mpq/internal/catalog"
+	"mpq/internal/cloud"
+	"mpq/internal/core"
+	"mpq/internal/diagram"
+	"mpq/internal/geometry"
+	"mpq/internal/plan"
+	"mpq/internal/pwl"
+	"mpq/internal/region"
+	"mpq/internal/sampled"
+	"mpq/internal/selection"
+	"mpq/internal/store"
+	"mpq/internal/workload"
+)
+
+// Schema and statistics types.
+type (
+	// Schema describes a query: tables, predicates, join edges, and the
+	// parameter space of unspecified selectivities.
+	Schema = catalog.Schema
+	// Table is a base table with cardinality and optional predicate.
+	Table = catalog.Table
+	// Predicate is an equality predicate with constant or parametric
+	// selectivity.
+	Predicate = catalog.Predicate
+	// JoinEdge is a join predicate between two tables.
+	JoinEdge = catalog.JoinEdge
+	// TableID identifies a table within a schema.
+	TableID = catalog.TableID
+	// TableSet is a bitmask set of tables.
+	TableSet = catalog.TableSet
+)
+
+// Geometry types.
+type (
+	// Vector is a point of the parameter space or a cost vector.
+	Vector = geometry.Vector
+	// Polytope is a convex polytope in H-representation.
+	Polytope = geometry.Polytope
+	// Halfspace is a linear inequality W·x <= B.
+	Halfspace = geometry.Halfspace
+	// Context carries numeric tolerances and LP counters.
+	Context = geometry.Context
+)
+
+// Piecewise-linear cost function types.
+type (
+	// PWLFunction is a single-objective piecewise-linear cost function.
+	PWLFunction = pwl.Function
+	// PWLMulti is a multi-objective piecewise-linear cost function.
+	PWLMulti = pwl.Multi
+	// PWLPiece is a linear piece of a PWL function.
+	PWLPiece = pwl.Piece
+)
+
+// Optimizer types.
+type (
+	// Options configures an optimizer run.
+	Options = core.Options
+	// Result is a Pareto plan set with statistics.
+	Result = core.Result
+	// PlanInfo is a plan with cost function and relevance region.
+	PlanInfo = core.PlanInfo
+	// Stats summarizes optimizer work (plans created, LPs solved, ...).
+	Stats = core.Stats
+	// CostModel supplies operator alternatives with parametric costs.
+	CostModel = core.CostModel
+	// Alternative pairs an operator with its cost.
+	Alternative = core.Alternative
+	// Cost is an opaque cost function handled by an Algebra.
+	Cost = core.Cost
+	// Algebra abstracts cost operations, making RRPA generic.
+	Algebra = core.Algebra
+	// PWLAlgebra is the exact algebra for PWL cost functions
+	// (PWL-RRPA).
+	PWLAlgebra = core.PWLAlgebra
+	// StaticModel is a cost model listing explicit plan alternatives.
+	StaticModel = core.StaticModel
+	// Plan is a query plan operator tree.
+	Plan = plan.Node
+	// RelevanceRegion is the parameter-space region for which a plan is
+	// relevant.
+	RelevanceRegion = region.Region
+	// RegionOptions configures relevance-region refinements.
+	RegionOptions = region.Options
+)
+
+// Cloud cost model types.
+type (
+	// CloudModel is the time/fees cost model of the paper's evaluation.
+	CloudModel = cloud.Model
+	// CloudConfig describes the simulated cluster and pricing.
+	CloudConfig = cloud.Config
+)
+
+// Workload generation types.
+type (
+	// WorkloadConfig controls random query generation.
+	WorkloadConfig = workload.Config
+	// Shape is the join graph shape.
+	Shape = workload.Shape
+	// BenchConfig controls the Figure 12 experiment harness.
+	BenchConfig = bench.Config
+	// BenchSeries is one measured curve of the experiment.
+	BenchSeries = bench.Series
+	// SampledCost is an arbitrary cost closure for the generic
+	// (non-PWL) algebra.
+	SampledCost = sampled.Cost
+	// SampledAlgebra under-approximates dominance by sampling.
+	SampledAlgebra = sampled.Algebra
+)
+
+// Join graph shapes.
+const (
+	Chain  = workload.Chain
+	Star   = workload.Star
+	Cycle  = workload.Cycle
+	Clique = workload.Clique
+)
+
+// Relevance-region emptiness strategies.
+const (
+	// StrategyBemporad is the paper's Algorithm 2 emptiness check via
+	// convexity recognition of the cutout union.
+	StrategyBemporad = region.StrategyBemporad
+	// StrategyCoverDiff checks cutout coverage via region difference.
+	StrategyCoverDiff = region.StrategyCoverDiff
+)
+
+// Optimize runs RRPA / PWL-RRPA and returns a Pareto plan set for the
+// query (Algorithm 1 of the paper).
+func Optimize(schema *Schema, model CostModel, opts Options) (*Result, error) {
+	return core.Optimize(schema, model, opts)
+}
+
+// DefaultOptions mirrors the configuration of the paper's experiments:
+// all Section 6.2 refinements enabled, Cartesian products postponed.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewContext returns a geometry context with default tolerances.
+func NewContext() *Context { return geometry.NewContext() }
+
+// NewPWLAlgebra returns the exact PWL cost algebra with sum
+// accumulation over the given number of metrics.
+func NewPWLAlgebra(ctx *Context, metrics int) *PWLAlgebra {
+	return core.NewPWLAlgebra(ctx, metrics)
+}
+
+// NewCloudModel builds the cloud cost model (execution time and
+// monetary fees) over a schema.
+func NewCloudModel(schema *Schema, cfg CloudConfig, ctx *Context) (*CloudModel, error) {
+	return cloud.NewModel(schema, cfg, ctx)
+}
+
+// DefaultCloudConfig returns the EC2-style cluster model of the paper's
+// evaluation.
+func DefaultCloudConfig() CloudConfig { return cloud.DefaultConfig() }
+
+// GenerateWorkload builds a random query following Steinbrunn et al.,
+// the generator used by the paper's experiments.
+func GenerateWorkload(cfg WorkloadConfig) (*Schema, error) { return workload.Generate(cfg) }
+
+// RunBenchSeries executes one curve of the Figure 12 experiment.
+func RunBenchSeries(cfg BenchConfig) (*BenchSeries, error) { return bench.RunSeries(cfg) }
+
+// NewSampledAlgebra builds the grid-sampled cost algebra for arbitrary
+// cost closures, demonstrating the generic RRPA of Section 5.
+func NewSampledAlgebra(lo, hi Vector, cellsPerDim, metrics int) *SampledAlgebra {
+	return sampled.NewAlgebra(lo, hi, cellsPerDim, metrics)
+}
+
+// Box returns the axis-aligned box polytope {x : lo <= x <= hi}.
+func Box(lo, hi Vector) *Polytope { return geometry.Box(lo, hi) }
+
+// Interval returns the one-dimensional polytope [lo, hi].
+func Interval(lo, hi float64) *Polytope { return geometry.Interval(lo, hi) }
+
+// LinearCost returns the single-metric cost function W·x + B on domain.
+func LinearCost(domain *Polytope, w Vector, b float64) *PWLFunction {
+	return pwl.Linear(domain, w, b)
+}
+
+// ConstantCost returns the constant single-metric cost function c.
+func ConstantCost(domain *Polytope, c float64) *PWLFunction {
+	return pwl.Constant(domain, c)
+}
+
+// MultiCost combines per-metric PWL functions into a multi-objective
+// cost function.
+func MultiCost(components ...*PWLFunction) *PWLMulti { return pwl.NewMulti(components...) }
+
+// StaticSchema returns the one-pseudo-table schema used with
+// StaticModel.
+func StaticSchema(numParams int, lo, hi []float64) *Schema {
+	return core.StaticSchema(numParams, lo, hi)
+}
+
+// EnumerateAllPlans generates every bushy plan without pruning — the
+// exhaustive ground truth used to validate completeness (Theorem 3).
+func EnumerateAllPlans(schema *Schema, model CostModel, algebra Algebra, postponeCartesian bool) []baseline.EnumPlan {
+	return baseline.EnumerateAll(schema, model, algebra, postponeCartesian)
+}
+
+// Run-time plan selection types (the right half of the paper's
+// Figure 2).
+type (
+	// Candidate is a plan available for run-time selection.
+	Candidate = selection.Candidate
+	// Choice is a selected plan with its cost vector.
+	Choice = selection.Choice
+	// Bound is an upper limit on one metric during selection.
+	Bound = selection.Bound
+	// PlanSet is a deserialized plan set.
+	PlanSet = store.PlanSet
+	// Diagram is a discretized plan/front map over the parameter space.
+	Diagram = diagram.Diagram
+)
+
+// SavePlanSet serializes a Pareto plan set (plans, PWL cost functions,
+// relevance regions) for later run-time use.
+func SavePlanSet(w io.Writer, metrics []string, space *Polytope, plans []*PlanInfo) error {
+	return store.Save(w, metrics, space, plans)
+}
+
+// LoadPlanSet reads a serialized plan set.
+func LoadPlanSet(r io.Reader) (*PlanSet, error) { return store.Load(r) }
+
+// SelectionCandidates adapts a loaded plan set for the selection
+// policies.
+func SelectionCandidates(ps *PlanSet) []Candidate {
+	out := make([]Candidate, len(ps.Plans))
+	for i, lp := range ps.Plans {
+		out[i] = Candidate{Plan: lp.Plan, Cost: lp.Cost, RR: lp.RR}
+	}
+	return out
+}
+
+// SelectFrontier evaluates candidates at x and returns the Pareto
+// frontier sorted by the first metric.
+func SelectFrontier(candidates []Candidate, x Vector) []Choice {
+	return selection.Frontier(candidates, x)
+}
+
+// SelectWeightedSum picks the plan minimizing the weighted metric sum.
+func SelectWeightedSum(candidates []Candidate, x Vector, weights []float64) (Choice, error) {
+	return selection.WeightedSum(candidates, x, weights)
+}
+
+// SelectMinimizeSubjectTo picks the plan minimizing one metric under
+// upper bounds on others.
+func SelectMinimizeSubjectTo(candidates []Candidate, x Vector, minimize int, bounds []Bound) (Choice, error) {
+	return selection.MinimizeSubjectTo(candidates, x, minimize, bounds)
+}
+
+// FrontSizeDiagram maps Pareto-front cardinality over the parameter
+// space.
+func FrontSizeDiagram(plans *diagram.MultiSlice, lo, hi Vector, resolution int) (*Diagram, error) {
+	return diagram.FrontSize(plans, lo, hi, resolution)
+}
+
+// WinnerDiagram maps the weighted-sum winning plan over the parameter
+// space (a plan diagram in the sense of Reddy & Haritsa).
+func WinnerDiagram(plans *diagram.MultiSlice, lo, hi Vector, resolution int, weights []float64) (*Diagram, error) {
+	return diagram.Winner(plans, lo, hi, resolution, weights)
+}
+
+// DiagramPlans adapts (name, cost) pairs for diagram construction.
+func DiagramPlans(names []string, costs []*PWLMulti) *diagram.MultiSlice {
+	return &diagram.MultiSlice{Names: names, Costs: costs}
+}
