@@ -58,6 +58,36 @@ func BenchmarkFigure12(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure12Parallel runs the two profile-dominating Figure 12
+// cases with the parallel wavefront at GOMAXPROCS workers, for direct
+// comparison against the sequential BenchmarkFigure12 numbers (the
+// plans and LPs metrics must match the sequential run exactly).
+func BenchmarkFigure12Parallel(b *testing.B) {
+	cases := []struct {
+		shape  workload.Shape
+		params int
+		tables int
+	}{
+		{workload.Chain, 2, 6},
+		{workload.Star, 2, 5},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("%s-%dp/tables=%d", tc.shape, tc.params, tc.tables)
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Workers = 0 // GOMAXPROCS
+			var last *core.Stats
+			for i := 0; i < b.N; i++ {
+				o := opts
+				last = optimizeOnce(b, tc.tables, tc.params, tc.shape, int64(i)+1, &o)
+			}
+			b.ReportMetric(float64(last.CreatedPlans), "plans")
+			b.ReportMetric(float64(last.Geometry.LPs), "LPs")
+			b.ReportMetric(float64(last.Workers), "workers")
+		})
+	}
+}
+
 // BenchmarkAblation measures the effect of the Section 6.2 refinements
 // (relevance points, redundant-cutout elimination, emptiness strategy)
 // and of Cartesian-product postponement on one mid-size query.

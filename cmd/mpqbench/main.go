@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mpqbench -experiment figure12 [-quick] [-reps 25] [-csv]
+//	mpqbench -experiment figure12 [-quick] [-reps 25] [-csv] [-json] [-workers N]
 //	mpqbench -experiment pqblowup
 //	mpqbench -experiment ablation [-tables 6]
 package main
@@ -32,6 +32,8 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced ranges and repetitions for a fast run")
 		reps       = flag.Int("reps", 0, "random queries per data point (default: 25, quick: 5)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (per-case ns/op, LPs, plans, workers)")
+		workers    = flag.Int("workers", 0, "optimizer worker count (0 = GOMAXPROCS, 1 = sequential)")
 		seed       = flag.Int64("seed", 1, "base random seed")
 		maxChain1  = flag.Int("max-chain-1p", 12, "max tables for chain, 1 parameter")
 		maxStar1   = flag.Int("max-star-1p", 12, "max tables for star, 1 parameter")
@@ -43,7 +45,12 @@ func main() {
 
 	switch *experiment {
 	case "figure12":
-		runFigure12(*quick, *reps, *csv, *seed, *maxChain1, *maxStar1, *maxChain2, *maxStar2)
+		runFigure12(figure12Config{
+			quick: *quick, reps: *reps, csv: *csv, json: *jsonOut,
+			seed: *seed, workers: *workers,
+			maxChain1: *maxChain1, maxStar1: *maxStar1,
+			maxChain2: *maxChain2, maxStar2: *maxStar2,
+		})
 	case "pqblowup":
 		runPQBlowup()
 	case "ablation":
@@ -54,26 +61,34 @@ func main() {
 	}
 }
 
-func runFigure12(quick bool, reps int, csv bool, seed int64, maxChain1, maxStar1, maxChain2, maxStar2 int) {
-	if reps == 0 {
-		if quick {
-			reps = 5
+// figure12Config bundles the flags of the figure12 experiment.
+type figure12Config struct {
+	quick, csv, json                         bool
+	reps, workers                            int
+	seed                                     int64
+	maxChain1, maxStar1, maxChain2, maxStar2 int
+}
+
+func runFigure12(cfg figure12Config) {
+	if cfg.reps == 0 {
+		if cfg.quick {
+			cfg.reps = 5
 		} else {
-			reps = 25
+			cfg.reps = 25
 		}
 	}
-	if quick {
-		if maxChain1 > 10 {
-			maxChain1 = 10
+	if cfg.quick {
+		if cfg.maxChain1 > 10 {
+			cfg.maxChain1 = 10
 		}
-		if maxStar1 > 9 {
-			maxStar1 = 9
+		if cfg.maxStar1 > 9 {
+			cfg.maxStar1 = 9
 		}
-		if maxChain2 > 7 {
-			maxChain2 = 7
+		if cfg.maxChain2 > 7 {
+			cfg.maxChain2 = 7
 		}
-		if maxStar2 > 6 {
-			maxStar2 = 6
+		if cfg.maxStar2 > 6 {
+			cfg.maxStar2 = 6
 		}
 	}
 	type curve struct {
@@ -82,10 +97,10 @@ func runFigure12(quick bool, reps int, csv bool, seed int64, maxChain1, maxStar1
 		max    int
 	}
 	curves := []curve{
-		{workload.Chain, 1, maxChain1},
-		{workload.Chain, 2, maxChain2},
-		{workload.Star, 1, maxStar1},
-		{workload.Star, 2, maxStar2},
+		{workload.Chain, 1, cfg.maxChain1},
+		{workload.Chain, 2, cfg.maxChain2},
+		{workload.Star, 1, cfg.maxStar1},
+		{workload.Star, 2, cfg.maxStar2},
 	}
 	var series []*bench.Series
 	start := time.Now()
@@ -95,8 +110,9 @@ func runFigure12(quick bool, reps int, csv bool, seed int64, maxChain1, maxStar1
 			Params:      c.params,
 			MinTables:   2,
 			MaxTables:   c.max,
-			Repetitions: reps,
-			Seed:        seed,
+			Repetitions: cfg.reps,
+			Seed:        cfg.seed,
+			Workers:     cfg.workers,
 			Progress:    os.Stderr,
 		})
 		if err != nil {
@@ -106,9 +122,15 @@ func runFigure12(quick bool, reps int, csv bool, seed int64, maxChain1, maxStar1
 		series = append(series, s)
 	}
 	fmt.Fprintf(os.Stderr, "total experiment time: %v\n", time.Since(start))
-	if csv {
+	switch {
+	case cfg.json:
+		if err := bench.FormatJSON(os.Stdout, series); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+	case cfg.csv:
 		bench.FormatCSV(os.Stdout, series)
-	} else {
+	default:
 		bench.FormatTable(os.Stdout, series)
 	}
 }

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -33,6 +34,8 @@ type Point struct {
 	MedianFinal int
 	// Repetitions is the number of random queries aggregated.
 	Repetitions int
+	// Workers is the optimizer worker count the runs used.
+	Workers int
 }
 
 // Series is one curve of Figure 12: a shape and parameter count over a
@@ -60,6 +63,9 @@ type Config struct {
 	Seed int64
 	// Optimizer options; zero value means core.DefaultOptions.
 	Options *core.Options
+	// Workers overrides the optimizer worker count for every run
+	// (0 keeps the Options value, whose own zero selects GOMAXPROCS).
+	Workers int
 	// Cloud cost model configuration; zero value means
 	// cloud.DefaultConfig.
 	Cloud *cloud.Config
@@ -101,6 +107,7 @@ func RunPoint(cfg Config, tables int) (*Point, error) {
 	if params > tables {
 		params = tables
 	}
+	workers := 0
 	for rep := 0; rep < cfg.Repetitions; rep++ {
 		seed := cfg.Seed + int64(rep)*1000 + int64(tables)
 		stats, err := RunOnce(cfg, tables, params, seed)
@@ -111,6 +118,7 @@ func RunPoint(cfg Config, tables int) (*Point, error) {
 		plans = append(plans, stats.CreatedPlans)
 		lps = append(lps, stats.Geometry.LPs)
 		finals = append(finals, stats.FinalPlans)
+		workers = stats.Workers
 	}
 	return &Point{
 		Tables:      tables,
@@ -119,6 +127,7 @@ func RunPoint(cfg Config, tables int) (*Point, error) {
 		MedianLPs:   medianInt64(lps),
 		MedianFinal: medianInt(finals),
 		Repetitions: cfg.Repetitions,
+		Workers:     workers,
 	}, nil
 }
 
@@ -148,6 +157,9 @@ func RunOnce(cfg Config, tables, params int, seed int64) (*core.Stats, error) {
 		opts = *cfg.Options
 	}
 	opts.Context = ctx
+	if cfg.Workers != 0 {
+		opts.Workers = cfg.Workers
+	}
 	res, err := core.Optimize(schema, model, opts)
 	if err != nil {
 		return nil, err
@@ -179,6 +191,54 @@ func FormatCSV(w io.Writer, series []*Series) {
 				p.MedianPlans, p.MedianLPs, p.MedianFinal, p.Repetitions)
 		}
 	}
+}
+
+// JSONCase is one machine-readable result row of FormatJSON.
+type JSONCase struct {
+	Case         string  `json:"case"`
+	Shape        string  `json:"shape"`
+	Params       int     `json:"params"`
+	Tables       int     `json:"tables"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	TimeMs       float64 `json:"time_ms"`
+	CreatedPlans int     `json:"created_plans"`
+	SolvedLPs    int64   `json:"solved_lps"`
+	FinalPlans   int     `json:"final_plans"`
+	Workers      int     `json:"workers"`
+	Repetitions  int     `json:"repetitions"`
+}
+
+// JSONReport is the envelope FormatJSON emits, so snapshots carry their
+// provenance alongside the rows.
+type JSONReport struct {
+	Experiment string     `json:"experiment"`
+	Cases      []JSONCase `json:"cases"`
+}
+
+// FormatJSON renders series as an indented JSON report for tooling
+// (perf tracking, CI comparisons).
+func FormatJSON(w io.Writer, series []*Series) error {
+	rep := JSONReport{Experiment: "figure12"}
+	for _, s := range series {
+		for _, p := range s.Points {
+			rep.Cases = append(rep.Cases, JSONCase{
+				Case:         fmt.Sprintf("%s-%dp/tables=%d", s.Shape, s.Params, p.Tables),
+				Shape:        s.Shape.String(),
+				Params:       s.Params,
+				Tables:       p.Tables,
+				NsPerOp:      p.MedianTime.Nanoseconds(),
+				TimeMs:       float64(p.MedianTime.Microseconds()) / 1000,
+				CreatedPlans: p.MedianPlans,
+				SolvedLPs:    p.MedianLPs,
+				FinalPlans:   p.MedianFinal,
+				Workers:      p.Workers,
+				Repetitions:  p.Repetitions,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func repsOf(s *Series) int {

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mpq/internal/workload"
+)
+
+// TestFormatJSON runs a tiny series and checks the machine-readable
+// report round-trips with the expected fields populated.
+func TestFormatJSON(t *testing.T) {
+	s, err := RunSeries(Config{
+		Shape:       workload.Chain,
+		Params:      1,
+		MinTables:   2,
+		MaxTables:   3,
+		Repetitions: 1,
+		Seed:        1,
+		Workers:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FormatJSON(&buf, []*Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Experiment != "figure12" {
+		t.Errorf("experiment = %q, want figure12", rep.Experiment)
+	}
+	if len(rep.Cases) != 2 {
+		t.Fatalf("%d cases, want 2", len(rep.Cases))
+	}
+	c := rep.Cases[0]
+	if c.Case != "chain-1p/tables=2" || c.Shape != "chain" || c.Workers != 1 {
+		t.Errorf("unexpected first case: %+v", c)
+	}
+	if c.NsPerOp <= 0 || c.SolvedLPs <= 0 || c.CreatedPlans <= 0 || c.FinalPlans <= 0 {
+		t.Errorf("unpopulated metrics in %+v", c)
+	}
+}

@@ -38,6 +38,19 @@ type Algebra interface {
 	Eval(c Cost, x geometry.Vector) geometry.Vector
 }
 
+// ForkableAlgebra is an Algebra that can clone itself onto a different
+// geometry solver. The parallel wavefront gives every worker its own
+// fork so that concurrent Dom/Accumulate calls never share simplex
+// scratch state; algebras that hold no solver may return themselves.
+// An Algebra that does not implement ForkableAlgebra forces the
+// optimizer onto the sequential path regardless of Options.Workers.
+type ForkableAlgebra interface {
+	Algebra
+	// Fork returns an equivalent Algebra whose geometric operations run
+	// through s.
+	Fork(s *geometry.Solver) Algebra
+}
+
 // PWLAlgebra implements Algebra for piecewise-linear cost functions
 // (*pwl.Multi), turning RRPA into PWL-RRPA.
 type PWLAlgebra struct {
@@ -58,6 +71,14 @@ type PWLAlgebra struct {
 func NewPWLAlgebra(ctx *geometry.Context, metrics int) *PWLAlgebra {
 	modes := make([]pwl.AccumMode, metrics)
 	return &PWLAlgebra{Ctx: ctx, Modes: modes, Compact: true}
+}
+
+// Fork implements ForkableAlgebra: the copy shares all configuration
+// but runs its geometry through s.
+func (a *PWLAlgebra) Fork(s *geometry.Solver) Algebra {
+	cp := *a
+	cp.Ctx = s
+	return &cp
 }
 
 // Dom implements Algebra using the exact PWL dominance-region

@@ -15,7 +15,11 @@ type Alternative struct {
 
 // CostModel supplies operator alternatives and their parametric cost
 // functions to the optimizer. The concrete Cost type must match the
-// Algebra in use.
+// Algebra in use. When Options.Workers enables the parallel wavefront,
+// ScanAlternatives and JoinAlternatives may be called from multiple
+// goroutines concurrently; implementations must be read-only or
+// internally synchronized (the cloud model and StaticModel are
+// read-only).
 type CostModel interface {
 	// Space is the parameter space X, a convex polytope (the standard
 	// PWL-MPQ assumption, Section 2).

@@ -3,6 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpq/internal/catalog"
@@ -21,14 +24,25 @@ type Options struct {
 	// state-of-the-art optimizers adopted by the paper's experiments.
 	PostponeCartesian bool
 	// Context supplies tolerances and LP counters; a fresh context is
-	// created when nil.
+	// created when nil. With Workers > 1 it remains the solver of the
+	// first worker and receives the merged Stats of all workers.
 	Context *geometry.Context
 	// Algebra supplies cost operations; defaults to a PWLAlgebra over
-	// Context with sum accumulation on every metric.
+	// Context with sum accumulation on every metric. Custom algebras
+	// must implement ForkableAlgebra to enable the parallel wavefront.
 	Algebra Algebra
 	// KeepPerSet retains the Pareto plan sets of all intermediate table
 	// sets in the result, for inspection and validation.
 	KeepPerSet bool
+	// Workers is the number of goroutines planning each wavefront of
+	// equal-cardinality table sets (see DESIGN.md, "Parallel wavefront
+	// RRPA"). Zero selects GOMAXPROCS; 1 runs the sequential path. Any
+	// worker count produces identical plan sets and identical aggregate
+	// geometry Stats: the wavefront barrier, the per-polytope Chebyshev
+	// memo and per-worker solvers make results independent of
+	// scheduling. The CostModel must tolerate concurrent calls when
+	// Workers > 1.
+	Workers int
 }
 
 // DefaultOptions mirrors the configuration of the paper's experiments.
@@ -61,8 +75,10 @@ type Stats struct {
 	// MaxPlansPerSet is the largest Pareto set size over all table sets
 	// (bounded in expectation by Theorem 6).
 	MaxPlansPerSet int
+	// Workers is the worker count the run actually used.
+	Workers int
 	// Geometry carries LP counts (Figure 12, bottom row) and related
-	// counters.
+	// counters, merged across all workers.
 	Geometry geometry.Stats
 	// Duration is the wall-clock optimization time (Figure 12, top
 	// row).
@@ -99,48 +115,93 @@ func Optimize(schema *catalog.Schema, model CostModel, opts Options) (*Result, e
 		algebra = NewPWLAlgebra(ctx, len(model.MetricNames()))
 	}
 	o := &optimizer{
-		schema:  schema,
-		model:   model,
-		algebra: algebra,
-		ctx:     ctx,
-		opts:    opts,
-		best:    make(map[catalog.TableSet][]*PlanInfo),
+		schema: schema,
+		model:  model,
+		ctx:    ctx,
+		opts:   opts,
+		best:   make(map[catalog.TableSet][]*PlanInfo),
 	}
+	o.setupWorkers(algebra)
 	return o.run()
 }
 
 type optimizer struct {
 	schema  *catalog.Schema
 	model   CostModel
-	algebra Algebra
 	ctx     *geometry.Context
 	opts    Options
 	best    map[catalog.TableSet][]*PlanInfo
 	stats   Stats
+	workers []*worker
+}
+
+// worker is the per-goroutine state of the parallel wavefront: a forked
+// geometry solver, an algebra bound to it, and local plan counters.
+// workers[0] aliases the optimizer's own solver and algebra, so the
+// sequential path (Workers == 1) is exactly the historical single-
+// threaded execution.
+type worker struct {
+	o       *optimizer
+	solver  *geometry.Solver
+	algebra Algebra
+	created int
+	pruned  int
+}
+
+// setupWorkers decides the worker count and builds per-worker state.
+// The parallel path requires a ForkableAlgebra; otherwise the run falls
+// back to one worker.
+func (o *optimizer) setupWorkers(algebra Algebra) {
+	n := o.opts.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	forkable, ok := algebra.(ForkableAlgebra)
+	if !ok {
+		n = 1
+	}
+	o.workers = make([]*worker, n)
+	o.workers[0] = &worker{o: o, solver: o.ctx, algebra: algebra}
+	for i := 1; i < n; i++ {
+		s := o.ctx.Fork()
+		o.workers[i] = &worker{o: o, solver: s, algebra: forkable.Fork(s)}
+	}
+	o.stats.Workers = n
 }
 
 func (o *optimizer) run() (*Result, error) {
 	start := time.Now()
-	lpsBefore := o.ctx.Stats
+	statsBefore := o.ctx.Stats
 
 	// Initialize plan sets for base tables (Algorithm 1 lines 3-6):
-	// consider all scan plans and prune.
+	// consider all scan plans and prune. Base tables run on the first
+	// worker; this also deterministically warms the shared parameter-
+	// space memos before any parallel wavefront starts.
+	w0 := o.workers[0]
 	for i := range o.schema.Tables {
 		t := catalog.TableID(i)
 		q := catalog.SetOf(t)
+		var cur []*PlanInfo
 		for _, alt := range o.model.ScanAlternatives(t) {
-			o.prune(q, plan.Scan(t, alt.Op), alt.Cost)
+			cur = w0.prune(cur, plan.Scan(t, alt.Op), alt.Cost)
 		}
-		if len(o.best[q]) == 0 {
+		if len(cur) == 0 {
 			return nil, fmt.Errorf("core: no scan plan for table %d", i)
 		}
+		o.best[q] = cur
 	}
 
-	// Consider table sets of increasing cardinality (lines 7-13).
+	// Consider table sets of increasing cardinality (lines 7-13). Within
+	// one cardinality no table set depends on another — planSet(mask)
+	// only reads Pareto sets of strictly smaller cardinality — so each
+	// wavefront's masks are partitioned across the workers and the
+	// results are installed at the wavefront barrier.
 	n := o.schema.NumTables()
 	all := o.schema.AllTables()
 	fullyConnected := o.schema.Connected(all)
+	var masks []catalog.TableSet
 	for k := 2; k <= n; k++ {
+		masks = masks[:0]
 		for mask := catalog.TableSet(1); mask <= all; mask++ {
 			if mask.Count() != k {
 				continue
@@ -151,7 +212,16 @@ func (o *optimizer) run() (*Result, error) {
 				// graph.
 				continue
 			}
-			o.planSet(mask)
+			masks = append(masks, mask)
+		}
+		o.runWavefront(masks)
+	}
+
+	for _, w := range o.workers {
+		o.stats.CreatedPlans += w.created
+		o.stats.PrunedPlans += w.pruned
+		if w != w0 {
+			o.ctx.Stats.Add(w.solver.Stats)
 		}
 	}
 
@@ -167,10 +237,7 @@ func (o *optimizer) run() (*Result, error) {
 	}
 	o.stats.Duration = time.Since(start)
 	o.stats.Geometry = o.ctx.Stats
-	o.stats.Geometry.LPs -= lpsBefore.LPs
-	o.stats.Geometry.LPIterations -= lpsBefore.LPIterations
-	o.stats.Geometry.RegionDiffs -= lpsBefore.RegionDiffs
-	o.stats.Geometry.ConvexityChecks -= lpsBefore.ConvexityChecks
+	o.stats.Geometry.Sub(statsBefore)
 
 	res := &Result{Query: all, Plans: final, Stats: o.stats}
 	if o.opts.KeepPerSet {
@@ -179,19 +246,72 @@ func (o *optimizer) run() (*Result, error) {
 	return res, nil
 }
 
+// runWavefront plans every mask of one cardinality and installs the
+// resulting Pareto sets into o.best. With more than one worker the
+// masks are distributed over a goroutine pool; each mask is planned by
+// exactly one worker against the immutable state of all previous
+// wavefronts, so the result (and, via the merged per-worker counters,
+// every aggregate statistic) is identical for any worker count and any
+// scheduling.
+func (o *optimizer) runWavefront(masks []catalog.TableSet) {
+	nw := len(o.workers)
+	if nw > len(masks) {
+		nw = len(masks)
+	}
+	if nw <= 1 {
+		for _, q := range masks {
+			o.install(q, o.workers[0].planSet(q))
+		}
+		return
+	}
+	results := make([][]*PlanInfo, len(masks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, w := range o.workers[:nw] {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(masks) {
+					return
+				}
+				results[i] = w.planSet(masks[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, q := range masks {
+		o.install(q, results[i])
+	}
+}
+
+// install records a mask's Pareto set. Empty sets are not stored,
+// matching the sequential algorithm (which never inserts into an empty
+// set without keeping at least the inserted plan).
+func (o *optimizer) install(q catalog.TableSet, infos []*PlanInfo) {
+	if len(infos) > 0 {
+		o.best[q] = infos
+	}
+}
+
 // planSet generates the Pareto plan set for joining table set q
 // (Algorithm 1, GenerateParetoPlanSet): all splits into two non-empty
 // subsets, all join operators, all pairs of sub-plans. With Cartesian
 // postponement, splits without a connecting join predicate are only
-// considered when no edged split produced plans.
-func (o *optimizer) planSet(q catalog.TableSet) {
-	produced := o.trySplits(q, true)
+// considered when no edged split produced plans. The result is
+// accumulated locally and only published by the caller, so concurrent
+// workers never write shared state.
+func (w *worker) planSet(q catalog.TableSet) []*PlanInfo {
+	cur, produced := w.trySplits(nil, q, true)
 	if !produced {
-		o.trySplits(q, false)
+		cur, _ = w.trySplits(cur, q, false)
 	}
+	return cur
 }
 
-func (o *optimizer) trySplits(q catalog.TableSet, requireEdge bool) bool {
+func (w *worker) trySplits(cur []*PlanInfo, q catalog.TableSet, requireEdge bool) ([]*PlanInfo, bool) {
+	o := w.o
 	produced := false
 	q.SubsetsProper(func(q1 catalog.TableSet) bool {
 		q2 := q.Minus(q1)
@@ -212,45 +332,46 @@ func (o *optimizer) trySplits(q catalog.TableSet, requireEdge bool) bool {
 					// Construct the new plan and accumulate its cost
 					// (lines 23-26).
 					pn := plan.Join(alt.Op, i1.Plan, i2.Plan)
-					cost := o.algebra.Accumulate(alt.Cost, i1.Cost, i2.Cost)
-					o.prune(q, pn, cost)
+					cost := w.algebra.Accumulate(alt.Cost, i1.Cost, i2.Cost)
+					cur = w.prune(cur, pn, cost)
 					produced = true
 				}
 			}
 		}
 		return true
 	})
-	return produced
+	return cur, produced
 }
 
-// prune implements the pruning function of Algorithm 1 (lines 33-57):
-// the relevance region of the new plan starts as the full parameter
-// space and is reduced by the dominance regions of all existing plans;
-// if it empties, the plan is discarded. Otherwise the existing plans'
-// relevance regions are reduced by the new plan's dominance regions and
-// plans with empty regions are dropped; finally the new plan is
-// inserted.
-func (o *optimizer) prune(q catalog.TableSet, pn *plan.Node, cost Cost) {
-	o.stats.CreatedPlans++
-	rr := region.New(o.ctx, o.model.Space(), o.opts.Region)
-	for _, old := range o.best[q] {
-		rr.Subtract(o.ctx, o.algebra.Dom(old.Cost, cost)...)
-		if rr.IsEmpty(o.ctx) {
-			o.stats.PrunedPlans++
-			return // do not insert the new plan
+// prune implements the pruning function of Algorithm 1 (lines 33-57)
+// against the worker-local plan set cur: the relevance region of the
+// new plan starts as the full parameter space and is reduced by the
+// dominance regions of all existing plans; if it empties, the plan is
+// discarded. Otherwise the existing plans' relevance regions are
+// reduced by the new plan's dominance regions and plans with empty
+// regions are dropped; finally the new plan is inserted.
+func (w *worker) prune(cur []*PlanInfo, pn *plan.Node, cost Cost) []*PlanInfo {
+	o := w.o
+	w.created++
+	rr := region.New(w.solver, o.model.Space(), o.opts.Region)
+	for _, old := range cur {
+		rr.Subtract(w.solver, w.algebra.Dom(old.Cost, cost)...)
+		if rr.IsEmpty(w.solver) {
+			w.pruned++
+			return cur // do not insert the new plan
 		}
 	}
 	// The new plan will be inserted; discard irrelevant old plans.
-	kept := o.best[q][:0]
-	for _, old := range o.best[q] {
-		old.RR.Subtract(o.ctx, o.algebra.Dom(cost, old.Cost)...)
-		if old.RR.IsEmpty(o.ctx) {
-			o.stats.PrunedPlans++
+	kept := cur[:0]
+	for _, old := range cur {
+		old.RR.Subtract(w.solver, w.algebra.Dom(cost, old.Cost)...)
+		if old.RR.IsEmpty(w.solver) {
+			w.pruned++
 			continue
 		}
 		kept = append(kept, old)
 	}
-	o.best[q] = append(kept, &PlanInfo{Plan: pn, Cost: cost, RR: rr})
+	return append(kept, &PlanInfo{Plan: pn, Cost: cost, RR: rr})
 }
 
 // ParetoFrontAt evaluates the result's plan set at a concrete parameter

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpq/internal/catalog"
+	"mpq/internal/cloud"
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+	"mpq/internal/plan"
+	"mpq/internal/workload"
+)
+
+// optimizeWorkload runs one optimizer invocation on a generated query
+// with the given worker count and returns the result.
+func optimizeWorkload(t *testing.T, cfg workload.Config, regionOpts *core.Options, workers int) *core.Result {
+	t.Helper()
+	schema, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := geometry.NewContext()
+	model, err := cloud.NewModel(schema, cloud.DefaultConfig(), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	if regionOpts != nil {
+		opts = *regionOpts
+	}
+	opts.Context = ctx
+	opts.Workers = workers
+	res, err := core.Optimize(schema, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// planKey renders a plan tree and its relevance footprint for
+// order-insensitive comparison.
+func planKey(info *core.PlanInfo) string {
+	return fmt.Sprintf("%s cutouts=%d", planString(info.Plan), info.RR.NumCutouts())
+}
+
+func planString(n *plan.Node) string {
+	if n.IsScan() {
+		return fmt.Sprintf("%s(%d)", n.Op, n.Table)
+	}
+	return fmt.Sprintf("%s(%s,%s)", n.Op, planString(n.Left), planString(n.Right))
+}
+
+// TestParallelWavefrontDeterminism asserts the central contract of the
+// parallel wavefront: for a fixed workload seed, any worker count
+// produces the identical Pareto plan set (same plans in the same
+// order) and identical aggregate statistics — created plans, pruned
+// plans, and every geometry counter including the Figure 12 LP count.
+// Running this under -race additionally exercises the reentrant solver
+// and the synchronized Chebyshev memo.
+func TestParallelWavefrontDeterminism(t *testing.T) {
+	cases := []workload.Config{
+		{Tables: 5, Params: 1, Shape: workload.Chain, Seed: 3},
+		{Tables: 5, Params: 2, Shape: workload.Chain, Seed: 7},
+		{Tables: 4, Params: 2, Shape: workload.Star, Seed: 11},
+	}
+	for _, cfg := range cases {
+		t.Run(fmt.Sprintf("%s-%dp-%dt", cfg.Shape, cfg.Params, cfg.Tables), func(t *testing.T) {
+			seq := optimizeWorkload(t, cfg, nil, 1)
+			for _, workers := range []int{2, 4} {
+				par := optimizeWorkload(t, cfg, nil, workers)
+				if par.Stats.Workers != workers {
+					t.Fatalf("run used %d workers, want %d", par.Stats.Workers, workers)
+				}
+				if got, want := len(par.Plans), len(seq.Plans); got != want {
+					t.Fatalf("workers=%d: %d final plans, sequential %d", workers, got, want)
+				}
+				for i := range par.Plans {
+					if g, w := planKey(par.Plans[i]), planKey(seq.Plans[i]); g != w {
+						t.Errorf("workers=%d: plan %d = %s, sequential %s", workers, i, g, w)
+					}
+				}
+				if par.Stats.CreatedPlans != seq.Stats.CreatedPlans ||
+					par.Stats.PrunedPlans != seq.Stats.PrunedPlans ||
+					par.Stats.FinalPlans != seq.Stats.FinalPlans ||
+					par.Stats.MaxPlansPerSet != seq.Stats.MaxPlansPerSet {
+					t.Errorf("workers=%d: plan stats %+v, sequential %+v", workers, par.Stats, seq.Stats)
+				}
+				if par.Stats.Geometry != seq.Stats.Geometry {
+					t.Errorf("workers=%d: geometry stats %v, sequential %v",
+						workers, par.Stats.Geometry, seq.Stats.Geometry)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFallbackForNonForkableAlgebra: a custom algebra that does
+// not implement ForkableAlgebra must force the sequential path instead
+// of racing on shared solver state.
+func TestParallelFallbackForNonForkableAlgebra(t *testing.T) {
+	schema, err := workload.Generate(workload.Config{Tables: 4, Params: 1, Shape: workload.Chain, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := geometry.NewContext()
+	model, err := cloud.NewModel(schema, cloud.DefaultConfig(), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Context = ctx
+	opts.Workers = 4
+	opts.Algebra = nonForkable{core.NewPWLAlgebra(ctx, 2)}
+	res, err := core.Optimize(schema, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Workers != 1 {
+		t.Errorf("non-forkable algebra ran with %d workers, want 1", res.Stats.Workers)
+	}
+}
+
+// nonForkable hides the Fork method of the wrapped algebra.
+type nonForkable struct{ inner core.Algebra }
+
+func (n nonForkable) Dom(c1, c2 core.Cost) []*geometry.Polytope { return n.inner.Dom(c1, c2) }
+func (n nonForkable) Accumulate(step, c1, c2 core.Cost) core.Cost {
+	return n.inner.Accumulate(step, c1, c2)
+}
+func (n nonForkable) Eval(c core.Cost, x geometry.Vector) geometry.Vector {
+	return n.inner.Eval(c, x)
+}
+
+// TestParallelKeepPerSet: the per-set map must contain identical table
+// sets with identically sized Pareto sets under any worker count.
+func TestParallelKeepPerSet(t *testing.T) {
+	mk := func(workers int) *core.Result {
+		opts := core.DefaultOptions()
+		opts.KeepPerSet = true
+		opts.Workers = workers
+		cfg := workload.Config{Tables: 5, Params: 2, Shape: workload.Star, Seed: 2}
+		return optimizeWorkload(t, cfg, &opts, workers)
+	}
+	seq, par := mk(1), mk(3)
+	if len(seq.PerSet) != len(par.PerSet) {
+		t.Fatalf("per-set maps differ in size: %d vs %d", len(seq.PerSet), len(par.PerSet))
+	}
+	for set, plans := range seq.PerSet {
+		pp, ok := par.PerSet[set]
+		if !ok {
+			t.Errorf("parallel run missing table set %v", set)
+			continue
+		}
+		if len(pp) != len(plans) {
+			t.Errorf("set %v: %d plans parallel, %d sequential", set, len(pp), len(plans))
+		}
+	}
+	_ = catalog.TableSet(0)
+}

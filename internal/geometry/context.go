@@ -2,37 +2,57 @@ package geometry
 
 import "fmt"
 
-// Stats counts the work performed through a Context. The LP counter is
+// Stats counts the work performed through a Solver. The LP counter is
 // the quantity reported as "number of solved linear programs" in
-// Figure 12 of the paper.
+// Figure 12 of the paper; linear programs resolved by the interval and
+// point-probe fast paths (see fastpath.go) still count as solved LPs so
+// the metric stays comparable across optimizer versions.
 type Stats struct {
 	// LPs is the number of linear programs solved.
 	LPs int64
 	// LPIterations is the total number of simplex pivots across all LPs.
 	LPIterations int64
+	// FastPathLPs is the subset of LPs resolved without running the
+	// simplex (interval prescreens, point probes, closed-form boxes).
+	FastPathLPs int64
 	// RegionDiffs counts region-difference computations.
 	RegionDiffs int64
 	// ConvexityChecks counts union-convexity recognitions.
 	ConvexityChecks int64
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. It is the merge operation used to
+// combine per-worker solver counters into the aggregate Figure 12
+// quantities; integer addition makes the aggregate independent of how
+// work was partitioned across workers.
 func (s *Stats) Add(other Stats) {
 	s.LPs += other.LPs
 	s.LPIterations += other.LPIterations
+	s.FastPathLPs += other.FastPathLPs
 	s.RegionDiffs += other.RegionDiffs
 	s.ConvexityChecks += other.ConvexityChecks
 }
 
-func (s Stats) String() string {
-	return fmt.Sprintf("LPs=%d pivots=%d regionDiffs=%d convexityChecks=%d",
-		s.LPs, s.LPIterations, s.RegionDiffs, s.ConvexityChecks)
+// Sub subtracts other from s, for computing the counters of one run
+// from cumulative solver totals.
+func (s *Stats) Sub(other Stats) {
+	s.LPs -= other.LPs
+	s.LPIterations -= other.LPIterations
+	s.FastPathLPs -= other.FastPathLPs
+	s.RegionDiffs -= other.RegionDiffs
+	s.ConvexityChecks -= other.ConvexityChecks
 }
 
-// Context carries numerical tolerances and work counters for geometric
-// operations. A Context is not safe for concurrent use; create one per
-// optimizer run.
-type Context struct {
+func (s Stats) String() string {
+	return fmt.Sprintf("LPs=%d pivots=%d fastLPs=%d regionDiffs=%d convexityChecks=%d",
+		s.LPs, s.LPIterations, s.FastPathLPs, s.RegionDiffs, s.ConvexityChecks)
+}
+
+// Config is the immutable numerical configuration of the geometry
+// layer: tolerances and iteration caps. A Config carries no mutable
+// state, so one value can be shared (by copy) between any number of
+// concurrent Solvers.
+type Config struct {
 	// Eps is the basic numerical tolerance for comparisons against zero.
 	Eps float64
 	// RadiusTol is the Chebyshev-radius threshold below which a polytope
@@ -43,27 +63,77 @@ type Context struct {
 	// MaxSimplexIter bounds the pivots of a single LP before the solver
 	// switches from Dantzig to Bland's anti-cycling rule.
 	MaxSimplexIter int
-	// Stats accumulates counters.
-	Stats Stats
-
-	// Scratch buffers reused across the many small LPs of an optimizer
-	// run (a Context is single-threaded and LPs never nest).
-	scratchTableau tableau
-	scratchRows    [][]float64
-	scratchBasis   []int
-	scratchBacking []float64
-	scratchObj1    []float64
-	scratchObj2    []float64
 }
 
-// NewContext returns a Context with default tolerances.
-func NewContext() *Context {
-	return &Context{
+// DefaultConfig returns the default tolerances.
+func DefaultConfig() Config {
+	return Config{
 		Eps:            1e-9,
 		RadiusTol:      1e-7,
 		MaxSimplexIter: 500,
 	}
 }
 
+// Solver performs the geometric operations (linear programs, emptiness
+// tests, region differences) of one worker. It embeds the shared
+// immutable Config and owns the simplex scratch buffers plus a local
+// Stats block, so a Solver is cheap to call repeatedly but is NOT safe
+// for concurrent use. To run several workers, Fork one Solver per
+// worker and merge their Stats with Stats.Add afterwards; the per-
+// polytope Chebyshev memo is internally synchronized, so concurrent
+// Solvers may safely share Polytope values.
+type Solver struct {
+	// Config is the shared immutable configuration.
+	Config
+	// Stats accumulates this solver's counters.
+	Stats Stats
+
+	// Scratch buffers reused across the many small LPs of an optimizer
+	// run (a Solver is single-threaded and LPs never nest).
+	scratchTableau     tableau
+	scratchRows        [][]float64
+	scratchBasis       []int
+	scratchBacking     []float64
+	scratchObj1        []float64
+	scratchObj2        []float64
+	scratchSnapRows    []float64
+	scratchSnapBasis   []int
+	scratchLo          []float64
+	scratchHi          []float64
+	scratchProbe       []float64
+	scratchHalfspaces  []Halfspace
+	scratchChebBacking []float64
+	scratchKeep        []bool
+}
+
+// Context is the historical name of Solver, kept as an alias so that
+// existing call sites (and the public facade) keep compiling. New code
+// should use Solver and fork one per worker.
+type Context = Solver
+
+// NewContext returns a Solver with default tolerances.
+func NewContext() *Context { return NewSolver(DefaultConfig()) }
+
+// NewSolver returns a Solver using the given configuration. Zero
+// tolerances are replaced by the defaults.
+func NewSolver(cfg Config) *Solver {
+	def := DefaultConfig()
+	if cfg.Eps == 0 {
+		cfg.Eps = def.Eps
+	}
+	if cfg.RadiusTol == 0 {
+		cfg.RadiusTol = def.RadiusTol
+	}
+	if cfg.MaxSimplexIter == 0 {
+		cfg.MaxSimplexIter = def.MaxSimplexIter
+	}
+	return &Solver{Config: cfg}
+}
+
+// Fork returns a fresh Solver sharing s's configuration, with its own
+// scratch buffers and zeroed Stats. The fork is independent of s and
+// safe to use from another goroutine.
+func (s *Solver) Fork() *Solver { return &Solver{Config: s.Config} }
+
 // ResetStats zeroes the counters.
-func (ctx *Context) ResetStats() { ctx.Stats = Stats{} }
+func (s *Solver) ResetStats() { s.Stats = Stats{} }

@@ -16,11 +16,17 @@ package geometry
 // Emptiness of E \ union is decided up to lower-dimensional slivers,
 // consistent with the rest of the package.
 //
+// The validity checks are evaluated polytope-major: all support values
+// over one polytope q share a single phase-1 basis (see supportSolver),
+// and constraints already invalidated by an earlier polytope are
+// skipped. The set of linear programs solved — and hence Stats.LPs —
+// is identical to the classical constraint-major loop with early exit.
+//
 // Degenerate inputs: an empty list yields (nil, true) — the union of zero
 // polytopes is the empty set, which is convex; a single polytope is its
 // own union.
-func (ctx *Context) UnionConvex(polys []*Polytope) (*Polytope, bool) {
-	ctx.Stats.ConvexityChecks++
+func (s *Solver) UnionConvex(polys []*Polytope) (*Polytope, bool) {
+	s.Stats.ConvexityChecks++
 	switch len(polys) {
 	case 0:
 		return nil, true
@@ -28,34 +34,50 @@ func (ctx *Context) UnionConvex(polys []*Polytope) (*Polytope, bool) {
 		return polys[0], true
 	}
 	dim := polys[0].Dim()
-	var env []Halfspace
+	type candidate struct {
+		owner int
+		h     Halfspace
+	}
+	var cands []candidate
 	for i, p := range polys {
 		for _, h := range p.Constraints() {
-			valid := true
-			for j, q := range polys {
-				if j == i {
-					continue
-				}
-				val, ok, unbounded := ctx.SupportValue(q, h.W)
-				if unbounded {
-					valid = false
-					break
-				}
-				if !ok {
-					continue // q empty: vacuously valid
-				}
-				if val > h.B+1e-7 {
-					valid = false
-					break
-				}
+			cands = append(cands, candidate{owner: i, h: h})
+		}
+	}
+	valid := make([]bool, len(cands))
+	for i := range valid {
+		valid[i] = true
+	}
+	for qi, q := range polys {
+		var ss *supportSolver
+		for ci, c := range cands {
+			if c.owner == qi || !valid[ci] {
+				continue
 			}
-			if valid {
-				env = append(env, h)
+			if ss == nil {
+				ss = s.newSupportSolver(q.hs, dim)
+			}
+			val, ok, unbounded := ss.Value(c.h.W)
+			if unbounded {
+				valid[ci] = false
+				continue
+			}
+			if !ok {
+				continue // q empty: vacuously valid
+			}
+			if val > c.h.B+1e-7 {
+				valid[ci] = false
 			}
 		}
 	}
+	env := make([]Halfspace, 0, len(cands))
+	for ci, c := range cands {
+		if valid[ci] {
+			env = append(env, c.h)
+		}
+	}
 	e := NewPolytope(dim, env...)
-	if ctx.UnionCovers(e, polys) {
+	if s.UnionCovers(e, polys) {
 		return e, true
 	}
 	return nil, false

@@ -1,0 +1,185 @@
+package geometry
+
+import "math"
+
+// LP fast paths: cheap prescreens run before the dense simplex. They
+// only fire on conclusive evidence — every margin below is chosen so
+// that borderline systems (within the solver tolerances) fall through
+// to the simplex, keeping fast-path and simplex answers consistent.
+//
+// The screens work on the interval relaxation of the halfspace system:
+// axis-aligned constraints (a single nonzero weight) induce per-variable
+// bounds; general rows are then tested against the resulting bounding
+// box via interval arithmetic. Because the box is a relaxation of the
+// feasible set, "empty box" and "row violated everywhere on the box"
+// are sound for infeasibility, and "row valid everywhere on the box" is
+// sound for redundancy of that row. See DESIGN.md, "LP fast paths".
+
+// fastMargin is the conclusiveness margin of the interval screens. It
+// sits well above the simplex feasibility tolerance (1e-7 on normalized
+// rows), so the screens never decide a system the simplex would
+// consider borderline.
+const fastMargin = 1e-6
+
+// axisVar returns the index of the single nonzero weight of w, or -1
+// when w has zero or more than one nonzero weight.
+func axisVar(w Vector) int {
+	idx := -1
+	for j, v := range w {
+		if v != 0 {
+			if idx >= 0 {
+				return -1
+			}
+			idx = j
+		}
+	}
+	return idx
+}
+
+// intervalBounds derives per-variable bounds from the axis-aligned rows
+// of hs into the solver scratch. Missing bounds are ±Inf. Rows whose
+// weight norm is within the solver tolerance are skipped: the tableau
+// treats them as trivial or degenerate-infeasible (see newTableau), so
+// deriving a hard bound from them would let the screens contradict the
+// simplex.
+func (s *Solver) intervalBounds(hs []Halfspace, dim int) (lo, hi []float64) {
+	lo = growFloats(&s.scratchLo, dim)
+	hi = growFloats(&s.scratchHi, dim)
+	for i := 0; i < dim; i++ {
+		lo[i] = math.Inf(-1)
+		hi[i] = math.Inf(1)
+	}
+	for _, h := range hs {
+		if h.W.NormInf() <= s.Eps {
+			continue
+		}
+		j := axisVar(h.W)
+		if j < 0 {
+			continue
+		}
+		w := h.W[j]
+		if w > 0 {
+			if b := h.B / w; b < hi[j] {
+				hi[j] = b
+			}
+		} else {
+			if b := h.B / w; b > lo[j] {
+				lo[j] = b
+			}
+		}
+	}
+	return lo, hi
+}
+
+// rowIntervalMin returns the minimum of w·x over the box [lo, hi]
+// (-Inf when an unbounded direction contributes).
+func rowIntervalMin(w Vector, lo, hi []float64) float64 {
+	min := 0.0
+	for j, v := range w {
+		switch {
+		case v > 0:
+			min += v * lo[j]
+		case v < 0:
+			min += v * hi[j]
+		}
+	}
+	return min
+}
+
+// rowIntervalMax returns the maximum of w·x over the box [lo, hi].
+func rowIntervalMax(w Vector, lo, hi []float64) float64 {
+	max := 0.0
+	for j, v := range w {
+		switch {
+		case v > 0:
+			max += v * hi[j]
+		case v < 0:
+			max += v * lo[j]
+		}
+	}
+	return max
+}
+
+// boundScale is the magnitude scale of the finite interval bounds, used
+// to make the screen margins relative.
+func boundScale(lo, hi []float64) float64 {
+	s := 1.0
+	for i := range lo {
+		if v := math.Abs(lo[i]); !math.IsInf(v, 1) && v > s {
+			s = v
+		}
+		if v := math.Abs(hi[i]); !math.IsInf(v, 1) && v > s {
+			s = v
+		}
+	}
+	return s
+}
+
+// screenSystem runs the interval prescreens over the halfspace system.
+// It reports conclusive infeasibility, or (when feasibility cannot be
+// decided) a keep mask marking rows implied by the interval box — those
+// may be dropped from the tableau without changing the feasible set. A
+// nil mask keeps every row. The mask lives in solver scratch and is
+// only valid until the next screen.
+func (s *Solver) screenSystem(hs []Halfspace, dim int, dropImplied bool) (infeasible bool, keep []bool) {
+	lo, hi := s.intervalBounds(hs, dim)
+	scale := boundScale(lo, hi)
+	tol := fastMargin * scale
+	for i := 0; i < dim; i++ {
+		if lo[i]-hi[i] > tol {
+			return true, nil
+		}
+	}
+	dropped := false
+	if dropImplied {
+		keep = growBools(&s.scratchKeep, len(hs))
+	}
+	for i, h := range hs {
+		if dropImplied {
+			keep[i] = true
+		}
+		if h.W.NormInf() <= s.Eps {
+			continue // trivial or degenerate: the tableau decides
+		}
+		j := axisVar(h.W)
+		if j >= 0 {
+			if !dropImplied {
+				continue
+			}
+			// Axis rows slacker than the derived bound are implied by
+			// the (kept) tightest row of their direction.
+			w := h.W[j]
+			if w > 0 {
+				if h.B/w > hi[j]+tol {
+					keep[i] = false
+					dropped = true
+				}
+			} else if h.B/w < lo[j]-tol {
+				keep[i] = false
+				dropped = true
+			}
+			continue
+		}
+		n := h.W.NormInf()
+		min := rowIntervalMin(h.W, lo, hi)
+		if min-h.B > tol*n {
+			return true, nil // violated everywhere on the relaxation
+		}
+		if dropImplied && rowIntervalMax(h.W, lo, hi) <= h.B-tol*n {
+			keep[i] = false // valid everywhere on the relaxation
+			dropped = true
+		}
+	}
+	if !dropped {
+		return false, nil
+	}
+	return false, keep
+}
+
+func growBools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Polytope is a convex polyhedron in H-representation: the intersection
@@ -11,19 +13,27 @@ import (
 // polytope with no constraints is the whole space R^dim. Polytopes are
 // immutable: all operations return new values.
 //
-// The Chebyshev center computation is memoized per polytope (immutable
-// data makes this safe); a cache hit does not count as a solved LP.
-// Polytopes and Contexts are not safe for concurrent use.
+// The Chebyshev center computation is memoized per polytope. The memo
+// is published through an atomic pointer and computed under a per-
+// polytope mutex, so concurrent Solvers may share polytopes: exactly
+// one solver performs the LP (and counts it), all others block and read
+// the memo — the aggregate LP count is therefore independent of how
+// work is scheduled. A cache hit does not count as a solved LP.
 type Polytope struct {
 	dim int
 	hs  []Halfspace
 
-	chebDone   bool
-	chebOK     bool
-	chebCenter Vector
-	chebRadius float64
+	cheb   atomic.Pointer[chebMemo]
+	chebMu sync.Mutex
 
 	family *Family
+}
+
+// chebMemo is the immutable memoized Chebyshev result of a polytope.
+type chebMemo struct {
+	ok     bool
+	center Vector
+	radius float64
 }
 
 // Family identifies a partition of the parameter space: polytopes marked
@@ -98,22 +108,49 @@ func (p *Polytope) Constraints() []Halfspace { return p.hs }
 func (p *Polytope) NumConstraints() int { return len(p.hs) }
 
 // Intersect returns the intersection of p and q.
+//
+// Both inputs uphold the package invariant that stored constraint lists
+// are already deduplicated and free of trivial rows, so only q's rows
+// are checked against p's (and each other) — a single allocation and no
+// re-scan of p.
 func (p *Polytope) Intersect(q *Polytope) *Polytope {
 	if p.dim != q.dim {
 		panic(fmt.Sprintf("geometry: intersect of polytopes with dims %d and %d", p.dim, q.dim))
 	}
-	hs := make([]Halfspace, 0, len(p.hs)+len(q.hs))
-	hs = append(hs, p.hs...)
-	hs = append(hs, q.hs...)
-	return &Polytope{dim: p.dim, hs: dedupHalfspaces(hs)}
+	hs := make([]Halfspace, len(p.hs), len(p.hs)+len(q.hs))
+	copy(hs, p.hs)
+	hs = appendDedup(hs, q.hs)
+	return &Polytope{dim: p.dim, hs: hs}
 }
 
 // With returns p intersected with additional halfspaces.
 func (p *Polytope) With(hs ...Halfspace) *Polytope {
-	all := make([]Halfspace, 0, len(p.hs)+len(hs))
-	all = append(all, p.hs...)
-	all = append(all, hs...)
-	return &Polytope{dim: p.dim, hs: dedupHalfspaces(all)}
+	all := make([]Halfspace, len(p.hs), len(p.hs)+len(hs))
+	copy(all, p.hs)
+	all = appendDedup(all, hs)
+	return &Polytope{dim: p.dim, hs: all}
+}
+
+// appendDedup appends the non-trivial members of extra to dst, skipping
+// entries that duplicate (up to positive scaling) a constraint already
+// present. dst is assumed deduplicated.
+func appendDedup(dst, extra []Halfspace) []Halfspace {
+	for _, h := range extra {
+		if h.IsTrivial(1e-12) {
+			continue
+		}
+		dup := false
+		for _, k := range dst {
+			if sameHalfspace(h, k) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, h)
+		}
+	}
+	return dst
 }
 
 // ContainsPoint reports whether x satisfies all constraints within eps.
@@ -141,7 +178,7 @@ func (p *Polytope) String() string {
 // dedupHalfspaces removes exact duplicates (after normalization) and
 // trivial constraints (satisfied by every point) while preserving order.
 // It is a cheap syntactic reduction; semantic redundancy is removed by
-// Context.RemoveRedundant.
+// Solver.RemoveRedundant.
 func dedupHalfspaces(hs []Halfspace) []Halfspace {
 	if len(hs) <= smallDedup {
 		return dedupSmall(hs)
@@ -229,55 +266,86 @@ func appendFloatKey(b []byte, v float64) []byte {
 // IsEmpty reports whether p has no points at all (infeasible constraint
 // set). Lower-dimensional polytopes are NOT empty by this predicate; use
 // IsFullDim for the tolerance-based full-dimensionality test.
-func (ctx *Context) IsEmpty(p *Polytope) bool {
-	res := ctx.FeasiblePoint(p.hs, p.dim)
-	return res.Status == LPInfeasible
+func (s *Solver) IsEmpty(p *Polytope) bool {
+	return s.feasibleStatus(p.hs, p.dim) == LPInfeasible
 }
 
 // Chebyshev computes the Chebyshev center and radius of p: the center and
 // radius of the largest inscribed ball. It returns ok=false when p is
 // empty. When p is unbounded in a direction allowing arbitrarily large
-// balls, radius is +Inf. Results are memoized on the polytope.
-func (ctx *Context) Chebyshev(p *Polytope) (center Vector, radius float64, ok bool) {
-	if p.chebDone {
-		return p.chebCenter, p.chebRadius, p.chebOK
+// balls, radius is +Inf. Results are memoized on the polytope; the memo
+// is safe against concurrent solvers and the underlying LP is solved
+// (and counted) exactly once per polytope.
+func (s *Solver) Chebyshev(p *Polytope) (center Vector, radius float64, ok bool) {
+	if m := p.cheb.Load(); m != nil {
+		return m.center, m.radius, m.ok
 	}
-	center, radius, ok = ctx.chebyshevUncached(p)
-	p.chebDone = true
-	p.chebCenter, p.chebRadius, p.chebOK = center, radius, ok
+	p.chebMu.Lock()
+	defer p.chebMu.Unlock()
+	if m := p.cheb.Load(); m != nil {
+		return m.center, m.radius, m.ok
+	}
+	center, radius, ok = s.chebyshevUncached(p)
+	p.cheb.Store(&chebMemo{ok: ok, center: center, radius: radius})
 	return center, radius, ok
 }
 
-func (ctx *Context) chebyshevUncached(p *Polytope) (center Vector, radius float64, ok bool) {
+// chebPeek returns the memoized Chebyshev result without computing it.
+func (p *Polytope) chebPeek() *chebMemo { return p.cheb.Load() }
+
+func (s *Solver) chebyshevUncached(p *Polytope) (center Vector, radius float64, ok bool) {
 	d := p.dim
+	// Fast path: a clearly infeasible system needs no LP.
+	if infeasible, _ := s.screenSystem(p.hs, d, false); infeasible {
+		s.Stats.LPs++
+		s.Stats.FastPathLPs++
+		return nil, 0, false
+	}
+	// Fast path: for purely axis-aligned systems the Chebyshev ball has
+	// a closed form — the interval box's midpoint and smallest half-
+	// width. Only conclusive (clearly nonempty) boxes are taken; the
+	// interval bounds are still valid from the screen above.
+	if c, r, conclusive := s.chebyshevAxisAligned(p.hs, d); conclusive {
+		s.Stats.LPs++
+		s.Stats.FastPathLPs++
+		return c, r, true
+	}
 	// Variables (x, r); maximize r subject to W·x + ||W||2 * r <= B and
-	// r >= 0.
-	hs := make([]Halfspace, 0, len(p.hs)+1)
-	for _, h := range p.hs {
-		w := make(Vector, d+1)
+	// r >= 0. The transformed system lives in solver scratch; newTableau
+	// copies it before the next LP could reuse the buffer.
+	hs := growHalfspaces(&s.scratchHalfspaces, len(p.hs)+1)
+	backing := growFloats(&s.scratchChebBacking, (len(p.hs)+2)*(d+1))
+	for i, h := range p.hs {
+		w := Vector(backing[i*(d+1) : (i+1)*(d+1)])
 		copy(w, h.W)
 		w[d] = h.W.Norm2()
-		hs = append(hs, Halfspace{W: w, B: h.B})
+		hs[i] = Halfspace{W: w, B: h.B}
 	}
-	wr := NewVector(d + 1)
+	wr := Vector(backing[len(p.hs)*(d+1) : (len(p.hs)+1)*(d+1)])
+	for i := range wr {
+		wr[i] = 0
+	}
 	wr[d] = -1
-	hs = append(hs, Halfspace{W: wr, B: 0}) // r >= 0
-	obj := NewVector(d + 1)
+	hs[len(p.hs)] = Halfspace{W: wr, B: 0} // r >= 0
+	obj := Vector(backing[(len(p.hs)+1)*(d+1) : (len(p.hs)+2)*(d+1)])
+	for i := range obj {
+		obj[i] = 0
+	}
 	obj[d] = 1
-	res := ctx.Maximize(obj, hs)
+	res := s.Maximize(obj, hs)
 	switch res.Status {
 	case LPInfeasible:
 		return nil, 0, false
 	case LPUnbounded:
 		// Need any feasible point for the center.
-		fp := ctx.FeasiblePoint(p.hs, d)
+		fp := s.FeasiblePoint(p.hs, d)
 		if fp.Status != LPOptimal {
 			return nil, 0, false
 		}
 		return fp.X, math.Inf(1), true
 	case LPMaxIter:
 		// Conservative: report feasible with unknown radius.
-		fp := ctx.FeasiblePoint(p.hs, d)
+		fp := s.FeasiblePoint(p.hs, d)
 		if fp.Status != LPOptimal {
 			return nil, 0, false
 		}
@@ -286,12 +354,78 @@ func (ctx *Context) chebyshevUncached(p *Polytope) (center Vector, radius float6
 	return Vector(res.X[:d]).Clone(), res.Value, true
 }
 
+// chebyshevAxisAligned computes the exact Chebyshev ball of a system
+// whose rows are all axis-aligned (a box): the interval midpoint and
+// the smallest half-width. conclusive is false when the system has a
+// general row, or the box is borderline empty — those fall back to the
+// LP. The caller must have just run screenSystem (interval scratch).
+func (s *Solver) chebyshevAxisAligned(hs []Halfspace, dim int) (Vector, float64, bool) {
+	for _, h := range hs {
+		if h.W.NormInf() <= s.Eps {
+			// The tableau treats these rows as trivial or degenerate-
+			// infeasible (newTableau's IsTrivial/IsInfeasible); mirror it.
+			if h.B < -s.Eps {
+				return nil, 0, false // degenerate infeasible row: let the LP decide
+			}
+			continue
+		}
+		if axisVar(h.W) < 0 {
+			return nil, 0, false
+		}
+	}
+	lo, hi := s.scratchLo, s.scratchHi
+	if len(lo) != dim {
+		return nil, 0, false
+	}
+	radius := math.Inf(1)
+	for i := 0; i < dim; i++ {
+		if hw := (hi[i] - lo[i]) / 2; hw < radius {
+			radius = hw
+		}
+	}
+	if !math.IsInf(radius, 1) && radius <= fastMargin*boundScale(lo, hi) {
+		// Thin or borderline-empty boxes keep the LP's tolerance
+		// behavior.
+		return nil, 0, false
+	}
+	c := NewVector(dim)
+	for i := 0; i < dim; i++ {
+		l, h := lo[i], hi[i]
+		switch {
+		case math.IsInf(l, -1) && math.IsInf(h, 1):
+			c[i] = 0
+		case math.IsInf(l, -1):
+			c[i] = h - math.Max(radiusOr(radius, 1), 1)
+		case math.IsInf(h, 1):
+			c[i] = l + math.Max(radiusOr(radius, 1), 1)
+		default:
+			c[i] = (l + h) / 2
+		}
+	}
+	return c, radius, true
+}
+
+// radiusOr returns r when finite, fallback otherwise.
+func radiusOr(r, fallback float64) float64 {
+	if math.IsInf(r, 1) {
+		return fallback
+	}
+	return r
+}
+
+func growHalfspaces(buf *[]Halfspace, n int) []Halfspace {
+	if cap(*buf) < n {
+		*buf = make([]Halfspace, n)
+	}
+	return (*buf)[:n]
+}
+
 // IsFullDim reports whether p contains a ball of radius larger than
-// ctx.RadiusTol, i.e. whether p is "meaningfully" full-dimensional. This
+// s.RadiusTol, i.e. whether p is "meaningfully" full-dimensional. This
 // is the emptiness predicate used by region difference and cover checks.
-func (ctx *Context) IsFullDim(p *Polytope) bool {
-	_, r, ok := ctx.Chebyshev(p)
-	return ok && r > ctx.RadiusTol
+func (s *Solver) IsFullDim(p *Polytope) bool {
+	_, r, ok := s.Chebyshev(p)
+	return ok && r > s.RadiusTol
 }
 
 // BallCertifiesFullDim reports whether the (memoized) Chebyshev ball of
@@ -300,8 +434,8 @@ func (ctx *Context) IsFullDim(p *Polytope) bool {
 // polytope: the ball of radius min(r, margins) around the center lies
 // inside the intersection. A false result is inconclusive — callers fall
 // back to IsFullDim on the cut polytope.
-func (ctx *Context) BallCertifiesFullDim(base *Polytope, hs ...Halfspace) bool {
-	c, r, ok := ctx.Chebyshev(base)
+func (s *Solver) BallCertifiesFullDim(base *Polytope, hs ...Halfspace) bool {
+	c, r, ok := s.Chebyshev(base)
 	if !ok || math.IsInf(r, 1) {
 		return false
 	}
@@ -317,19 +451,19 @@ func (ctx *Context) BallCertifiesFullDim(base *Polytope, hs ...Halfspace) bool {
 		if margin < r {
 			r = margin
 		}
-		if r <= ctx.RadiusTol {
+		if r <= s.RadiusTol {
 			return false
 		}
 	}
-	return r > ctx.RadiusTol
+	return r > s.RadiusTol
 }
 
 // SupportValue returns max w·x over p. The boolean result is false when
 // the maximum does not exist (empty polytope, unbounded direction, or
 // solver failure); in that case bounded distinguishes emptiness
 // (bounded=false means unbounded above).
-func (ctx *Context) SupportValue(p *Polytope, w Vector) (val float64, ok bool, unbounded bool) {
-	res := ctx.Maximize(w, p.hs)
+func (s *Solver) SupportValue(p *Polytope, w Vector) (val float64, ok bool, unbounded bool) {
+	res := s.maximize(w, p.hs, true)
 	switch res.Status {
 	case LPOptimal:
 		return res.Value, true, false
@@ -342,18 +476,21 @@ func (ctx *Context) SupportValue(p *Polytope, w Vector) (val float64, ok bool, u
 
 // Contains reports whether q is a subset of p (within tolerance), by
 // checking that every constraint of p is valid over q. An empty q is
-// contained in everything.
-func (ctx *Context) Contains(p, q *Polytope) bool {
+// contained in everything. The support values over q share one phase-1
+// basis (see supportSolver), so only the first of the up to
+// len(p.hs)+1 linear programs pays the feasibility pivots.
+func (s *Solver) Contains(p, q *Polytope) bool {
 	// Fast rejection: if q's (memoized) Chebyshev center is known and
 	// lies outside p, q cannot be a subset.
-	if q.chebDone && q.chebOK && !p.ContainsPoint(q.chebCenter, 1e-7) {
+	if m := q.chebPeek(); m != nil && m.ok && !p.ContainsPoint(m.center, 1e-7) {
 		return false
 	}
-	if ctx.IsEmpty(q) {
+	ss := s.newSupportSolver(q.hs, q.dim)
+	if ss.Empty() {
 		return true
 	}
 	for _, h := range p.hs {
-		val, ok, unbounded := ctx.SupportValue(q, h.W)
+		val, ok, unbounded := ss.Value(h.W)
 		if unbounded {
 			return false
 		}
@@ -369,15 +506,15 @@ func (ctx *Context) Contains(p, q *Polytope) bool {
 
 // Equal reports whether p and q describe the same point set, by mutual
 // containment.
-func (ctx *Context) Equal(p, q *Polytope) bool {
-	return ctx.Contains(p, q) && ctx.Contains(q, p)
+func (s *Solver) Equal(p, q *Polytope) bool {
+	return s.Contains(p, q) && s.Contains(q, p)
 }
 
 // RemoveRedundant returns a polytope describing the same set with
 // semantically redundant constraints removed: a constraint is dropped
 // when it is implied by the remaining ones. This is the first refinement
 // of Section 6.2 of the paper.
-func (ctx *Context) RemoveRedundant(p *Polytope) *Polytope {
+func (s *Solver) RemoveRedundant(p *Polytope) *Polytope {
 	if len(p.hs) <= 1 {
 		return p
 	}
@@ -391,7 +528,7 @@ func (ctx *Context) RemoveRedundant(p *Polytope) *Polytope {
 		rest := make([]Halfspace, 0, len(kept)-1)
 		rest = append(rest, kept[:i]...)
 		rest = append(rest, kept[i+1:]...)
-		val, ok, unbounded := ctx.SupportValue(&Polytope{dim: p.dim, hs: rest}, kept[i].W)
+		val, ok, unbounded := s.SupportValue(&Polytope{dim: p.dim, hs: rest}, kept[i].W)
 		if unbounded {
 			continue // constraint is binding
 		}
@@ -400,7 +537,7 @@ func (ctx *Context) RemoveRedundant(p *Polytope) *Polytope {
 			// infeasible certificate set.
 			continue
 		}
-		if val <= kept[i].B+ctx.Eps*10 {
+		if val <= kept[i].B+s.Eps*10 {
 			kept = rest
 		}
 	}
@@ -410,12 +547,12 @@ func (ctx *Context) RemoveRedundant(p *Polytope) *Polytope {
 // Vertices1D returns the endpoints of a one-dimensional polytope
 // (interval), useful for rendering experiment output. ok is false when
 // p is not one-dimensional, empty, or unbounded.
-func (ctx *Context) Vertices1D(p *Polytope) (lo, hi float64, ok bool) {
+func (s *Solver) Vertices1D(p *Polytope) (lo, hi float64, ok bool) {
 	if p.dim != 1 {
 		return 0, 0, false
 	}
-	vhi, okHi, _ := ctx.SupportValue(p, Vector{1})
-	vlo, okLo, _ := ctx.SupportValue(p, Vector{-1})
+	vhi, okHi, _ := s.SupportValue(p, Vector{1})
+	vlo, okLo, _ := s.SupportValue(p, Vector{-1})
 	if !okHi || !okLo {
 		return 0, 0, false
 	}
@@ -469,18 +606,20 @@ func SamplePointsInBox(lo, hi Vector, perDim, capTotal int) []Vector {
 	return pts
 }
 
-// BoundingBox computes per-dimension bounds of p via 2*dim support LPs.
-// ok is false if p is empty or unbounded in some direction.
-func (ctx *Context) BoundingBox(p *Polytope) (lo, hi Vector, ok bool) {
+// BoundingBox computes per-dimension bounds of p via 2*dim support LPs
+// sharing one phase-1 basis. ok is false if p is empty or unbounded in
+// some direction.
+func (s *Solver) BoundingBox(p *Polytope) (lo, hi Vector, ok bool) {
 	d := p.dim
 	lo, hi = NewVector(d), NewVector(d)
+	ss := s.newSupportSolver(p.hs, d)
+	w := NewVector(d)
 	for i := 0; i < d; i++ {
-		w := NewVector(d)
 		w[i] = 1
-		vhi, okHi, _ := ctx.SupportValue(p, w)
-		w2 := NewVector(d)
-		w2[i] = -1
-		vlo, okLo, _ := ctx.SupportValue(p, w2)
+		vhi, okHi, _ := ss.Value(w)
+		w[i] = -1
+		vlo, okLo, _ := ss.Value(w)
+		w[i] = 0
 		if !okHi || !okLo {
 			return nil, nil, false
 		}

@@ -3,7 +3,7 @@ package geometry
 // RegionDiff computes a set of convex polytopes whose union is the
 // closure of P minus the union of the cutouts, up to lower-dimensional
 // (thin) slivers: residual pieces with Chebyshev radius below
-// ctx.RadiusTol are dropped, because such pieces lie on the boundary of a
+// Config.RadiusTol are dropped, because such pieces lie on the boundary of a
 // closed cutout and are therefore covered by it. The returned pieces have
 // pairwise disjoint interiors.
 //
@@ -11,10 +11,10 @@ package geometry
 // optimization toolkits: the first cutout splits P into at most
 // len(C.Constraints()) pieces, each of which is recursively reduced by
 // the remaining cutouts.
-func (ctx *Context) RegionDiff(p *Polytope, cutouts []*Polytope) []*Polytope {
-	ctx.Stats.RegionDiffs++
+func (s *Solver) RegionDiff(p *Polytope, cutouts []*Polytope) []*Polytope {
+	s.Stats.RegionDiffs++
 	var out []*Polytope
-	ctx.regionDiffRec(p, cutouts, func(res *Polytope) bool {
+	s.regionDiffRec(p, cutouts, func(res *Polytope) bool {
 		out = append(out, res)
 		return false
 	})
@@ -23,10 +23,10 @@ func (ctx *Context) RegionDiff(p *Polytope, cutouts []*Polytope) []*Polytope {
 
 // UnionCovers reports whether the union of the cutouts covers P up to
 // lower-dimensional slivers. It is the early-exit form of RegionDiff.
-func (ctx *Context) UnionCovers(p *Polytope, cutouts []*Polytope) bool {
-	ctx.Stats.RegionDiffs++
+func (s *Solver) UnionCovers(p *Polytope, cutouts []*Polytope) bool {
+	s.Stats.RegionDiffs++
 	covered := true
-	ctx.regionDiffRec(p, cutouts, func(res *Polytope) bool {
+	s.regionDiffRec(p, cutouts, func(res *Polytope) bool {
 		covered = false
 		return true // stop at first witness
 	})
@@ -35,10 +35,10 @@ func (ctx *Context) UnionCovers(p *Polytope, cutouts []*Polytope) bool {
 
 // UncoveredWitness returns a full-dimensional polytope inside P that is
 // disjoint from all cutouts, or nil when the cutouts cover P.
-func (ctx *Context) UncoveredWitness(p *Polytope, cutouts []*Polytope) *Polytope {
-	ctx.Stats.RegionDiffs++
+func (s *Solver) UncoveredWitness(p *Polytope, cutouts []*Polytope) *Polytope {
+	s.Stats.RegionDiffs++
 	var witness *Polytope
-	ctx.regionDiffRec(p, cutouts, func(res *Polytope) bool {
+	s.regionDiffRec(p, cutouts, func(res *Polytope) bool {
 		witness = res
 		return true
 	})
@@ -50,12 +50,12 @@ func (ctx *Context) UncoveredWitness(p *Polytope, cutouts []*Polytope) *Polytope
 // returning true stops the enumeration. Returns whether enumeration was
 // stopped. knownFullDim skips the entry check when the caller already
 // certified the piece.
-func (ctx *Context) regionDiffRec(piece *Polytope, cutouts []*Polytope, visit func(*Polytope) bool) bool {
-	return ctx.regionDiffRecKnown(piece, false, cutouts, visit)
+func (s *Solver) regionDiffRec(piece *Polytope, cutouts []*Polytope, visit func(*Polytope) bool) bool {
+	return s.regionDiffRecKnown(piece, false, cutouts, visit)
 }
 
-func (ctx *Context) regionDiffRecKnown(piece *Polytope, knownFullDim bool, cutouts []*Polytope, visit func(*Polytope) bool) bool {
-	if !knownFullDim && !ctx.IsFullDim(piece) {
+func (s *Solver) regionDiffRecKnown(piece *Polytope, knownFullDim bool, cutouts []*Polytope, visit func(*Polytope) bool) bool {
+	if !knownFullDim && !s.IsFullDim(piece) {
 		return false
 	}
 	if len(cutouts) == 0 {
@@ -63,12 +63,12 @@ func (ctx *Context) regionDiffRecKnown(piece *Polytope, knownFullDim bool, cutou
 	}
 	c := cutouts[0]
 	rest := cutouts[1:]
-	if !ctx.BallCertifiesFullDim(piece, c.Constraints()...) {
+	if !s.BallCertifiesFullDim(piece, c.Constraints()...) {
 		inter := piece.Intersect(c)
-		if !ctx.IsFullDim(inter) {
+		if !s.IsFullDim(inter) {
 			// The cutout misses this piece (or only touches its
 			// boundary).
-			return ctx.regionDiffRecKnown(piece, true, rest, visit)
+			return s.regionDiffRecKnown(piece, true, rest, visit)
 		}
 	}
 	// Staircase subdivision of piece \ c: for constraints h1..hk of c,
@@ -81,12 +81,12 @@ func (ctx *Context) regionDiffRecKnown(piece *Polytope, knownFullDim bool, cutou
 			continue
 		}
 		flipped := h.Flip()
-		if ctx.BallCertifiesFullDim(base, flipped) {
-			if ctx.regionDiffRecKnown(base.With(flipped), true, rest, visit) {
+		if s.BallCertifiesFullDim(base, flipped) {
+			if s.regionDiffRecKnown(base.With(flipped), true, rest, visit) {
 				return true
 			}
-		} else if outPiece := base.With(flipped); ctx.IsFullDim(outPiece) {
-			if ctx.regionDiffRecKnown(outPiece, true, rest, visit) {
+		} else if outPiece := base.With(flipped); s.IsFullDim(outPiece) {
+			if s.regionDiffRecKnown(outPiece, true, rest, visit) {
 				return true
 			}
 		}

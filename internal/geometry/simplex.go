@@ -46,13 +46,25 @@ type LPResult struct {
 //	max  obj·x
 //	s.t. h.W·x <= h.B  for every h in hs,
 //
-// with x free, using a dense two-phase simplex method. Degenerate
-// halfspaces (zero weight vectors) are resolved directly. Every call
-// increments ctx.Stats.LPs.
-func (ctx *Context) Maximize(obj Vector, hs []Halfspace) LPResult {
-	ctx.Stats.LPs++
+// with x free, using a dense two-phase simplex method preceded by the
+// interval prescreen of fastpath.go. Degenerate halfspaces (zero weight
+// vectors) are resolved directly. Every call increments s.Stats.LPs,
+// whether the simplex ran or a fast path concluded.
+func (s *Solver) Maximize(obj Vector, hs []Halfspace) LPResult {
+	// Row dropping is disabled so the returned vertex is the exact
+	// point the historical solver produced (callers read X).
+	return s.maximize(obj, hs, false)
+}
+
+func (s *Solver) maximize(obj Vector, hs []Halfspace, dropImplied bool) LPResult {
+	s.Stats.LPs++
 	dim := len(obj)
-	t, infeasible := newTableau(ctx, dim, hs)
+	infeasible, keep := s.screenSystem(hs, dim, dropImplied)
+	if infeasible {
+		s.Stats.FastPathLPs++
+		return LPResult{Status: LPInfeasible}
+	}
+	t, infeasible := newTableau(s, dim, hs, keep)
 	if infeasible {
 		return LPResult{Status: LPInfeasible}
 	}
@@ -69,9 +81,14 @@ func (ctx *Context) Maximize(obj Vector, hs []Halfspace) LPResult {
 
 // FeasiblePoint returns a point satisfying all halfspaces, if one exists.
 // It runs only phase 1 of the simplex method and counts as one LP.
-func (ctx *Context) FeasiblePoint(hs []Halfspace, dim int) LPResult {
-	ctx.Stats.LPs++
-	t, infeasible := newTableau(ctx, dim, hs)
+func (s *Solver) FeasiblePoint(hs []Halfspace, dim int) LPResult {
+	s.Stats.LPs++
+	infeasible, _ := s.screenSystem(hs, dim, false)
+	if infeasible {
+		s.Stats.FastPathLPs++
+		return LPResult{Status: LPInfeasible}
+	}
+	t, infeasible := newTableau(s, dim, hs, nil)
 	if infeasible {
 		return LPResult{Status: LPInfeasible}
 	}
@@ -82,6 +99,173 @@ func (ctx *Context) FeasiblePoint(hs []Halfspace, dim int) LPResult {
 	return LPResult{Status: LPOptimal, X: x}
 }
 
+// feasibleStatus decides feasibility of the system, status only. On top
+// of the prescreens of FeasiblePoint it probes candidate points (box
+// corners always satisfy axis-aligned systems), resolving many systems
+// without touching the simplex. Counts as one LP.
+func (s *Solver) feasibleStatus(hs []Halfspace, dim int) LPStatus {
+	s.Stats.LPs++
+	infeasible, keep := s.screenSystem(hs, dim, true)
+	if infeasible {
+		s.Stats.FastPathLPs++
+		return LPInfeasible
+	}
+	if s.probeFeasible(hs, dim) {
+		s.Stats.FastPathLPs++
+		return LPOptimal
+	}
+	t, infeasible := newTableau(s, dim, hs, keep)
+	if infeasible {
+		return LPInfeasible
+	}
+	return t.phase1()
+}
+
+// probeFeasible tests a candidate point derived from the interval
+// bounds (the box midpoint, with unbounded directions clamped) against
+// every row. A satisfying point certifies feasibility; failure is
+// inconclusive. intervalBounds scratch is still valid from the
+// preceding screenSystem call.
+func (s *Solver) probeFeasible(hs []Halfspace, dim int) bool {
+	lo, hi := s.scratchLo, s.scratchHi
+	if len(lo) != dim || len(hi) != dim {
+		return false
+	}
+	x := growFloats(&s.scratchProbe, dim)
+	for i := 0; i < dim; i++ {
+		l, h := lo[i], hi[i]
+		switch {
+		case math.IsInf(l, -1) && math.IsInf(h, 1):
+			x[i] = 0
+		case math.IsInf(l, -1):
+			x[i] = h
+		case math.IsInf(h, 1):
+			x[i] = l
+		default:
+			x[i] = (l + h) / 2
+		}
+	}
+	for _, h := range hs {
+		if h.W.Dot(x) > h.B {
+			return false
+		}
+	}
+	return true
+}
+
+// supportSolver answers repeated support-value queries (max obj·x over
+// a fixed halfspace system) while running phase 1 only once: after the
+// first query the feasible basis is snapshotted and every further query
+// restores it and runs phase 2 alone. Each query still counts as one
+// solved LP, so aggregate Stats.LPs is unchanged relative to solving
+// every query from scratch.
+//
+// The snapshot lives in solver scratch: at most one supportSolver may
+// be active per Solver at a time (queries of a second one would corrupt
+// the first's snapshot). All current users (Contains, BoundingBox,
+// UnionConvex) respect this by construction.
+type supportSolver struct {
+	s        *Solver
+	hs       []Halfspace
+	dim      int
+	prepared bool
+	status   LPStatus // preparation outcome: LPOptimal, LPInfeasible or LPMaxIter
+	// Snapshot of the post-phase-1 tableau.
+	m, n, noArt int
+	rows        []float64 // m*(n+1) flattened
+	basis       []int
+}
+
+func (s *Solver) newSupportSolver(hs []Halfspace, dim int) *supportSolver {
+	return &supportSolver{s: s, hs: hs, dim: dim}
+}
+
+// prepare runs the prescreens and phase 1 once and snapshots the
+// feasible basis. It does not count an LP by itself; the callers'
+// queries do.
+func (ss *supportSolver) prepare() {
+	ss.prepared = true
+	s := ss.s
+	infeasible, keep := s.screenSystem(ss.hs, ss.dim, true)
+	if infeasible {
+		s.Stats.FastPathLPs++
+		ss.status = LPInfeasible
+		return
+	}
+	t, infeasible := newTableau(s, ss.dim, ss.hs, keep)
+	if infeasible {
+		ss.status = LPInfeasible
+		return
+	}
+	if st := t.phase1(); st != LPOptimal {
+		ss.status = st
+		return
+	}
+	ss.status = LPOptimal
+	ss.m, ss.n, ss.noArt = t.m, t.n, t.noArt
+	ss.rows = growFloats(&s.scratchSnapRows, t.m*(t.n+1))
+	for i := 0; i < t.m; i++ {
+		copy(ss.rows[i*(t.n+1):(i+1)*(t.n+1)], t.rows[i])
+	}
+	ss.basis = growInts(&s.scratchSnapBasis, t.m)
+	copy(ss.basis, t.basis)
+}
+
+// Empty reports whether the system is conclusively infeasible. Counts
+// as one LP (it replaces a FeasiblePoint-based IsEmpty call). An
+// iteration-capped preparation is NOT empty — the historical
+// conservative behavior: callers proceed and their value queries
+// report ok=false.
+func (ss *supportSolver) Empty() bool {
+	ss.s.Stats.LPs++
+	if !ss.prepared {
+		ss.prepare()
+	}
+	return ss.status == LPInfeasible
+}
+
+// Value solves max obj·x over the system, reusing the snapshotted
+// feasible basis. Counts as one LP. The result semantics match
+// Solver.SupportValue.
+func (ss *supportSolver) Value(obj Vector) (val float64, ok bool, unbounded bool) {
+	ss.s.Stats.LPs++
+	if !ss.prepared {
+		ss.prepare()
+	}
+	if ss.status != LPOptimal {
+		return 0, false, false
+	}
+	t := ss.restore()
+	st := t.phase2(obj)
+	switch st {
+	case LPOptimal:
+		x := t.solution()
+		return obj.Dot(x), true, false
+	case LPUnbounded:
+		return 0, false, true
+	default:
+		return 0, false, false
+	}
+}
+
+// restore rebuilds the scratch tableau from the snapshot. The backing
+// buffers may have been reused by unrelated solves in between; the
+// snapshot is authoritative.
+func (ss *supportSolver) restore() *tableau {
+	s := ss.s
+	t := &s.scratchTableau
+	*t = tableau{ctx: s, dim: ss.dim, m: ss.m, n: ss.n, noArt: ss.noArt, nArt: ss.n - ss.noArt}
+	t.rows = growRows(&s.scratchRows, ss.m)
+	backing := growFloats(&s.scratchBacking, ss.m*(ss.n+1))
+	copy(backing, ss.rows)
+	for i := 0; i < ss.m; i++ {
+		t.rows[i] = backing[i*(ss.n+1) : (i+1)*(ss.n+1)]
+	}
+	t.basis = growInts(&s.scratchBasis, ss.m)
+	copy(t.basis, ss.basis)
+	return t
+}
+
 // tableau is a dense simplex tableau for the standard-form program
 //
 //	min c·y  s.t.  A y = b, y >= 0, b >= 0,
@@ -90,7 +274,7 @@ func (ctx *Context) FeasiblePoint(hs []Halfspace, dim int) LPResult {
 // artificial per row. Column layout: u(0..d-1), v(d..2d-1),
 // s(2d..2d+m-1), artificials(2d+m..2d+2m-1).
 type tableau struct {
-	ctx   *Context
+	ctx   *Solver
 	dim   int
 	m     int // active rows
 	n     int // total columns (incl. artificials), excl. RHS
@@ -102,20 +286,25 @@ type tableau struct {
 }
 
 // newTableau builds the tableau, filtering degenerate halfspaces and
-// normalizing rows in place. Scratch buffers on the Context are reused
-// across LPs to keep allocation pressure low (Contexts are
+// normalizing rows in place. Scratch buffers on the Solver are reused
+// across LPs to keep allocation pressure low (Solvers are
 // single-threaded; no LP nests inside another). infeasible is true when
-// a degenerate constraint 0·x <= b with b < 0 is present.
+// a degenerate constraint 0·x <= b with b < 0 is present. A non-nil
+// keep mask (index-aligned with hs) excludes rows the interval screen
+// proved redundant.
 //
 // Rows with non-negative bounds start with their slack variable basic;
 // only rows with negative bounds need an artificial variable. When no
 // artificials are needed, phase 1 is skipped entirely.
-func newTableau(ctx *Context, dim int, hs []Halfspace) (t *tableau, infeasible bool) {
+func newTableau(ctx *Solver, dim int, hs []Halfspace, keep []bool) (t *tableau, infeasible bool) {
 	// Count usable rows and needed artificials first.
 	m, nArt := 0, 0
-	for _, h := range hs {
+	for hi, h := range hs {
 		if h.IsInfeasible(ctx.Eps) {
 			return nil, true
+		}
+		if keep != nil && !keep[hi] {
+			continue
 		}
 		if !h.IsTrivial(ctx.Eps) {
 			m++
@@ -135,7 +324,10 @@ func newTableau(ctx *Context, dim int, hs []Halfspace) (t *tableau, infeasible b
 		backing[i] = 0
 	}
 	i, art := 0, 0
-	for _, h := range hs {
+	for hi, h := range hs {
+		if keep != nil && !keep[hi] {
+			continue
+		}
 		if h.IsTrivial(ctx.Eps) {
 			continue
 		}
@@ -168,25 +360,32 @@ func newTableau(ctx *Context, dim int, hs []Halfspace) (t *tableau, infeasible b
 	return t, false
 }
 
+// The grow helpers resize a scratch buffer to exactly n elements,
+// reallocating only when capacity is exceeded. The resized header is
+// stored back so that code reading the scratch field directly (the
+// interval fast paths) always sees the length of the most recent use.
 func growFloats(buf *[]float64, n int) []float64 {
 	if cap(*buf) < n {
 		*buf = make([]float64, n)
 	}
-	return (*buf)[:n]
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 func growRows(buf *[][]float64, n int) [][]float64 {
 	if cap(*buf) < n {
 		*buf = make([][]float64, n)
 	}
-	return (*buf)[:n]
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 func growInts(buf *[]int, n int) []int {
 	if cap(*buf) < n {
 		*buf = make([]int, n)
 	}
-	return (*buf)[:n]
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // phase1 minimizes the sum of artificials. On success the artificials are

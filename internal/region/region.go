@@ -86,6 +86,11 @@ type Region struct {
 // (Algorithm 1 line 36: the RR of a new plan is initialized by the full
 // parameter space).
 func New(ctx *geometry.Context, space *geometry.Polytope, opts Options) *Region {
+	// Warm the space's Chebyshev memo deterministically: emptiness
+	// checks peek at it (Contains' fast rejection), and with parallel
+	// workers a lazily computed memo would make the peek outcome — and
+	// with it the LP count — depend on scheduling.
+	ctx.Chebyshev(space)
 	r := &Region{space: space, opts: opts}
 	if opts.RelevancePoints > 0 {
 		r.points = seedPoints(ctx, space, opts.RelevancePoints)

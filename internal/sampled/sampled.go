@@ -57,6 +57,11 @@ func (a *Algebra) Accumulate(step, c1, c2 core.Cost) core.Cost {
 	}}
 }
 
+// Fork implements core.ForkableAlgebra: the sampled algebra holds no
+// solver state, so the same instance serves every worker of a parallel
+// wavefront.
+func (a *Algebra) Fork(*geometry.Solver) core.Algebra { return a }
+
 // Eval implements core.Algebra.
 func (a *Algebra) Eval(c core.Cost, x geometry.Vector) geometry.Vector {
 	return toCost(c).F(x)

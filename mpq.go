@@ -45,8 +45,18 @@ type (
 	Polytope = geometry.Polytope
 	// Halfspace is a linear inequality W·x <= B.
 	Halfspace = geometry.Halfspace
-	// Context carries numeric tolerances and LP counters.
+	// Context carries numeric tolerances and LP counters. It is the
+	// historical name of Solver.
 	Context = geometry.Context
+	// Solver performs geometric operations for one worker: shared
+	// immutable SolverConfig plus per-worker scratch buffers and Stats.
+	// Fork one per goroutine; see Options.Workers.
+	Solver = geometry.Solver
+	// SolverConfig is the immutable numeric configuration (tolerances,
+	// iteration caps) shared by concurrent solvers.
+	SolverConfig = geometry.Config
+	// GeometryStats counts geometric work (solved LPs, simplex pivots).
+	GeometryStats = geometry.Stats
 )
 
 // Piecewise-linear cost function types.
@@ -134,7 +144,10 @@ const (
 )
 
 // Optimize runs RRPA / PWL-RRPA and returns a Pareto plan set for the
-// query (Algorithm 1 of the paper).
+// query (Algorithm 1 of the paper). Options.Workers selects the number
+// of goroutines planning each wavefront of equal-cardinality table
+// sets (0 = GOMAXPROCS, 1 = sequential); results and aggregate LP
+// statistics are identical for every worker count.
 func Optimize(schema *Schema, model CostModel, opts Options) (*Result, error) {
 	return core.Optimize(schema, model, opts)
 }
@@ -145,6 +158,10 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 
 // NewContext returns a geometry context with default tolerances.
 func NewContext() *Context { return geometry.NewContext() }
+
+// NewSolver returns a geometry solver with the given configuration;
+// zero fields take the defaults.
+func NewSolver(cfg SolverConfig) *Solver { return geometry.NewSolver(cfg) }
 
 // NewPWLAlgebra returns the exact PWL cost algebra with sum
 // accumulation over the given number of metrics.
