@@ -7,8 +7,13 @@
 // Usage:
 //
 //	mpqbench -experiment figure12 [-quick] [-reps 25] [-csv] [-json] [-workers N]
+//	mpqbench -experiment figure12 -quick -json -baseline BENCH_baseline.json
 //	mpqbench -experiment pqblowup
 //	mpqbench -experiment ablation [-tables 6]
+//
+// With -baseline, the run is additionally diffed against the given
+// snapshot (the CI regression gate): plan-count or LP-count drift
+// beyond tolerance exits non-zero, time drift only warns.
 package main
 
 import (
@@ -40,6 +45,10 @@ func main() {
 		maxChain2  = flag.Int("max-chain-2p", 10, "max tables for chain, 2 parameters")
 		maxStar2   = flag.Int("max-star-2p", 10, "max tables for star, 2 parameters")
 		tables     = flag.Int("tables", 6, "query size for the ablation experiment")
+		baseline   = flag.String("baseline", "", "JSON snapshot to diff against (CI regression gate)")
+		planTol    = flag.Float64("plan-tol", bench.DefaultCompareOptions().PlanTol, "relative plan-count drift tolerance (failure beyond it)")
+		lpTol      = flag.Float64("lp-tol", bench.DefaultCompareOptions().LPTol, "relative LP-count drift tolerance (failure beyond it)")
+		timeTol    = flag.Float64("time-tol", bench.DefaultCompareOptions().TimeTol, "relative time drift tolerance (warning only)")
 	)
 	flag.Parse()
 
@@ -50,6 +59,8 @@ func main() {
 			seed: *seed, workers: *workers,
 			maxChain1: *maxChain1, maxStar1: *maxStar1,
 			maxChain2: *maxChain2, maxStar2: *maxStar2,
+			baseline: *baseline,
+			compare:  bench.CompareOptions{PlanTol: *planTol, LPTol: *lpTol, TimeTol: *timeTol},
 		})
 	case "pqblowup":
 		runPQBlowup()
@@ -67,6 +78,8 @@ type figure12Config struct {
 	reps, workers                            int
 	seed                                     int64
 	maxChain1, maxStar1, maxChain2, maxStar2 int
+	baseline                                 string
+	compare                                  bench.CompareOptions
 }
 
 func runFigure12(cfg figure12Config) {
@@ -133,6 +146,42 @@ func runFigure12(cfg figure12Config) {
 	default:
 		bench.FormatTable(os.Stdout, series)
 	}
+	if cfg.baseline != "" {
+		if !compareAgainstBaseline(cfg, series) {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareAgainstBaseline diffs the measured series against the
+// snapshot, printing drifts to stderr. Returns false when the gate
+// fails.
+func compareAgainstBaseline(cfg figure12Config, series []*bench.Series) bool {
+	f, err := os.Open(cfg.baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return false
+	}
+	defer f.Close()
+	base, err := bench.LoadJSONReport(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return false
+	}
+	failures, warnings := bench.Compare(base, bench.BuildJSONReport(series), cfg.compare)
+	for _, d := range warnings {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	for _, d := range failures {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "bench regression gate: %d failure(s) against %s\n", len(failures), cfg.baseline)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "bench regression gate: OK against %s (%d cases, %d warning(s))\n",
+		cfg.baseline, len(base.Cases), len(warnings))
+	return true
 }
 
 // runPQBlowup demonstrates the Section 1.1 argument: encoding a cost

@@ -1,0 +1,284 @@
+// mpqserve runs the MPQ optimizer as a service: the preprocessing and
+// run-time halves of the paper's Figure 2 behind a concurrent API.
+// Clients prepare query templates (optimize once, persist, cache) and
+// pick plans for concrete parameter values and preference policies.
+//
+// Two transports share one JSON protocol:
+//
+//	mpqserve -addr :8080        # JSON over HTTP
+//	mpqserve -stdin             # one JSON request per line on stdin
+//
+// HTTP endpoints:
+//
+//	POST /prepare {"workload":{"tables":4,"params":1,"shape":"chain","seed":21}}
+//	POST /pick    {"key":"...","point":[0.5],"policy":"weighted","weights":[1,10000]}
+//	GET  /stats
+//
+// The stdin protocol wraps the same bodies with an "op" field:
+//
+//	{"op":"prepare","workload":{...}}
+//	{"op":"pick","key":"...","point":[0.5],"policy":"frontier"}
+//	{"op":"stats"}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"mpq/internal/selection"
+	"mpq/internal/serve"
+	"mpq/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		stdin   = flag.Bool("stdin", false, "serve the line protocol on stdin instead of HTTP")
+		workers = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "request queue depth (0 = 8×workers)")
+		dir     = flag.String("dir", "", "directory persisting prepared plan sets across restarts")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Options{Workers: *workers, QueueDepth: *queue, Dir: *dir})
+	defer s.Close()
+
+	if *stdin {
+		if err := runStdin(s, os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	log.Printf("mpqserve listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, newHandler(s)))
+}
+
+// Wire types of the JSON protocol.
+
+type workloadJS struct {
+	Tables  int     `json:"tables"`
+	Params  int     `json:"params"`
+	Shape   string  `json:"shape"`
+	Seed    int64   `json:"seed"`
+	MinCard float64 `json:"min_card,omitempty"`
+	MaxCard float64 `json:"max_card,omitempty"`
+}
+
+type prepareReqJS struct {
+	Workload *workloadJS `json:"workload"`
+}
+
+type prepareRespJS struct {
+	Key        string  `json:"key"`
+	Plans      int     `json:"plans"`
+	Cached     bool    `json:"cached"`
+	DurationMs float64 `json:"duration_ms"`
+}
+
+type boundJS struct {
+	Metric int     `json:"metric"`
+	Max    float64 `json:"max"`
+}
+
+type pickReqJS struct {
+	Key      string    `json:"key"`
+	Point    []float64 `json:"point"`
+	Policy   string    `json:"policy"`
+	Weights  []float64 `json:"weights,omitempty"`
+	Minimize int       `json:"minimize,omitempty"`
+	Bounds   []boundJS `json:"bounds,omitempty"`
+	Order    []int     `json:"order,omitempty"`
+}
+
+type choiceJS struct {
+	Plan string    `json:"plan"`
+	Cost []float64 `json:"cost"`
+}
+
+type pickRespJS struct {
+	Metrics []string   `json:"metrics"`
+	Choices []choiceJS `json:"choices"`
+}
+
+type errorJS struct {
+	Error string `json:"error"`
+}
+
+func (r prepareReqJS) template() (serve.Template, error) {
+	if r.Workload == nil {
+		return serve.Template{}, errors.New("missing workload")
+	}
+	shape, err := workload.ParseShape(r.Workload.Shape)
+	if err != nil {
+		return serve.Template{}, err
+	}
+	return serve.Template{Workload: workload.Config{
+		Tables:  r.Workload.Tables,
+		Params:  r.Workload.Params,
+		Shape:   shape,
+		Seed:    r.Workload.Seed,
+		MinCard: r.Workload.MinCard,
+		MaxCard: r.Workload.MaxCard,
+	}}, nil
+}
+
+func (r pickReqJS) request() serve.PickRequest {
+	req := serve.PickRequest{
+		Key:      r.Key,
+		Point:    append([]float64(nil), r.Point...),
+		Policy:   serve.Policy(r.Policy),
+		Weights:  r.Weights,
+		Minimize: r.Minimize,
+		Order:    r.Order,
+	}
+	for _, b := range r.Bounds {
+		req.Bounds = append(req.Bounds, selection.Bound{Metric: b.Metric, Max: b.Max})
+	}
+	return req
+}
+
+func doPrepare(s *serve.Server, body prepareReqJS) (prepareRespJS, error) {
+	tpl, err := body.template()
+	if err != nil {
+		return prepareRespJS{}, err
+	}
+	res, err := s.Prepare(tpl)
+	if err != nil {
+		return prepareRespJS{}, err
+	}
+	return prepareRespJS{
+		Key:        res.Key,
+		Plans:      res.NumPlans,
+		Cached:     res.Cached,
+		DurationMs: float64(res.Duration.Microseconds()) / 1000,
+	}, nil
+}
+
+func doPick(s *serve.Server, body pickReqJS) (pickRespJS, error) {
+	res, err := s.Pick(body.request())
+	if err != nil {
+		return pickRespJS{}, err
+	}
+	out := pickRespJS{Metrics: res.Metrics, Choices: []choiceJS{}}
+	for _, c := range res.Choices {
+		out.Choices = append(out.Choices, choiceJS{Plan: c.Plan.String(), Cost: c.Cost})
+	}
+	return out, nil
+}
+
+// newHandler wires the server behind HTTP. Queue saturation maps to
+// 429, a closed server to 503, an unknown key to 404, malformed
+// requests to 400.
+func newHandler(s *serve.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /prepare", func(w http.ResponseWriter, r *http.Request) {
+		var body prepareReqJS
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := doPrepare(s, body)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /pick", func(w http.ResponseWriter, r *http.Request) {
+		var body pickReqJS
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := doPick(s, body)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrServerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrUnknownPlanSet):
+		return http.StatusNotFound
+	case errors.Is(err, selection.ErrNoFeasiblePlan):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, serve.ErrInternal):
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJS{Error: err.Error()})
+}
+
+// runStdin serves the line protocol: one JSON request per input line,
+// one JSON response per output line.
+func runStdin(s *serve.Server, in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	enc := json.NewEncoder(out)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var op struct {
+			Op string `json:"op"`
+		}
+		if err := json.Unmarshal(line, &op); err != nil {
+			enc.Encode(errorJS{Error: err.Error()})
+			continue
+		}
+		var resp any
+		var err error
+		switch op.Op {
+		case "prepare":
+			var body prepareReqJS
+			if err = json.Unmarshal(line, &body); err == nil {
+				resp, err = doPrepare(s, body)
+			}
+		case "pick":
+			var body pickReqJS
+			if err = json.Unmarshal(line, &body); err == nil {
+				resp, err = doPick(s, body)
+			}
+		case "stats":
+			resp = s.Stats()
+		default:
+			err = fmt.Errorf("unknown op %q", op.Op)
+		}
+		if err != nil {
+			enc.Encode(errorJS{Error: err.Error()})
+			continue
+		}
+		if encodeErr := enc.Encode(resp); encodeErr != nil {
+			return encodeErr
+		}
+	}
+	return sc.Err()
+}

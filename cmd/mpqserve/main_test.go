@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpq/internal/serve"
+)
+
+const prepareLine = `{"workload":{"tables":4,"params":1,"shape":"chain","seed":21}}`
+
+func TestHTTPProtocol(t *testing.T) {
+	s := serve.New(serve.Options{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(newHandler(s))
+	defer ts.Close()
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	status, body := post("/prepare", prepareLine)
+	if status != http.StatusOK {
+		t.Fatalf("prepare status %d: %s", status, body)
+	}
+	var prep prepareRespJS
+	if err := json.Unmarshal(body, &prep); err != nil {
+		t.Fatal(err)
+	}
+	if prep.Key == "" || prep.Plans == 0 || prep.Cached {
+		t.Fatalf("prepare response %+v", prep)
+	}
+
+	// Concurrent clients hammer pick against the cached set.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	var first pickRespJS
+	status, body = post("/pick", fmt.Sprintf(`{"key":%q,"point":[0.5],"policy":"frontier"}`, prep.Key))
+	if status != http.StatusOK {
+		t.Fatalf("pick status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Choices) == 0 || len(first.Metrics) != 2 {
+		t.Fatalf("pick response %+v", first)
+	}
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/pick", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"key":%q,"point":[0.5],"policy":"frontier"}`, prep.Key)))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer resp.Body.Close()
+			var got pickRespJS
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				errCh <- err
+				return
+			}
+			if fmt.Sprint(got) != fmt.Sprint(first) {
+				errCh <- fmt.Errorf("concurrent pick %v != %v", got, first)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Error mapping.
+	if status, _ := post("/pick", `{"key":"missing","point":[0.5]}`); status != http.StatusNotFound {
+		t.Errorf("unknown key status = %d, want 404", status)
+	}
+	if status, _ := post("/pick", `{`); status != http.StatusBadRequest {
+		t.Errorf("bad json status = %d, want 400", status)
+	}
+	if status, _ := post("/prepare", `{"workload":{"tables":3,"shape":"dodecahedron"}}`); status != http.StatusBadRequest {
+		t.Errorf("bad shape status = %d, want 400", status)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Prepares != 1 || stats.Picks < 9 || stats.CachedPlanSets != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestStdinProtocol(t *testing.T) {
+	s := serve.New(serve.Options{Workers: 2})
+	defer s.Close()
+
+	var out bytes.Buffer
+	in := strings.NewReader(
+		`{"op":"prepare","workload":{"tables":4,"params":1,"shape":"chain","seed":21}}` + "\n" +
+			`{"op":"stats"}` + "\n" +
+			`{"op":"bogus"}` + "\n")
+	if err := runStdin(s, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d response lines: %q", len(lines), out.String())
+	}
+	var prep prepareRespJS
+	if err := json.Unmarshal([]byte(lines[0]), &prep); err != nil {
+		t.Fatal(err)
+	}
+	if prep.Key == "" || prep.Plans == 0 {
+		t.Fatalf("prepare response %+v", prep)
+	}
+
+	// Use the key from the first round in a second stdin session
+	// against the same server: the cache carries over.
+	var out2 bytes.Buffer
+	pick := fmt.Sprintf(`{"op":"pick","key":%q,"point":[0.5],"policy":"weighted","weights":[1,10000]}`, prep.Key)
+	if err := runStdin(s, strings.NewReader(pick+"\n"), &out2); err != nil {
+		t.Fatal(err)
+	}
+	var res pickRespJS
+	if err := json.Unmarshal(out2.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Choices) != 1 || res.Choices[0].Plan == "" || len(res.Choices[0].Cost) != 2 {
+		t.Fatalf("pick response %+v", res)
+	}
+	if !strings.Contains(lines[2], "unknown op") {
+		t.Errorf("bogus op response = %q", lines[2])
+	}
+}

@@ -33,12 +33,26 @@
 // functions as piecewise-linear functions over convex polytopes and
 // implements all pruning geometry with small linear programs.
 //
+// # Serving
+//
+// The optimizer also runs as a long-lived service (NewServer, and the
+// cmd/mpqserve binary): Prepare optimizes a query template once,
+// persists the Pareto plan set through the store format and caches it
+// under a schema+cost-model+configuration hash; Pick selects a plan
+// for concrete parameter values and a preference policy against the
+// cached set. The geometry layer is reentrant (shared immutable
+// configuration, per-worker solvers), so one server handles many
+// concurrent requests.
+//
 // The subpackages under internal implement the machinery: geometry
 // (polytopes, simplex LP solver, region difference, convexity
 // recognition), pwl (piecewise-linear cost functions), region
 // (relevance regions), catalog/workload (schemas and random query
 // generation), cloud (the time/fees cost model of the paper's
 // evaluation), core (the optimizer), baseline (comparison algorithms
-// and exhaustive ground truth), sampled (a non-PWL cost algebra for the
-// generic algorithm) and bench (the Figure 12 experiment harness).
+// and exhaustive ground truth), sampled (a non-PWL cost algebra for
+// the generic algorithm), store (the versioned plan-set serialization
+// format), selection (run-time plan selection policies), serve (the
+// optimizer-as-a-service layer) and bench (the Figure 12 experiment
+// harness with its CI regression gate).
 package mpq

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// LoadJSONReport reads a report written by FormatJSON (e.g. the
+// committed BENCH_baseline.json snapshot).
+func LoadJSONReport(r io.Reader) (*JSONReport, error) {
+	var rep JSONReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: decoding report: %w", err)
+	}
+	if len(rep.Cases) == 0 {
+		return nil, fmt.Errorf("bench: report without cases")
+	}
+	return &rep, nil
+}
+
+// CompareOptions sets the drift tolerances of Compare, as fractions of
+// the baseline value.
+type CompareOptions struct {
+	// PlanTol bounds created-plans and final-plans drift (a failure
+	// beyond it). Plan counts are deterministic for fixed seeds, so the
+	// default is exact.
+	PlanTol float64
+	// LPTol bounds solved-LP drift (a failure beyond it). LP counts are
+	// deterministic too, but a small tolerance leaves room for
+	// intentional fast-path changes; drift beyond it must be a
+	// conscious baseline update.
+	LPTol float64
+	// TimeTol bounds time drift; beyond it Compare only warns, since
+	// wall-clock time is machine- and load-dependent.
+	TimeTol float64
+}
+
+// DefaultCompareOptions returns the CI gate tolerances.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{PlanTol: 0, LPTol: 0.02, TimeTol: 0.75}
+}
+
+// Drift is one detected deviation between a baseline case and the
+// current run.
+type Drift struct {
+	// Case is the baseline case name.
+	Case string
+	// Field names the drifted quantity.
+	Field string
+	// Baseline and Current are the compared values.
+	Baseline, Current float64
+	// Tolerance is the allowed relative drift.
+	Tolerance float64
+	// WarnOnly marks drifts that do not fail the gate (time).
+	WarnOnly bool
+}
+
+func (d Drift) String() string {
+	kind := "FAIL"
+	if d.WarnOnly {
+		kind = "warn"
+	}
+	return fmt.Sprintf("%s %s %s: baseline %.3f, current %.3f (drift %.1f%%, tolerance %.1f%%)",
+		kind, d.Case, d.Field, d.Baseline, d.Current,
+		100*relDrift(d.Baseline, d.Current), 100*d.Tolerance)
+}
+
+// Compare diffs the current report against a baseline. Every baseline
+// case must be present in the current report with the same worker
+// count; plan-count and LP-count drift beyond tolerance fails, time
+// drift only warns. Extra current cases are ignored (the baseline
+// defines the gate's coverage).
+func Compare(baseline, current *JSONReport, opts CompareOptions) (failures, warnings []Drift) {
+	byName := make(map[string]JSONCase, len(current.Cases))
+	for _, c := range current.Cases {
+		byName[c.Case] = c
+	}
+	for _, base := range baseline.Cases {
+		cur, ok := byName[base.Case]
+		if !ok {
+			failures = append(failures, Drift{Case: base.Case, Field: "missing"})
+			continue
+		}
+		if cur.Workers != base.Workers {
+			// Different worker counts still produce identical counts
+			// (the parallel-wavefront determinism guarantee), but time
+			// is incomparable; record it as a failure so the gate is
+			// run with the baseline's configuration.
+			failures = append(failures, Drift{
+				Case: base.Case, Field: "workers",
+				Baseline: float64(base.Workers), Current: float64(cur.Workers),
+			})
+			continue
+		}
+		check := func(field string, b, c, tol float64, warnOnly bool) {
+			if relDrift(b, c) <= tol {
+				return
+			}
+			d := Drift{Case: base.Case, Field: field, Baseline: b, Current: c, Tolerance: tol, WarnOnly: warnOnly}
+			if warnOnly {
+				warnings = append(warnings, d)
+			} else {
+				failures = append(failures, d)
+			}
+		}
+		check("created_plans", float64(base.CreatedPlans), float64(cur.CreatedPlans), opts.PlanTol, false)
+		check("final_plans", float64(base.FinalPlans), float64(cur.FinalPlans), opts.PlanTol, false)
+		check("solved_lps", float64(base.SolvedLPs), float64(cur.SolvedLPs), opts.LPTol, false)
+		check("time_ms", base.TimeMs, cur.TimeMs, opts.TimeTol, true)
+	}
+	return failures, warnings
+}
+
+// relDrift is |current-baseline| relative to the baseline (at least 1,
+// so zero baselines do not divide by zero).
+func relDrift(baseline, current float64) float64 {
+	return math.Abs(current-baseline) / math.Max(math.Abs(baseline), 1)
+}

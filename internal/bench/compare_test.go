@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mpq/internal/workload"
+)
+
+func reportWith(cases ...JSONCase) *JSONReport {
+	return &JSONReport{Experiment: "figure12", Cases: cases}
+}
+
+func baseCase() JSONCase {
+	return JSONCase{
+		Case: "chain-1p/tables=4", Shape: "chain", Params: 1, Tables: 4,
+		TimeMs: 1.2, CreatedPlans: 73, SolvedLPs: 967, FinalPlans: 3,
+		Workers: 1, Repetitions: 3,
+	}
+}
+
+func TestCompareIdenticalReports(t *testing.T) {
+	base := reportWith(baseCase())
+	failures, warnings := Compare(base, reportWith(baseCase()), DefaultCompareOptions())
+	if len(failures) != 0 || len(warnings) != 0 {
+		t.Errorf("identical reports: failures=%v warnings=%v", failures, warnings)
+	}
+}
+
+func TestCompareDriftClassification(t *testing.T) {
+	opts := DefaultCompareOptions()
+	cases := []struct {
+		name     string
+		mutate   func(*JSONCase)
+		failWith string
+		warnWith string
+	}{
+		{
+			name:     "plan count drift fails",
+			mutate:   func(c *JSONCase) { c.CreatedPlans += 1 },
+			failWith: "created_plans",
+		},
+		{
+			name:     "final plan drift fails",
+			mutate:   func(c *JSONCase) { c.FinalPlans -= 1 },
+			failWith: "final_plans",
+		},
+		{
+			name:     "lp drift beyond tolerance fails",
+			mutate:   func(c *JSONCase) { c.SolvedLPs += int64(float64(c.SolvedLPs)*opts.LPTol) + 10 },
+			failWith: "solved_lps",
+		},
+		{
+			name:   "lp drift within tolerance passes",
+			mutate: func(c *JSONCase) { c.SolvedLPs += 5 }, // 5/967 < 2%
+		},
+		{
+			name:     "time drift only warns",
+			mutate:   func(c *JSONCase) { c.TimeMs *= 10 },
+			warnWith: "time_ms",
+		},
+		{
+			name:     "worker mismatch fails",
+			mutate:   func(c *JSONCase) { c.Workers = 8 },
+			failWith: "workers",
+		},
+		{
+			name:     "missing case fails",
+			mutate:   func(c *JSONCase) { c.Case = "renamed" },
+			failWith: "missing",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := baseCase()
+			tc.mutate(&cur)
+			failures, warnings := Compare(reportWith(baseCase()), reportWith(cur), opts)
+			if tc.failWith == "" && len(failures) > 0 {
+				t.Fatalf("unexpected failures: %v", failures)
+			}
+			if tc.failWith != "" {
+				if len(failures) != 1 || failures[0].Field != tc.failWith {
+					t.Fatalf("failures = %v, want one %q", failures, tc.failWith)
+				}
+				if !strings.Contains(failures[0].String(), "FAIL") {
+					t.Errorf("failure renders as %q", failures[0])
+				}
+			}
+			if tc.warnWith != "" {
+				if len(warnings) != 1 || warnings[0].Field != tc.warnWith {
+					t.Fatalf("warnings = %v, want one %q", warnings, tc.warnWith)
+				}
+				if !warnings[0].WarnOnly || !strings.Contains(warnings[0].String(), "warn") {
+					t.Errorf("warning renders as %q", warnings[0])
+				}
+			}
+		})
+	}
+}
+
+func TestCompareIgnoresExtraCurrentCases(t *testing.T) {
+	extra := baseCase()
+	extra.Case = "chain-1p/tables=5"
+	extra.SolvedLPs = 99999
+	failures, warnings := Compare(reportWith(baseCase()), reportWith(baseCase(), extra), DefaultCompareOptions())
+	if len(failures) != 0 || len(warnings) != 0 {
+		t.Errorf("extra cases should not drift: failures=%v warnings=%v", failures, warnings)
+	}
+}
+
+// TestJSONReportRoundTrip: a report written by FormatJSON loads back
+// unchanged, so the CI gate compares exactly what the snapshot tool
+// wrote.
+func TestJSONReportRoundTrip(t *testing.T) {
+	series := []*Series{{
+		Shape:  workload.Chain,
+		Params: 1,
+		Points: []Point{{
+			Tables: 4, MedianTime: 1234 * time.Microsecond,
+			MedianPlans: 73, MedianLPs: 967, MedianFinal: 3,
+			Repetitions: 3, Workers: 1,
+		}},
+	}}
+	var buf bytes.Buffer
+	if err := FormatJSON(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJSONReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := BuildJSONReport(series)
+	if len(loaded.Cases) != 1 || loaded.Cases[0] != built.Cases[0] {
+		t.Errorf("round trip changed the report: %+v vs %+v", loaded.Cases[0], built.Cases[0])
+	}
+	failures, warnings := Compare(built, loaded, DefaultCompareOptions())
+	if len(failures) != 0 || len(warnings) != 0 {
+		t.Errorf("round-tripped report drifts: %v %v", failures, warnings)
+	}
+}

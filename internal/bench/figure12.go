@@ -215,10 +215,10 @@ type JSONReport struct {
 	Cases      []JSONCase `json:"cases"`
 }
 
-// FormatJSON renders series as an indented JSON report for tooling
-// (perf tracking, CI comparisons).
-func FormatJSON(w io.Writer, series []*Series) error {
-	rep := JSONReport{Experiment: "figure12"}
+// BuildJSONReport converts series into the machine-readable report
+// form used by FormatJSON and the CI regression gate.
+func BuildJSONReport(series []*Series) *JSONReport {
+	rep := &JSONReport{Experiment: "figure12"}
 	for _, s := range series {
 		for _, p := range s.Points {
 			rep.Cases = append(rep.Cases, JSONCase{
@@ -236,9 +236,15 @@ func FormatJSON(w io.Writer, series []*Series) error {
 			})
 		}
 	}
+	return rep
+}
+
+// FormatJSON renders series as an indented JSON report for tooling
+// (perf tracking, CI comparisons).
+func FormatJSON(w io.Writer, series []*Series) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return enc.Encode(BuildJSONReport(series))
 }
 
 func repsOf(s *Series) int {

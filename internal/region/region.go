@@ -42,6 +42,19 @@ func (s EmptinessStrategy) String() string {
 	return "unknown"
 }
 
+// ParseStrategy converts a strategy name (as produced by String) back to
+// an EmptinessStrategy, for configuration files and serialized plan-set
+// documents.
+func ParseStrategy(name string) (EmptinessStrategy, error) {
+	switch name {
+	case "bemporad":
+		return StrategyBemporad, nil
+	case "coverdiff":
+		return StrategyCoverDiff, nil
+	}
+	return 0, fmt.Errorf("region: unknown emptiness strategy %q", name)
+}
+
 // Options configures the refinements of Section 6.2.
 type Options struct {
 	// Strategy selects the emptiness check.
@@ -135,6 +148,11 @@ func seedPoints(ctx *geometry.Context, space *geometry.Polytope, n int) []geomet
 
 // Space returns the parameter space polytope.
 func (r *Region) Space() *geometry.Polytope { return r.space }
+
+// Options returns the refinement configuration the region was created
+// with, so that serialized regions can be rebuilt identically at load
+// time.
+func (r *Region) Options() Options { return r.opts }
 
 // Cutouts returns the current cutout list. The slice must not be
 // modified.

@@ -65,8 +65,26 @@ func Frontier(candidates []Candidate, x geometry.Vector) []Choice {
 			front = append(front, c)
 		}
 	}
-	sort.Slice(front, func(i, j int) bool { return front[i].Cost[0] < front[j].Cost[0] })
+	// Stable sort with a full lexicographic cost tie-break: plans tied
+	// on the first metric (possible with three or more metrics) must
+	// come back in the same order on every run regardless of candidate
+	// order, so that serving-layer responses are reproducible.
+	sort.SliceStable(front, func(i, j int) bool { return lexVecLess(front[i].Cost, front[j].Cost) })
 	return front
+}
+
+// lexVecLess compares cost vectors lexicographically across all
+// metrics.
+func lexVecLess(a, b geometry.Vector) bool {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return true
+		case a[i] > b[i]:
+			return false
+		}
+	}
+	return false
 }
 
 // WeightedSum picks the plan minimizing the weighted sum of metric

@@ -135,6 +135,55 @@ func TestLexicographic(t *testing.T) {
 	}
 }
 
+// TestFrontierDeterministicOnTies: plans tied on the first metric (but
+// Pareto-incomparable on the remaining ones, which needs at least three
+// metrics) must come back in the same lexicographic cost order for
+// every candidate order. Regression test for the non-stable
+// first-metric-only sort.
+func TestFrontierDeterministicOnTies(t *testing.T) {
+	space := geometry.Interval(0, 1)
+	mk := func(op string, costs ...float64) Candidate {
+		comps := make([]*pwl.Function, len(costs))
+		for i, c := range costs {
+			comps[i] = pwl.Constant(space, c)
+		}
+		return Candidate{Plan: plan.Scan(0, op), Cost: pwl.NewMulti(comps...)}
+	}
+	// All tied on metric 0; pairwise incomparable on metrics 1 and 2.
+	cands := []Candidate{
+		mk("a", 1, 5, 1),
+		mk("b", 1, 1, 5),
+		mk("c", 1, 3, 3),
+		mk("d", 2, 0, 0), // untied control, sorts last
+	}
+	x := geometry.Vector{0.5}
+	want := []string{"b", "c", "a", "d"} // lexicographic by full cost vector
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+	for _, perm := range perms {
+		shuffled := make([]Candidate, len(cands))
+		for i, p := range perm {
+			shuffled[i] = cands[p]
+		}
+		front := Frontier(shuffled, x)
+		if len(front) != len(want) {
+			t.Fatalf("perm %v: front size = %d, want %d", perm, len(front), len(want))
+		}
+		for i, c := range front {
+			if c.Plan.Op != want[i] {
+				t.Fatalf("perm %v: front order = %v, want %v", perm, frontOps(front), want)
+			}
+		}
+	}
+}
+
+func frontOps(front []Choice) []string {
+	ops := make([]string, len(front))
+	for i, c := range front {
+		ops[i] = c.Plan.Op
+	}
+	return ops
+}
+
 func TestEmptyCandidates(t *testing.T) {
 	x := geometry.Vector{0.5}
 	if got := Frontier(nil, x); len(got) != 0 {

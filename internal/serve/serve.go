@@ -1,0 +1,622 @@
+// Package serve implements the optimizer-as-a-service layer of the MPQ
+// workflow (Figure 2 of the paper, run as a long-lived process): query
+// templates are optimized once ("Prepare"), their Pareto plan sets are
+// persisted through the store format and cached in memory, and run-time
+// requests ("Pick") select a plan for concrete parameter values and a
+// preference policy against the cached set — without re-running the
+// optimizer.
+//
+// The server owns a pool of solver-equipped workers (the optimizer is
+// reentrant since the geometry layer was split into a shared immutable
+// Config and per-worker Solvers), a plan-set cache keyed by a hash of
+// schema, cost-model configuration and optimizer configuration, and a
+// bounded request queue providing backpressure: when the queue is full,
+// requests fail fast with ErrQueueFull instead of piling up. See
+// DESIGN.md, "Serving layer".
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"mpq/internal/catalog"
+	"mpq/internal/cloud"
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+	"mpq/internal/region"
+	"mpq/internal/selection"
+	"mpq/internal/store"
+	"mpq/internal/workload"
+)
+
+// Errors returned by the server.
+var (
+	// ErrQueueFull reports that the bounded request queue is at
+	// capacity; the caller should retry later (backpressure).
+	ErrQueueFull = errors.New("serve: request queue full")
+	// ErrServerClosed reports a request submitted after Close.
+	ErrServerClosed = errors.New("serve: server closed")
+	// ErrUnknownPlanSet reports a Pick for a key no Prepare produced.
+	ErrUnknownPlanSet = errors.New("serve: unknown plan-set key")
+	// ErrInternal wraps server-side failures (persistence, reload) that
+	// are not the client's fault, so transports can map them to 5xx.
+	ErrInternal = errors.New("serve: internal error")
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the size of the solver pool: the number of goroutines
+	// draining the request queue, each owning a forked geometry solver.
+	// Zero selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the request queue; zero selects 8×Workers.
+	// Submissions beyond the bound fail with ErrQueueFull.
+	QueueDepth int
+	// Optimizer is the optimization configuration used by Prepare. Its
+	// Context field is ignored (each pool worker supplies its own
+	// solver); its Workers field is the intra-query parallelism of one
+	// Prepare and defaults to 1, since the pool already runs requests
+	// concurrently. The configuration is part of the cache key.
+	Optimizer core.Options
+	// Solver is the shared immutable geometry configuration of the
+	// pool; zero fields take the defaults.
+	Solver geometry.Config
+	// Dir, when non-empty, persists every prepared plan set as
+	// <key>.json in this directory and serves cache misses from it
+	// before optimizing — the embedded-SQL deployment model where plan
+	// sets survive server restarts.
+	Dir string
+}
+
+// Template describes a query template to prepare: either an explicit
+// schema or a workload-generator configuration, plus the cost-model
+// configuration.
+type Template struct {
+	// Schema, when non-nil, is the query to optimize.
+	Schema *catalog.Schema
+	// Workload generates the schema when Schema is nil.
+	Workload workload.Config
+	// Cloud configures the cost model; nil selects the defaults.
+	Cloud *cloud.Config
+}
+
+func (t Template) resolve() (*catalog.Schema, cloud.Config, error) {
+	cfg := cloud.DefaultConfig()
+	if t.Cloud != nil {
+		cfg = *t.Cloud
+	}
+	if t.Schema != nil {
+		return t.Schema, cfg, nil
+	}
+	schema, err := workload.Generate(t.Workload)
+	if err != nil {
+		return nil, cloud.Config{}, err
+	}
+	return schema, cfg, nil
+}
+
+// PrepareResult reports the outcome of a Prepare request.
+type PrepareResult struct {
+	// Key identifies the cached plan set for subsequent Picks.
+	Key string
+	// NumPlans is the Pareto-plan-set size.
+	NumPlans int
+	// Cached reports whether the set was already in the cache (or, with
+	// Options.Dir, loaded from its persisted document).
+	Cached bool
+	// Duration is the optimization time spent by this request (zero on
+	// cache hits).
+	Duration time.Duration
+}
+
+// Policy selects the run-time preference policy of a Pick request.
+type Policy string
+
+// The selection policies of the paper's scenarios.
+const (
+	// PolicyFrontier returns every Pareto-optimal choice at the point,
+	// sorted lexicographically by cost (the tradeoff visualization of
+	// Scenario 1).
+	PolicyFrontier Policy = "frontier"
+	// PolicyWeightedSum minimizes Weights·cost.
+	PolicyWeightedSum Policy = "weighted"
+	// PolicyMinimizeSubjectTo minimizes metric Minimize under Bounds.
+	PolicyMinimizeSubjectTo Policy = "bound"
+	// PolicyLexicographic minimizes metrics in Order priority.
+	PolicyLexicographic Policy = "lex"
+)
+
+// PickRequest selects a plan from a prepared plan set at a parameter
+// point.
+type PickRequest struct {
+	// Key is the plan-set key returned by Prepare.
+	Key string
+	// Point is the concrete parameter vector.
+	Point geometry.Vector
+	// Policy selects the preference policy; the zero value means
+	// PolicyFrontier.
+	Policy Policy
+	// Weights configures PolicyWeightedSum.
+	Weights []float64
+	// Minimize and Bounds configure PolicyMinimizeSubjectTo.
+	Minimize int
+	Bounds   []selection.Bound
+	// Order configures PolicyLexicographic.
+	Order []int
+}
+
+// PickResult is the selected plan (or, for PolicyFrontier, every
+// Pareto-optimal plan) with cost vectors at the requested point.
+type PickResult struct {
+	// Metrics names the cost components.
+	Metrics []string
+	// Choices holds the selected plans; exactly one for the
+	// single-plan policies.
+	Choices []selection.Choice
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	// Prepares counts completed Prepare requests; PrepareHits the
+	// subset served from the cache, PrepareDiskHits the subset served
+	// from Options.Dir documents.
+	Prepares        int64
+	PrepareHits     int64
+	PrepareDiskHits int64
+	// Picks counts completed Pick requests.
+	Picks int64
+	// Rejected counts requests refused with ErrQueueFull.
+	Rejected int64
+	// CachedPlanSets is the current cache size.
+	CachedPlanSets int
+	// Geometry aggregates the solver work of all pool workers.
+	Geometry geometry.Stats
+}
+
+// Server is a long-lived optimizer service. Create with New, release
+// with Close. All methods are safe for concurrent use.
+type Server struct {
+	opts  Options
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.RWMutex
+	closed   bool
+	cache    map[string]*entry
+	inflight map[string]*inflightPrepare
+	stats    Stats
+}
+
+// entry is a cached plan set with its precomputed selection
+// candidates. Only the deserialized form is kept: the serialized
+// document it round-tripped through lives in Options.Dir when
+// persistence is on.
+type entry struct {
+	set        *store.PlanSet
+	candidates []selection.Candidate
+}
+
+// inflightPrepare deduplicates concurrent Prepares of one key: the
+// first request optimizes, later ones wait for its outcome.
+type inflightPrepare struct {
+	done chan struct{}
+	res  PrepareResult
+	err  error
+}
+
+// job is one queued request; run executes on a pool worker.
+type job struct {
+	run  func(w *worker)
+	done chan struct{}
+}
+
+// worker is one pool goroutine with its forked solver.
+type worker struct {
+	solver *geometry.Solver
+}
+
+// New starts a server with the given options. A zero Optimizer
+// configuration selects core.DefaultOptions (the paper's refinements).
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Optimizer == (core.Options{}) {
+		opts.Optimizer = core.DefaultOptions()
+	}
+	// Normalize the solver configuration up front: equivalent
+	// configurations (zero fields vs explicit defaults) must produce
+	// the same pool behavior and the same cache keys.
+	opts.Solver = geometry.NewSolver(opts.Solver).Config
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 8 * opts.Workers
+	}
+	s := &Server{
+		opts:     opts,
+		queue:    make(chan *job, opts.QueueDepth),
+		cache:    make(map[string]*entry),
+		inflight: make(map[string]*inflightPrepare),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		w := &worker{solver: geometry.NewSolver(opts.Solver)}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				j.run(w)
+				close(j.done)
+			}
+		}()
+	}
+	return s
+}
+
+// Close drains the queue and stops the workers. Requests submitted
+// after Close fail with ErrServerClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// submit enqueues a request, enforcing the queue bound. The send
+// happens under the read lock so it cannot race Close (which closes
+// the channel under the write lock).
+func (s *Server) submit(j *job) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrServerClosed
+	}
+	select {
+	case s.queue <- j:
+		s.mu.RUnlock()
+		return nil
+	default:
+		s.mu.RUnlock()
+		s.mu.Lock()
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return ErrQueueFull
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.stats
+	st.CachedPlanSets = len(s.cache)
+	return st
+}
+
+// PlanSet returns the cached plan set for a key, for inspection.
+func (s *Server) PlanSet(key string) (*store.PlanSet, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.cache[key]
+	if !ok {
+		return nil, false
+	}
+	return e.set, true
+}
+
+// Key computes the plan-set cache key of a template under this server's
+// optimizer configuration without preparing it: a hash of the schema,
+// the cost-model configuration and the optimizer configuration (plus
+// the store format version, since the cached sets round-trip through
+// it).
+func (s *Server) Key(tpl Template) (string, error) {
+	schema, cloudCfg, err := tpl.resolve()
+	if err != nil {
+		return "", err
+	}
+	return planSetKey(schema, cloudCfg, s.opts.Optimizer, s.opts.Solver)
+}
+
+// planSetKey hashes everything that determines a prepared plan set:
+// the schema content, the cost-model configuration, the optimizer
+// configuration that changes results (region refinements and Cartesian
+// postponement — the worker count does not, by the determinism
+// guarantee of the parallel wavefront), the geometry tolerances (which
+// steer pruning decisions), and the store format version the cached
+// sets round-trip through.
+func planSetKey(schema *catalog.Schema, cloudCfg cloud.Config, opts core.Options, solverCfg geometry.Config) (string, error) {
+	keyDoc := struct {
+		Format            int
+		Schema            *catalog.Schema
+		Cloud             cloud.Config
+		Region            region.Options
+		PostponeCartesian bool
+		Solver            geometry.Config
+	}{
+		Format:            store.FormatVersion,
+		Schema:            schema,
+		Cloud:             cloudCfg,
+		Region:            opts.Region,
+		PostponeCartesian: opts.PostponeCartesian,
+		Solver:            solverCfg,
+	}
+	b, err := json.Marshal(keyDoc)
+	if err != nil {
+		return "", fmt.Errorf("serve: hashing template: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16]), nil
+}
+
+// Prepare optimizes a template (unless its plan set is already cached),
+// persists the plan set through the store format, and caches the
+// deserialized set for Picks. Concurrent Prepares of the same template
+// are deduplicated: one optimizes, the rest wait for its result.
+func (s *Server) Prepare(tpl Template) (PrepareResult, error) {
+	schema, cloudCfg, err := tpl.resolve()
+	if err != nil {
+		return PrepareResult{}, err
+	}
+	key, err := planSetKey(schema, cloudCfg, s.opts.Optimizer, s.opts.Solver)
+	if err != nil {
+		return PrepareResult{}, err
+	}
+
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok {
+		s.stats.Prepares++
+		s.stats.PrepareHits++
+		s.mu.Unlock()
+		return PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}, nil
+	}
+	if fl, ok := s.inflight[key]; ok {
+		// Another request is already optimizing this template; wait for
+		// it instead of duplicating the work.
+		s.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return PrepareResult{}, fl.err
+		}
+		res := fl.res
+		res.Cached = true
+		res.Duration = 0
+		s.mu.Lock()
+		s.stats.Prepares++
+		s.stats.PrepareHits++
+		s.mu.Unlock()
+		return res, nil
+	}
+	fl := &inflightPrepare{done: make(chan struct{})}
+	s.inflight[key] = fl
+	s.mu.Unlock()
+
+	res, err := s.runPrepare(key, schema, cloudCfg)
+	fl.res, fl.err = res, err
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		s.stats.Prepares++
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	return res, err
+}
+
+// runPrepare executes the optimize→persist→reload pipeline on a pool
+// worker.
+func (s *Server) runPrepare(key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
+	var res PrepareResult
+	var jerr error
+	err := s.run(func(w *worker) {
+		res, jerr = s.prepareOn(w, key, schema, cloudCfg)
+	})
+	if err != nil {
+		return PrepareResult{}, err
+	}
+	return res, jerr
+}
+
+// run submits fn to the pool and waits for it, merging the worker's
+// solver counters into the server stats afterwards.
+func (s *Server) run(fn func(w *worker)) error {
+	j := &job{done: make(chan struct{})}
+	j.run = func(w *worker) {
+		before := w.solver.Stats
+		fn(w)
+		diff := w.solver.Stats
+		diff.Sub(before)
+		s.mu.Lock()
+		s.stats.Geometry.Add(diff)
+		s.mu.Unlock()
+	}
+	if err := s.submit(j); err != nil {
+		return err
+	}
+	<-j.done
+	return nil
+}
+
+// prepareOn runs on a pool worker: optimize, Save through the store
+// format (optionally to Options.Dir), Load the document back, cache the
+// deserialized set. Picks therefore serve exactly what a separate
+// run-time process would load from disk.
+func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
+	// Restart path: reuse the persisted document when present.
+	if s.opts.Dir != "" {
+		if raw, err := os.ReadFile(s.docPath(key)); err == nil {
+			e, err := newEntry(raw)
+			if err == nil {
+				s.insert(key, e, true)
+				return PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}, nil
+			}
+			// A corrupt document is not fatal: fall through and
+			// re-optimize (the store's validation rejected it).
+		}
+	}
+
+	model, err := cloud.NewModel(schema, cloudCfg, w.solver)
+	if err != nil {
+		return PrepareResult{}, err
+	}
+	opts := s.opts.Optimizer
+	opts.Context = w.solver
+	opts.Algebra = nil
+	if opts.Workers == 0 {
+		// Request-level concurrency comes from the pool; one Prepare
+		// stays on its worker unless explicitly configured otherwise.
+		opts.Workers = 1
+	}
+	result, err := core.Optimize(schema, model, opts)
+	if err != nil {
+		return PrepareResult{}, err
+	}
+
+	// Failures past this point are server-side (serialization,
+	// persistence), not the client's template; wrap them in ErrInternal
+	// so transports report 5xx instead of 4xx.
+	var buf bytes.Buffer
+	if err := store.Save(&buf, model.MetricNames(), model.Space(), result.Plans); err != nil {
+		return PrepareResult{}, fmt.Errorf("%w: %v", ErrInternal, err)
+	}
+	if s.opts.Dir != "" {
+		if err := s.persist(key, buf.Bytes()); err != nil {
+			return PrepareResult{}, fmt.Errorf("%w: persisting plan set: %v", ErrInternal, err)
+		}
+	}
+	e, err := newEntry(buf.Bytes())
+	if err != nil {
+		return PrepareResult{}, fmt.Errorf("%w: reloading saved plan set: %v", ErrInternal, err)
+	}
+	s.insert(key, e, false)
+	return PrepareResult{
+		Key:      key,
+		NumPlans: len(e.set.Plans),
+		Duration: result.Stats.Duration,
+	}, nil
+}
+
+// newEntry deserializes a document and precomputes the selection
+// candidates.
+func newEntry(doc []byte) (*entry, error) {
+	set, err := store.Load(bytes.NewReader(doc))
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]selection.Candidate, len(set.Plans))
+	for i, lp := range set.Plans {
+		cands[i] = selection.Candidate{Plan: lp.Plan, Cost: lp.Cost, RR: lp.RR}
+	}
+	return &entry{set: set, candidates: cands}, nil
+}
+
+// insert publishes an entry; the first insert of a key wins.
+func (s *Server) insert(key string, e *entry, diskHit bool) {
+	s.mu.Lock()
+	if _, ok := s.cache[key]; !ok {
+		s.cache[key] = e
+	}
+	if diskHit {
+		s.stats.PrepareDiskHits++
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) docPath(key string) string {
+	return filepath.Join(s.opts.Dir, key+".json")
+}
+
+// persist writes the document atomically (write to a temp file, then
+// rename).
+func (s *Server) persist(key string, doc []byte) error {
+	tmp, err := os.CreateTemp(s.opts.Dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(doc); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.docPath(key))
+}
+
+// Pick evaluates a selection policy at a parameter point against a
+// prepared plan set.
+func (s *Server) Pick(req PickRequest) (PickResult, error) {
+	var res PickResult
+	var jerr error
+	err := s.run(func(w *worker) {
+		res, jerr = s.pickOn(req)
+	})
+	if err != nil {
+		return PickResult{}, err
+	}
+	return res, jerr
+}
+
+// pickOn executes a Pick on a pool worker. Selection is pure point
+// evaluation (the relevance-region fast path needs no LPs), so the
+// worker's solver is untouched; the queue trip still bounds the
+// server's concurrent work.
+func (s *Server) pickOn(req PickRequest) (PickResult, error) {
+	s.mu.RLock()
+	e, ok := s.cache[req.Key]
+	s.mu.RUnlock()
+	if !ok {
+		return PickResult{}, fmt.Errorf("%w: %q", ErrUnknownPlanSet, req.Key)
+	}
+	if len(req.Point) != e.set.Space.Dim() {
+		return PickResult{}, fmt.Errorf("serve: point dimension %d, want %d", len(req.Point), e.set.Space.Dim())
+	}
+	if !e.set.Space.ContainsPoint(req.Point, 1e-9) {
+		// Outside the parameter space the stored cost pieces would be
+		// extrapolated and relevance regions are meaningless; reject
+		// instead of fabricating a result.
+		return PickResult{}, fmt.Errorf("serve: point %v outside the plan set's parameter space", req.Point)
+	}
+	res := PickResult{Metrics: e.set.Metrics}
+	switch req.Policy {
+	case PolicyFrontier, "":
+		res.Choices = selection.Frontier(e.candidates, req.Point)
+	case PolicyWeightedSum:
+		c, err := selection.WeightedSum(e.candidates, req.Point, req.Weights)
+		if err != nil {
+			return PickResult{}, err
+		}
+		res.Choices = []selection.Choice{c}
+	case PolicyMinimizeSubjectTo:
+		c, err := selection.MinimizeSubjectTo(e.candidates, req.Point, req.Minimize, req.Bounds)
+		if err != nil {
+			return PickResult{}, err
+		}
+		res.Choices = []selection.Choice{c}
+	case PolicyLexicographic:
+		c, err := selection.Lexicographic(e.candidates, req.Point, req.Order)
+		if err != nil {
+			return PickResult{}, err
+		}
+		res.Choices = []selection.Choice{c}
+	default:
+		return PickResult{}, fmt.Errorf("serve: unknown policy %q", req.Policy)
+	}
+	s.mu.Lock()
+	s.stats.Picks++
+	s.mu.Unlock()
+	return res, nil
+}

@@ -1,0 +1,464 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpq/internal/cloud"
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+	"mpq/internal/selection"
+	"mpq/internal/store"
+	"mpq/internal/workload"
+)
+
+func testTemplate(seed int64) Template {
+	return Template{Workload: workload.Config{
+		Tables: 4, Params: 1, Shape: workload.Chain, Seed: seed,
+	}}
+}
+
+var testPoints = []geometry.Vector{{0.01}, {0.2}, {0.5}, {0.8}, {0.99}}
+
+// render formats a choice so comparisons are byte-identical.
+func render(c selection.Choice) string {
+	return fmt.Sprintf("%v @ %v", c.Plan, c.Cost)
+}
+
+func renderAll(cs []selection.Choice) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = render(c)
+	}
+	return out
+}
+
+// sequentialPicks computes the expected responses with the in-process
+// sequential path: optimize with one worker, round-trip through the
+// store format, run the selection policies directly.
+func sequentialPicks(t *testing.T, tpl Template) map[string][]string {
+	t.Helper()
+	schema, err := workload.Generate(tpl.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := geometry.NewContext()
+	model, err := cloud.NewModel(schema, cloud.DefaultConfig(), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Context = ctx
+	opts.Workers = 1
+	res, err := core.Optimize(schema, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Save(&buf, model.MetricNames(), model.Space(), res.Plans); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := store.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := make([]selection.Candidate, len(ps.Plans))
+	for i, lp := range ps.Plans {
+		cands[i] = selection.Candidate{Plan: lp.Plan, Cost: lp.Cost, RR: lp.RR}
+	}
+	expected := make(map[string][]string)
+	for _, x := range testPoints {
+		expected[expectKey("frontier", x)] = renderAll(selection.Frontier(cands, x))
+		w, err := selection.WeightedSum(cands, x, []float64{1, 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[expectKey("weighted", x)] = []string{render(w)}
+		l, err := selection.Lexicographic(cands, x, []int{1, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[expectKey("lex", x)] = []string{render(l)}
+	}
+	return expected
+}
+
+func expectKey(policy string, x geometry.Vector) string {
+	return fmt.Sprintf("%s@%v", policy, x)
+}
+
+// serverPicks issues the same requests against a server.
+func serverPicks(t *testing.T, s *Server, key string, x geometry.Vector) map[string][]string {
+	t.Helper()
+	got := make(map[string][]string)
+	reqs := []PickRequest{
+		{Key: key, Point: x, Policy: PolicyFrontier},
+		{Key: key, Point: x, Policy: PolicyWeightedSum, Weights: []float64{1, 10000}},
+		{Key: key, Point: x, Policy: PolicyLexicographic, Order: []int{1, 0}},
+	}
+	names := []string{"frontier", "weighted", "lex"}
+	for i, req := range reqs {
+		res, err := pickRetrying(s, req)
+		if err != nil {
+			t.Fatalf("pick %s at %v: %v", names[i], x, err)
+		}
+		got[expectKey(names[i], x)] = renderAll(res.Choices)
+	}
+	return got
+}
+
+// pickRetrying retries on queue backpressure, as a client would.
+func pickRetrying(s *Server, req PickRequest) (PickResult, error) {
+	for {
+		res, err := s.Pick(req)
+		if errors.Is(err, ErrQueueFull) {
+			continue
+		}
+		return res, err
+	}
+}
+
+func prepareRetrying(s *Server, tpl Template) (PrepareResult, error) {
+	for {
+		res, err := s.Prepare(tpl)
+		if errors.Is(err, ErrQueueFull) {
+			continue
+		}
+		return res, err
+	}
+}
+
+// TestServerMatchesSequentialPath: for fixed seeds, every cached Pick
+// must return exactly (byte-identically) the plans and cost vectors the
+// in-process sequential selection path returns.
+func TestServerMatchesSequentialPath(t *testing.T) {
+	s := New(Options{Workers: 4})
+	defer s.Close()
+	for _, seed := range []int64{21, 33} {
+		tpl := testTemplate(seed)
+		expected := sequentialPicks(t, tpl)
+		prep, err := s.Prepare(tpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prep.Cached {
+			t.Errorf("seed %d: first Prepare reported cached", seed)
+		}
+		if prep.NumPlans == 0 {
+			t.Fatalf("seed %d: empty plan set", seed)
+		}
+		for _, x := range testPoints {
+			got := serverPicks(t, s, prep.Key, x)
+			for k, want := range got {
+				exp := expected[k]
+				if fmt.Sprint(exp) != fmt.Sprint(want) {
+					t.Errorf("seed %d %s: server returned %v, sequential path %v", seed, k, want, exp)
+				}
+			}
+		}
+		// Second Prepare of the same template is a cache hit with the
+		// same key.
+		prep2, err := s.Prepare(tpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prep2.Cached || prep2.Key != prep.Key {
+			t.Errorf("seed %d: re-Prepare cached=%v key match=%v", seed, prep2.Cached, prep2.Key == prep.Key)
+		}
+	}
+	st := s.Stats()
+	if st.Prepares != 4 || st.PrepareHits != 2 || st.CachedPlanSets != 2 {
+		t.Errorf("stats = %+v, want 4 prepares, 2 hits, 2 cached sets", st)
+	}
+	if st.Geometry.LPs == 0 {
+		t.Error("no geometry work recorded")
+	}
+}
+
+// TestServerConcurrentStress drives many concurrent Prepare/Pick mixes
+// (run under -race in CI) and asserts every response is byte-identical
+// to the sequential path's.
+func TestServerConcurrentStress(t *testing.T) {
+	seeds := []int64{21, 33, 47}
+	templates := make([]Template, len(seeds))
+	expected := make([]map[string][]string, len(seeds))
+	for i, seed := range seeds {
+		templates[i] = testTemplate(seed)
+		expected[i] = sequentialPicks(t, templates[i])
+	}
+
+	s := New(Options{Workers: 4, QueueDepth: 8})
+	defer s.Close()
+
+	const clients = 8
+	iterations := 6
+	if testing.Short() {
+		iterations = 2
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				i := (c + it) % len(templates)
+				prep, err := prepareRetrying(s, templates[i])
+				if err != nil {
+					errCh <- fmt.Errorf("client %d prepare %d: %w", c, i, err)
+					return
+				}
+				x := testPoints[(c+it)%len(testPoints)]
+				res, err := pickRetrying(s, PickRequest{Key: prep.Key, Point: x, Policy: PolicyFrontier})
+				if err != nil {
+					errCh <- fmt.Errorf("client %d pick: %w", c, err)
+					return
+				}
+				want := expected[i][expectKey("frontier", x)]
+				if fmt.Sprint(renderAll(res.Choices)) != fmt.Sprint(want) {
+					errCh <- fmt.Errorf("client %d: frontier at %v = %v, sequential %v",
+						c, x, renderAll(res.Choices), want)
+					return
+				}
+				wres, err := pickRetrying(s, PickRequest{
+					Key: prep.Key, Point: x, Policy: PolicyWeightedSum, Weights: []float64{1, 10000},
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("client %d weighted pick: %w", c, err)
+					return
+				}
+				want = expected[i][expectKey("weighted", x)]
+				if fmt.Sprint(renderAll(wres.Choices)) != fmt.Sprint(want) {
+					errCh <- fmt.Errorf("client %d: weighted at %v = %v, sequential %v",
+						c, x, renderAll(wres.Choices), want)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	st := s.Stats()
+	if st.CachedPlanSets != len(templates) {
+		t.Errorf("cached sets = %d, want %d (singleflight per key)", st.CachedPlanSets, len(templates))
+	}
+	if st.PrepareHits == 0 {
+		t.Error("no cache hits during the stress mix")
+	}
+	if got := st.Prepares; got != int64(clients*iterations) {
+		t.Errorf("prepares = %d, want %d", got, clients*iterations)
+	}
+}
+
+// TestQueueBackpressure: with a single worker wedged and the queue at
+// capacity, further submissions fail fast with ErrQueueFull and are
+// counted as rejected.
+func TestQueueBackpressure(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := &job{done: make(chan struct{}), run: func(w *worker) {
+		close(started)
+		<-release
+	}}
+	if err := s.submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the only worker is now wedged
+
+	queued := &job{done: make(chan struct{}), run: func(w *worker) {}}
+	if err := s.submit(queued); err != nil {
+		t.Fatalf("queueing up to depth should succeed: %v", err)
+	}
+	if err := s.submit(&job{done: make(chan struct{})}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit beyond depth = %v, want ErrQueueFull", err)
+	}
+	// The public API surfaces the same backpressure.
+	if _, err := s.Pick(PickRequest{Key: "nope"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Pick under full queue = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	<-queued.done
+	if st := s.Stats(); st.Rejected < 2 {
+		t.Errorf("rejected = %d, want >= 2", st.Rejected)
+	}
+}
+
+func TestPickErrors(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	if _, err := s.Pick(PickRequest{Key: "missing", Point: geometry.Vector{0.5}}); !errors.Is(err, ErrUnknownPlanSet) {
+		t.Errorf("unknown key error = %v", err)
+	}
+	prep, err := s.Prepare(testTemplate(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pick(PickRequest{Key: prep.Key, Point: geometry.Vector{0.5, 0.5}}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	// A point outside the parameter space must be rejected, not priced
+	// by extrapolating the stored cost pieces.
+	if _, err := s.Pick(PickRequest{Key: prep.Key, Point: geometry.Vector{5}}); err == nil ||
+		!strings.Contains(err.Error(), "outside") {
+		t.Errorf("out-of-space point error = %v", err)
+	}
+	if _, err := s.Pick(PickRequest{Key: prep.Key, Point: geometry.Vector{0.5}, Policy: "nonsense"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	// Weighted sum with invalid weights surfaces the selection error.
+	if _, err := s.Pick(PickRequest{
+		Key: prep.Key, Point: geometry.Vector{0.5}, Policy: PolicyWeightedSum, Weights: []float64{0, 0},
+	}); err == nil {
+		t.Error("zero weights accepted")
+	}
+}
+
+func TestServerClosed(t *testing.T) {
+	s := New(Options{Workers: 1})
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Prepare(testTemplate(21)); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Prepare after Close = %v, want ErrServerClosed", err)
+	}
+	if _, err := s.Pick(PickRequest{Key: "k"}); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Pick after Close = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestPersistenceAcrossServers: with Options.Dir, a second server
+// instance serves the first one's prepared template from the persisted
+// document — without optimizing — and picks identically.
+func TestPersistenceAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+	tpl := testTemplate(21)
+
+	s1 := New(Options{Workers: 2, Dir: dir})
+	prep1, err := s1.Prepare(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := geometry.Vector{0.5}
+	res1, err := s1.Pick(PickRequest{Key: prep1.Key, Point: x, Policy: PolicyFrontier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, prep1.Key+".json")); err != nil {
+		t.Fatalf("persisted document missing: %v", err)
+	}
+
+	s2 := New(Options{Workers: 2, Dir: dir})
+	defer s2.Close()
+	prep2, err := s2.Prepare(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep2.Cached || prep2.Key != prep1.Key {
+		t.Errorf("restart Prepare: cached=%v, key match=%v", prep2.Cached, prep2.Key == prep1.Key)
+	}
+	if st := s2.Stats(); st.PrepareDiskHits != 1 {
+		t.Errorf("disk hits = %d, want 1", st.PrepareDiskHits)
+	}
+	res2, err := s2.Pick(PickRequest{Key: prep2.Key, Point: x, Policy: PolicyFrontier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(renderAll(res1.Choices)) != fmt.Sprint(renderAll(res2.Choices)) {
+		t.Errorf("picks differ across restart: %v vs %v", renderAll(res1.Choices), renderAll(res2.Choices))
+	}
+}
+
+// TestKeySensitivity: the cache key must separate templates that
+// produce different plan sets and must not depend on the pool size.
+func TestKeySensitivity(t *testing.T) {
+	a := New(Options{Workers: 1})
+	defer a.Close()
+	b := New(Options{Workers: 3})
+	defer b.Close()
+	keyA, err := a.Key(testTemplate(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB, err := b.Key(testTemplate(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyA != keyB {
+		t.Error("key depends on the pool size")
+	}
+	keyOther, err := a.Key(testTemplate(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyOther == keyA {
+		t.Error("different workloads share a key")
+	}
+	cfg := cloud.DefaultConfig()
+	cfg.PricePerNodeSec *= 2
+	tpl := testTemplate(21)
+	tpl.Cloud = &cfg
+	keyCloud, err := a.Key(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyCloud == keyA {
+		t.Error("different cost-model configs share a key")
+	}
+	c := New(Options{Workers: 1, Optimizer: func() core.Options {
+		o := core.DefaultOptions()
+		o.Region.RelevancePoints = 0
+		return o
+	}()})
+	defer c.Close()
+	keyOpts, err := c.Key(testTemplate(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyOpts == keyA {
+		t.Error("different optimizer configs share a key")
+	}
+	// Geometry tolerances steer pruning, so they are part of the key —
+	// but a zero config and the explicit defaults are the same key.
+	d := New(Options{Workers: 1, Solver: geometry.Config{RadiusTol: 1e-3}})
+	defer d.Close()
+	keySolver, err := d.Key(testTemplate(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keySolver == keyA {
+		t.Error("different solver tolerances share a key")
+	}
+	e := New(Options{Workers: 1, Solver: geometry.DefaultConfig()})
+	defer e.Close()
+	keyDefault, err := e.Key(testTemplate(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyDefault != keyA {
+		t.Error("zero solver config and explicit defaults produce different keys")
+	}
+}
+
+// TestPrepareInternalFailure: server-side persistence failures are
+// wrapped in ErrInternal (transports map them to 5xx, not 4xx).
+func TestPrepareInternalFailure(t *testing.T) {
+	s := New(Options{Workers: 1, Dir: filepath.Join(t.TempDir(), "does", "not", "exist")})
+	defer s.Close()
+	if _, err := s.Prepare(testTemplate(21)); !errors.Is(err, ErrInternal) {
+		t.Errorf("Prepare into a missing dir = %v, want ErrInternal", err)
+	}
+}

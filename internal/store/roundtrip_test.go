@@ -1,0 +1,121 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mpq/internal/cloud"
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+	"mpq/internal/pwl"
+	"mpq/internal/workload"
+)
+
+// TestRoundTripProperty is the store's round-trip property test over
+// chain, star and clique workloads:
+//
+//  1. Save→Load→Save produces byte-identical documents (the format is
+//     a fixed point of the round trip);
+//  2. Load(Save(result)) preserves the plan count, the plan trees, the
+//     cost vectors at sampled parameter points, and the nil-ness of
+//     every relevance region.
+func TestRoundTripProperty(t *testing.T) {
+	shapes := []workload.Shape{workload.Chain, workload.Star, workload.Clique}
+	for _, shape := range shapes {
+		for _, seed := range []int64{3, 11} {
+			t.Run(fmt.Sprintf("%v/seed=%d", shape, seed), func(t *testing.T) {
+				schema, err := workload.Generate(workload.Config{
+					Tables: 4, Params: 1, Shape: shape, Seed: seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := geometry.NewContext()
+				model, err := cloud.NewModel(schema, cloud.DefaultConfig(), ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := core.DefaultOptions()
+				opts.Context = ctx
+				res, err := core.Optimize(schema, model, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Mix in an always-relevant plan so nil-ness is part of
+				// the property, not just the optimizer's usual output.
+				infos := make([]*core.PlanInfo, len(res.Plans))
+				for i, info := range res.Plans {
+					copied := *info
+					if i == 0 {
+						copied.RR = nil
+					}
+					infos[i] = &copied
+				}
+				checkRoundTrip(t, model.MetricNames(), model.Space(), infos)
+			})
+		}
+	}
+}
+
+func checkRoundTrip(t *testing.T, metrics []string, space *geometry.Polytope, infos []*core.PlanInfo) {
+	t.Helper()
+	var first bytes.Buffer
+	if err := Save(&first, metrics, space, infos); err != nil {
+		t.Fatalf("first save: %v", err)
+	}
+	ps, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	// Property 2: the loaded set preserves count, trees, sampled cost
+	// values and region nil-ness.
+	if len(ps.Plans) != len(infos) {
+		t.Fatalf("loaded %d plans, want %d", len(ps.Plans), len(infos))
+	}
+	samples := samplePoints(space, 5)
+	for i, lp := range ps.Plans {
+		orig := infos[i]
+		if lp.Plan.String() != orig.Plan.String() {
+			t.Errorf("plan %d tree %q != %q", i, lp.Plan, orig.Plan)
+		}
+		if (lp.RR == nil) != (orig.RR == nil) {
+			t.Errorf("plan %d region nil-ness changed: loaded nil=%v, saved nil=%v",
+				i, lp.RR == nil, orig.RR == nil)
+		}
+		origCost := orig.Cost.(*pwl.Multi)
+		for _, x := range samples {
+			a, okA := lp.Cost.Eval(x)
+			b, okB := origCost.Eval(x)
+			if okA != okB || (okA && !a.Equal(b, 1e-9)) {
+				t.Errorf("plan %d cost at %v: %v (ok=%v) != %v (ok=%v)", i, x, a, okA, b, okB)
+			}
+		}
+	}
+
+	// Property 1: saving the loaded set reproduces the exact document.
+	loaded := make([]*core.PlanInfo, len(ps.Plans))
+	for i, lp := range ps.Plans {
+		loaded[i] = &core.PlanInfo{Plan: lp.Plan, Cost: lp.Cost, RR: lp.RR}
+	}
+	var second bytes.Buffer
+	if err := Save(&second, ps.Metrics, ps.Space, loaded); err != nil {
+		t.Fatalf("second save: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("Save∘Load is not the identity: document sizes %d vs %d",
+			first.Len(), second.Len())
+	}
+}
+
+// samplePoints returns a deterministic grid of points inside the
+// parameter-space box.
+func samplePoints(space *geometry.Polytope, n int) []geometry.Vector {
+	ctx := geometry.NewContext()
+	lo, hi, ok := ctx.BoundingBox(space)
+	if !ok {
+		return nil
+	}
+	return geometry.SamplePointsInBox(lo, hi, n, n)
+}

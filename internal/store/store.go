@@ -23,21 +23,69 @@ import (
 	"mpq/internal/region"
 )
 
-// FormatVersion identifies the serialization layout.
-const FormatVersion = 1
+// FormatVersion identifies the serialization layout. Version 2 added
+// the region-options stanza and the explicit always-relevant marker;
+// version 1 documents are still readable (their regions load with the
+// paper's default refinements, and plans without cutouts are treated as
+// always relevant, the only semantics version 1 could express).
+const FormatVersion = 2
+
+// minFormatVersion is the oldest version Load still accepts.
+const minFormatVersion = 1
 
 // Document is the top-level serialized form of an optimization result.
 type Document struct {
 	Version int        `json:"version"`
 	Metrics []string   `json:"metrics"`
 	Space   polytopeJS `json:"space"`
-	Plans   []planEnt  `json:"plans"`
+	// RegionOptions records the Section 6.2 refinement configuration the
+	// relevance regions were built with, so Load rebuilds them with the
+	// same options instead of whatever the current defaults happen to
+	// be. Absent in version 1 documents (which load with the defaults).
+	RegionOptions *regionOptionsJS `json:"region_options,omitempty"`
+	Plans         []planEnt        `json:"plans"`
 }
 
 type planEnt struct {
-	Tree    nodeJS       `json:"tree"`
-	Cost    multiJS      `json:"cost"`
-	Cutouts []polytopeJS `json:"cutouts"`
+	Tree nodeJS  `json:"tree"`
+	Cost multiJS `json:"cost"`
+	// AlwaysRelevant marks a plan whose relevance region was nil at save
+	// time: selection must keep considering it at every parameter point
+	// without any containment test. Distinct from a region with zero
+	// cutouts, which still restricts the plan to the parameter space.
+	AlwaysRelevant bool         `json:"always_relevant,omitempty"`
+	Cutouts        []polytopeJS `json:"cutouts,omitempty"`
+}
+
+type regionOptionsJS struct {
+	Strategy                  string `json:"strategy"`
+	RelevancePoints           int    `json:"relevance_points"`
+	EliminateRedundantCutouts bool   `json:"eliminate_redundant_cutouts"`
+}
+
+func regionOptionsToJS(o region.Options) *regionOptionsJS {
+	return &regionOptionsJS{
+		Strategy:                  o.Strategy.String(),
+		RelevancePoints:           o.RelevancePoints,
+		EliminateRedundantCutouts: o.EliminateRedundantCutouts,
+	}
+}
+
+func regionOptionsFromJS(j *regionOptionsJS) (region.Options, error) {
+	if j == nil {
+		// Version 1 documents carry no stanza; they were written when
+		// save and load both meant the paper's default refinements.
+		return region.DefaultOptions(), nil
+	}
+	strategy, err := region.ParseStrategy(j.Strategy)
+	if err != nil {
+		return region.Options{}, fmt.Errorf("store: region options: %w", err)
+	}
+	return region.Options{
+		Strategy:                  strategy,
+		RelevancePoints:           j.RelevancePoints,
+		EliminateRedundantCutouts: j.EliminateRedundantCutouts,
+	}, nil
 }
 
 type nodeJS struct {
@@ -73,7 +121,10 @@ type halfspaceJS struct {
 
 // Save writes the plan set of a result (plans, PWL costs, relevance
 // regions) to w. Only results produced with the PWL algebra can be
-// serialized.
+// serialized. The region options of the first plan with a relevance
+// region are persisted alongside the regions (all regions of one
+// optimizer run share their options), so Load rebuilds regions exactly
+// as they were configured at save time.
 func Save(w io.Writer, metrics []string, space *geometry.Polytope, plans []*core.PlanInfo) error {
 	doc := Document{
 		Version: FormatVersion,
@@ -89,12 +140,22 @@ func Save(w io.Writer, metrics []string, space *geometry.Polytope, plans []*core
 			Tree: nodeToJS(info.Plan),
 			Cost: multiToJS(cost),
 		}
-		if info.RR != nil {
+		if info.RR == nil {
+			ent.AlwaysRelevant = true
+		} else {
+			if doc.RegionOptions == nil {
+				doc.RegionOptions = regionOptionsToJS(info.RR.Options())
+			}
 			for _, c := range info.RR.Cutouts() {
 				ent.Cutouts = append(ent.Cutouts, polytopeToJS(c))
 			}
 		}
 		doc.Plans = append(doc.Plans, ent)
+	}
+	if doc.RegionOptions == nil {
+		// No plan carried a region; record the defaults so a future
+		// default change cannot silently alter reload semantics.
+		doc.RegionOptions = regionOptionsToJS(region.DefaultOptions())
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)
@@ -122,13 +183,17 @@ func Load(r io.Reader) (*PlanSet, error) {
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("store: decoding: %w", err)
 	}
-	if doc.Version != FormatVersion {
+	if doc.Version < minFormatVersion || doc.Version > FormatVersion {
 		return nil, fmt.Errorf("store: unsupported format version %d", doc.Version)
 	}
 	if len(doc.Metrics) == 0 {
 		return nil, fmt.Errorf("store: document without metrics")
 	}
 	space, err := polytopeFromJS(doc.Space)
+	if err != nil {
+		return nil, err
+	}
+	regionOpts, err := regionOptionsFromJS(doc.RegionOptions)
 	if err != nil {
 		return nil, err
 	}
@@ -143,15 +208,32 @@ func Load(r io.Reader) (*PlanSet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: plan %d: %w", i, err)
 		}
-		rr := region.New(ctx, space, region.Options{})
-		for _, cj := range ent.Cutouts {
-			c, err := polytopeFromJS(cj)
-			if err != nil {
-				return nil, fmt.Errorf("store: plan %d cutout: %w", i, err)
+		lp := LoadedPlan{Plan: node, Cost: cost}
+		// A nil relevance region ("always relevant") must survive the
+		// round trip: selection's documented fast path skips all
+		// containment work for it. Version 1 documents had no explicit
+		// marker; there an absent cutout list is the only way a nil
+		// region could have been written.
+		always := ent.AlwaysRelevant || (doc.Version < 2 && len(ent.Cutouts) == 0)
+		if always {
+			if len(ent.Cutouts) > 0 {
+				return nil, fmt.Errorf("store: plan %d is marked always-relevant but has %d cutouts", i, len(ent.Cutouts))
 			}
-			rr.Subtract(ctx, c)
+		} else {
+			rr := region.New(ctx, space, regionOpts)
+			for _, cj := range ent.Cutouts {
+				if cj.Dim != space.Dim() {
+					return nil, fmt.Errorf("store: plan %d cutout: dimension %d, want space dimension %d", i, cj.Dim, space.Dim())
+				}
+				c, err := polytopeFromJS(cj)
+				if err != nil {
+					return nil, fmt.Errorf("store: plan %d cutout: %w", i, err)
+				}
+				rr.Subtract(ctx, c)
+			}
+			lp.RR = rr
 		}
-		ps.Plans = append(ps.Plans, LoadedPlan{Plan: node, Cost: cost, RR: rr})
+		ps.Plans = append(ps.Plans, lp)
 	}
 	return ps, nil
 }
@@ -220,6 +302,12 @@ func multiFromJS(j multiJS, metrics, dim int) (*pwl.Multi, error) {
 		for _, pj := range fj.Pieces {
 			if len(pj.W) != dim {
 				return nil, fmt.Errorf("piece weight dimension %d, want %d", len(pj.W), dim)
+			}
+			if pj.Region.Dim != dim {
+				// An internally consistent polytope of the wrong
+				// dimension would pass construction and panic deep in
+				// the geometry layer at selection time; reject it here.
+				return nil, fmt.Errorf("piece region dimension %d, want space dimension %d", pj.Region.Dim, dim)
 			}
 			reg, err := polytopeFromJS(pj.Region)
 			if err != nil {

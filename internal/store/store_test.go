@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"mpq/internal/core"
 	"mpq/internal/geometry"
 	"mpq/internal/pwl"
+	"mpq/internal/region"
 	"mpq/internal/workload"
 )
 
@@ -84,6 +86,188 @@ func TestLoadRejectsBadDocuments(t *testing.T) {
 		if _, err := Load(strings.NewReader(doc)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// TestLoadRejectsDimensionMismatches: documents whose piece or cutout
+// polytopes are internally consistent but of the wrong dimension must
+// be rejected with a descriptive error instead of panicking deep inside
+// the geometry layer at selection time.
+func TestLoadRejectsDimensionMismatches(t *testing.T) {
+	// A valid 1-parameter document skeleton: one scan plan, one linear
+	// cost piece, one cutout. %s slots: piece region, cutout list,
+	// extra plan fields.
+	const tmpl = `{"version":2,"metrics":["t"],"space":{"dim":1,"constraints":[{"w":[1],"b":1},{"w":[-1],"b":0}]},` +
+		`"region_options":{"strategy":"bemporad","relevance_points":16,"eliminate_redundant_cutouts":true},` +
+		`"plans":[{"tree":{"op":"s","table":0},"cost":{"components":[{"pieces":[{"region":%s,"w":[1],"b":0}]}]}%s}]}`
+	good2D := `{"dim":2,"constraints":[{"w":[1,0],"b":1},{"w":[-1,0],"b":0}]}`
+	good1D := `{"dim":1,"constraints":[{"w":[1],"b":1}]}`
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{
+			name:    "piece region dim",
+			doc:     fmt.Sprintf(tmpl, good2D, ""),
+			wantErr: "piece region dimension 2, want space dimension 1",
+		},
+		{
+			name:    "cutout dim",
+			doc:     fmt.Sprintf(tmpl, good1D, `,"cutouts":[`+good2D+`]`),
+			wantErr: "cutout: dimension 2, want space dimension 1",
+		},
+		{
+			name:    "always-relevant with cutouts",
+			doc:     fmt.Sprintf(tmpl, good1D, `,"always_relevant":true,"cutouts":[`+good1D+`]`),
+			wantErr: "always-relevant",
+		},
+		{
+			name:    "bad strategy name",
+			doc:     strings.Replace(fmt.Sprintf(tmpl, good1D, ""), "bemporad", "quantum", 1),
+			wantErr: "unknown emptiness strategy",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The skeleton itself must be valid.
+			if tc.name == "piece region dim" {
+				if _, err := Load(strings.NewReader(fmt.Sprintf(tmpl, good1D, ""))); err != nil {
+					t.Fatalf("valid skeleton rejected: %v", err)
+				}
+			}
+			_, err := Load(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatal("bad document accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestLoadUsesSavedRegionOptions: regression test — Load must rebuild
+// relevance regions with the options persisted at save time (the
+// Section 6.2 refinements), not with the zero value.
+func TestLoadUsesSavedRegionOptions(t *testing.T) {
+	res, metrics, space := optimizeSample(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, metrics, space, res.Plans); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Plans[0].RR.Options()
+	if want != region.DefaultOptions() {
+		t.Fatalf("sample was not optimized with default region options: %+v", want)
+	}
+	for i, lp := range ps.Plans {
+		if lp.RR == nil {
+			continue
+		}
+		if got := lp.RR.Options(); got != want {
+			t.Errorf("plan %d loaded with region options %+v, want the saved %+v", i, got, want)
+		}
+	}
+}
+
+// TestLoadRoundTripsNonDefaultRegionOptions: a plan set optimized with
+// non-default refinements must come back with exactly those options.
+func TestLoadRoundTripsNonDefaultRegionOptions(t *testing.T) {
+	schema, err := workload.Generate(workload.Config{Tables: 3, Params: 1, Shape: workload.Chain, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := geometry.NewContext()
+	model, err := cloud.NewModel(schema, cloud.DefaultConfig(), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Context = ctx
+	opts.Region = region.Options{Strategy: region.StrategyCoverDiff, RelevancePoints: 3}
+	res, err := core.Optimize(schema, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, model.MetricNames(), model.Space(), res.Plans); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lp := range ps.Plans {
+		if lp.RR == nil {
+			continue
+		}
+		if got := lp.RR.Options(); got != opts.Region {
+			t.Errorf("plan %d loaded with region options %+v, want %+v", i, got, opts.Region)
+		}
+	}
+}
+
+// TestRoundTripPreservesAlwaysRelevant: regression test — a plan saved
+// with a nil relevance region (always relevant) must load with a nil
+// region, keeping selection's no-containment fast path, while a plan
+// with a real region must load with one.
+func TestRoundTripPreservesAlwaysRelevant(t *testing.T) {
+	res, metrics, space := optimizeSample(t)
+	if len(res.Plans) < 2 {
+		t.Skip("need at least two plans")
+	}
+	infos := make([]*core.PlanInfo, len(res.Plans))
+	for i, info := range res.Plans {
+		copied := *info
+		if i == 0 {
+			copied.RR = nil // always relevant
+		}
+		infos[i] = &copied
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, metrics, space, infos); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Plans[0].RR != nil {
+		t.Error("nil relevance region became non-nil after round trip")
+	}
+	for i := 1; i < len(ps.Plans); i++ {
+		if ps.Plans[i].RR == nil {
+			t.Errorf("plan %d lost its relevance region", i)
+		}
+	}
+}
+
+// TestLoadVersion1Document: version 1 documents (no options stanza, no
+// always-relevant marker) still load: default refinements, absent
+// cutouts meaning always relevant.
+func TestLoadVersion1Document(t *testing.T) {
+	const doc = `{"version":1,"metrics":["t"],"space":{"dim":1,"constraints":[{"w":[1],"b":1},{"w":[-1],"b":0}]},` +
+		`"plans":[` +
+		`{"tree":{"op":"s","table":0},"cost":{"components":[{"pieces":[{"region":{"dim":1},"w":[1],"b":0}]}]}},` +
+		`{"tree":{"op":"s","table":1},"cost":{"components":[{"pieces":[{"region":{"dim":1},"w":[2],"b":0}]}]},` +
+		`"cutouts":[{"dim":1,"constraints":[{"w":[1],"b":0.5}]}]}` +
+		`]}`
+	ps, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Plans[0].RR != nil {
+		t.Error("v1 plan without cutouts should load always-relevant")
+	}
+	if ps.Plans[1].RR == nil {
+		t.Fatal("v1 plan with cutouts lost its region")
+	}
+	if got := ps.Plans[1].RR.Options(); got != region.DefaultOptions() {
+		t.Errorf("v1 region options = %+v, want defaults", got)
 	}
 }
 

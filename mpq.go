@@ -15,6 +15,7 @@ import (
 	"mpq/internal/region"
 	"mpq/internal/sampled"
 	"mpq/internal/selection"
+	"mpq/internal/serve"
 	"mpq/internal/store"
 	"mpq/internal/workload"
 )
@@ -274,6 +275,56 @@ func SelectWeightedSum(candidates []Candidate, x Vector, weights []float64) (Cho
 func SelectMinimizeSubjectTo(candidates []Candidate, x Vector, minimize int, bounds []Bound) (Choice, error) {
 	return selection.MinimizeSubjectTo(candidates, x, minimize, bounds)
 }
+
+// Serving-layer types: the optimizer as a long-lived service
+// (preprocessing and run time of the paper's Figure 2 behind one
+// concurrent API).
+type (
+	// Server is a long-lived optimizer service: solver pool, plan-set
+	// cache, bounded request queue.
+	Server = serve.Server
+	// ServeOptions configures a Server (pool size, queue depth,
+	// optimizer configuration, persistence directory).
+	ServeOptions = serve.Options
+	// ServeTemplate describes a query template for Server.Prepare.
+	ServeTemplate = serve.Template
+	// ServeStats is a snapshot of a Server's counters.
+	ServeStats = serve.Stats
+	// PrepareResult reports the outcome of Server.Prepare.
+	PrepareResult = serve.PrepareResult
+	// PickRequest selects a plan from a prepared plan set.
+	PickRequest = serve.PickRequest
+	// PickResult is the response to a PickRequest.
+	PickResult = serve.PickResult
+	// PickPolicy selects the run-time preference policy of a pick.
+	PickPolicy = serve.Policy
+)
+
+// The run-time preference policies of a PickRequest.
+const (
+	PolicyFrontier          = serve.PolicyFrontier
+	PolicyWeightedSum       = serve.PolicyWeightedSum
+	PolicyMinimizeSubjectTo = serve.PolicyMinimizeSubjectTo
+	PolicyLexicographic     = serve.PolicyLexicographic
+)
+
+// Serving-layer errors.
+var (
+	// ErrServeQueueFull reports that the server's bounded request queue
+	// is at capacity; retry later.
+	ErrServeQueueFull = serve.ErrQueueFull
+	// ErrServerClosed reports a request after Server.Close.
+	ErrServerClosed = serve.ErrServerClosed
+	// ErrUnknownPlanSet reports a Pick for an unprepared key.
+	ErrUnknownPlanSet = serve.ErrUnknownPlanSet
+)
+
+// NewServer starts a long-lived optimizer service: Prepare optimizes a
+// template once, persists its Pareto plan set through the store format
+// and caches it; Pick selects plans for concrete parameter values
+// against the cached set. All methods are safe for concurrent use; see
+// DESIGN.md, "Serving layer".
+func NewServer(opts ServeOptions) *Server { return serve.New(opts) }
 
 // FrontSizeDiagram maps Pareto-front cardinality over the parameter
 // space.
