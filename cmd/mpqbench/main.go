@@ -7,7 +7,9 @@
 // Usage:
 //
 //	mpqbench -experiment figure12 [-quick] [-reps 25] [-csv] [-json] [-workers N]
+//	mpqbench -experiment figure12 -shapes chain,star,cycle,clique -params 1,2,3
 //	mpqbench -experiment figure12 -quick -json -baseline BENCH_baseline.json
+//	mpqbench -experiment figure12 -parallel clique:1:6,star:1:8
 //	mpqbench -experiment pqblowup
 //	mpqbench -experiment ablation [-tables 6]
 //
@@ -20,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mpq/internal/baseline"
@@ -40,6 +44,10 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (per-case ns/op, LPs, plans, workers)")
 		workers    = flag.Int("workers", 0, "optimizer worker count (0 = GOMAXPROCS, 1 = sequential)")
 		seed       = flag.Int64("seed", 1, "base random seed")
+		shapes     = flag.String("shapes", "chain,star", "comma-separated join graph shapes (chain,star,cycle,clique)")
+		params     = flag.String("params", "1,2", "comma-separated parameter counts per curve")
+		maxTables  = flag.Int("max-tables", 0, "cap on the table count of every curve (0 = per-shape defaults)")
+		parallel   = flag.String("parallel", "", "parallel reference points shape:params:tables[,...], run at workers=GOMAXPROCS and reported as parallel_cases (not gated)")
 		maxChain1  = flag.Int("max-chain-1p", 12, "max tables for chain, 1 parameter")
 		maxStar1   = flag.Int("max-star-1p", 12, "max tables for star, 1 parameter")
 		maxChain2  = flag.Int("max-chain-2p", 10, "max tables for chain, 2 parameters")
@@ -57,6 +65,8 @@ func main() {
 		runFigure12(figure12Config{
 			quick: *quick, reps: *reps, csv: *csv, json: *jsonOut,
 			seed: *seed, workers: *workers,
+			shapes: *shapes, params: *params, maxTables: *maxTables,
+			parallel:  *parallel,
 			maxChain1: *maxChain1, maxStar1: *maxStar1,
 			maxChain2: *maxChain2, maxStar2: *maxStar2,
 			baseline: *baseline,
@@ -77,9 +87,103 @@ type figure12Config struct {
 	quick, csv, json                         bool
 	reps, workers                            int
 	seed                                     int64
+	shapes, params                           string
+	maxTables                                int
+	parallel                                 string
 	maxChain1, maxStar1, maxChain2, maxStar2 int
 	baseline                                 string
 	compare                                  bench.CompareOptions
+}
+
+// curve is one Figure 12 series to measure.
+type curve struct {
+	shape  workload.Shape
+	params int
+	max    int
+}
+
+// maxFor resolves the curve length for a shape/parameter combination:
+// the legacy per-curve flags for the four paper curves, the package
+// defaults (quick-reduced with -quick) for the extension shapes and
+// parameter counts, and the global -max-tables cap on top.
+func (cfg figure12Config) maxFor(shape workload.Shape, params int) int {
+	m := bench.DefaultMaxTables(shape, params)
+	if cfg.quick {
+		if q := bench.QuickMaxTables(shape, params); q < m {
+			m = q
+		}
+	}
+	switch {
+	case shape == workload.Chain && params == 1:
+		m = cfg.maxChain1
+	case shape == workload.Star && params == 1:
+		m = cfg.maxStar1
+	case shape == workload.Chain && params == 2:
+		m = cfg.maxChain2
+	case shape == workload.Star && params == 2:
+		m = cfg.maxStar2
+	}
+	if cfg.maxTables > 0 && m > cfg.maxTables {
+		m = cfg.maxTables
+	}
+	return m
+}
+
+// buildCurves expands the -shapes and -params lists into the curve set.
+func buildCurves(cfg figure12Config) ([]curve, error) {
+	var shapes []workload.Shape
+	for _, name := range strings.Split(cfg.shapes, ",") {
+		s, err := workload.ParseShape(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		shapes = append(shapes, s)
+	}
+	var paramCounts []int
+	for _, p := range strings.Split(cfg.params, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -params entry %q", p)
+		}
+		paramCounts = append(paramCounts, n)
+	}
+	var curves []curve
+	for _, s := range shapes {
+		for _, p := range paramCounts {
+			curves = append(curves, curve{shape: s, params: p, max: cfg.maxFor(s, p)})
+		}
+	}
+	return curves, nil
+}
+
+// parseParallelPoints parses the -parallel list: shape:params:tables
+// entries measured at workers = GOMAXPROCS. An empty spec is valid and
+// yields no points.
+func parseParallelPoints(spec string) ([]curve, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var points []curve
+	for _, item := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("invalid -parallel entry %q (want shape:params:tables)", item)
+		}
+		s, err := workload.ParseShape(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		p, err1 := strconv.Atoi(parts[1])
+		n, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || p < 1 || n < 2 {
+			return nil, fmt.Errorf("invalid -parallel entry %q", item)
+		}
+		if s == workload.Cycle && n < 3 {
+			return nil, fmt.Errorf("invalid -parallel entry %q: a cycle needs at least 3 tables", item)
+		}
+		points = append(points, curve{shape: s, params: p, max: n})
+	}
+	return points, nil
 }
 
 func runFigure12(cfg figure12Config) {
@@ -104,16 +208,17 @@ func runFigure12(cfg figure12Config) {
 			cfg.maxStar2 = 6
 		}
 	}
-	type curve struct {
-		shape  workload.Shape
-		params int
-		max    int
+	curves, err := buildCurves(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(2)
 	}
-	curves := []curve{
-		{workload.Chain, 1, cfg.maxChain1},
-		{workload.Chain, 2, cfg.maxChain2},
-		{workload.Star, 1, cfg.maxStar1},
-		{workload.Star, 2, cfg.maxStar2},
+	// Validate the -parallel spec up front: a typo must fail in
+	// milliseconds, not after the sequential sweep.
+	parallelPoints, err := parseParallelPoints(cfg.parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(2)
 	}
 	var series []*bench.Series
 	start := time.Now()
@@ -134,10 +239,13 @@ func runFigure12(cfg figure12Config) {
 		}
 		series = append(series, s)
 	}
+	parallelCases := runParallelPoints(cfg, parallelPoints)
 	fmt.Fprintf(os.Stderr, "total experiment time: %v\n", time.Since(start))
 	switch {
 	case cfg.json:
-		if err := bench.FormatJSON(os.Stdout, series); err != nil {
+		rep := bench.BuildJSONReport(series)
+		rep.ParallelCases = parallelCases
+		if err := bench.WriteJSONReport(os.Stdout, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
@@ -151,6 +259,30 @@ func runFigure12(cfg figure12Config) {
 			os.Exit(1)
 		}
 	}
+}
+
+// runParallelPoints measures the -parallel reference points at the
+// pipelined scheduler's full parallelism (workers = GOMAXPROCS).
+func runParallelPoints(cfg figure12Config, points []curve) []bench.JSONCase {
+	var cases []bench.JSONCase
+	for _, c := range points {
+		p, err := bench.RunPoint(bench.Config{
+			Shape:       c.shape,
+			Params:      c.params,
+			Repetitions: cfg.reps,
+			Seed:        cfg.seed,
+			// Workers 0 keeps the optimizer default: GOMAXPROCS.
+		}, c.max)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		jc := bench.PointCase(c.shape, c.params, p, "parallel/")
+		cases = append(cases, jc)
+		fmt.Fprintf(os.Stderr, "parallel %s-%dp n=%-2d workers=%d time=%v plans=%d LPs=%d\n",
+			c.shape, c.params, c.max, p.Workers, p.MedianTime, p.MedianPlans, p.MedianLPs)
+	}
+	return cases
 }
 
 // compareAgainstBaseline diffs the measured series against the

@@ -33,6 +33,17 @@
 // functions as piecewise-linear functions over convex polytopes and
 // implements all pruning geometry with small linear programs.
 //
+// # Parallelism
+//
+// With Options.Workers > 1 the dynamic program runs on a pipelined
+// dependency scheduler over a cardinality-sharded plan-set store: a
+// table set is planned the moment every strict subset it decomposes
+// into has completed, and wide table sets are split across workers
+// with an order-preserving reduction (see DESIGN.md, "Concurrency
+// model"). Plan sets and aggregate LP statistics are identical for
+// every worker count; Stats.Scheduler and Stats.PipelineUtilization
+// report how well the pipeline kept the pool busy.
+//
 // # Serving
 //
 // The optimizer also runs as a long-lived service (NewServer, and the
@@ -42,7 +53,11 @@
 // for concrete parameter values and a preference policy against the
 // cached set. The geometry layer is reentrant (shared immutable
 // configuration, per-worker solvers), so one server handles many
-// concurrent requests.
+// concurrent requests. ServeStats exposes, next to the request and
+// cache counters, the optimizer pipeline's behavior across all
+// Prepares: PipelineBusy/PipelineCapacity/PipelineUtilization (mean
+// worker utilization of the dependency scheduler) and SplitJobs
+// (table sets planned with intra-mask split parallelism).
 //
 // The subpackages under internal implement the machinery: geometry
 // (polytopes, simplex LP solver, region difference, convexity

@@ -73,6 +73,75 @@ type Config struct {
 	Progress io.Writer
 }
 
+// DefaultMaxTables returns the full-scale curve length for a shape and
+// parameter count: the paper's ranges (2..12 tables for one parameter,
+// 2..10 for two) for chain and star, and reduced ranges for the denser
+// extension shapes and for three parameters, where work grows with both
+// edge density and piece counts.
+func DefaultMaxTables(shape workload.Shape, params int) int {
+	switch shape {
+	case workload.Cycle:
+		switch {
+		case params <= 1:
+			return 10
+		case params == 2:
+			return 8
+		default:
+			return 4
+		}
+	case workload.Clique:
+		switch {
+		case params <= 1:
+			return 8
+		case params == 2:
+			return 6
+		default:
+			return 4
+		}
+	default: // chain, star
+		switch {
+		case params <= 1:
+			return 12
+		case params == 2:
+			return 10
+		default:
+			return 5
+		}
+	}
+}
+
+// QuickMaxTables returns the reduced curve length of quick runs (CI
+// smoke and the bench-regression gate). Three-parameter curves stop at
+// three tables: piece counts grow as cells^d · d!, so even one more
+// table multiplies quick-run time by two orders of magnitude.
+func QuickMaxTables(shape workload.Shape, params int) int {
+	if params >= 3 {
+		return 3
+	}
+	switch shape {
+	case workload.Cycle:
+		if params <= 1 {
+			return 8
+		}
+		return 6
+	case workload.Clique:
+		if params <= 1 {
+			return 6
+		}
+		return 5
+	case workload.Star:
+		if params <= 1 {
+			return 9
+		}
+		return 6
+	default: // chain
+		if params <= 1 {
+			return 10
+		}
+		return 7
+	}
+}
+
 // RunSeries executes the experiment for one curve.
 func RunSeries(cfg Config) (*Series, error) {
 	if cfg.Repetitions < 1 {
@@ -80,6 +149,10 @@ func RunSeries(cfg Config) (*Series, error) {
 	}
 	if cfg.MinTables < 2 {
 		cfg.MinTables = 2
+	}
+	if cfg.Shape == workload.Cycle && cfg.MinTables < 3 {
+		// A cycle needs at least three tables.
+		cfg.MinTables = 3
 	}
 	s := &Series{Shape: cfg.Shape, Params: cfg.Params}
 	for n := cfg.MinTables; n <= cfg.MaxTables; n++ {
@@ -213,6 +286,13 @@ type JSONCase struct {
 type JSONReport struct {
 	Experiment string     `json:"experiment"`
 	Cases      []JSONCase `json:"cases"`
+	// ParallelCases are informational wall-clock reference points run at
+	// a parallel worker count (pipelining-sensitive shapes at Workers =
+	// GOMAXPROCS). The regression gate compares only Cases: parallel
+	// wall-clock depends on the machine's core count, while the plan and
+	// LP counts of these rows match the sequential cases by the
+	// scheduler's determinism contract.
+	ParallelCases []JSONCase `json:"parallel_cases,omitempty"`
 }
 
 // BuildJSONReport converts series into the machine-readable report
@@ -220,20 +300,8 @@ type JSONReport struct {
 func BuildJSONReport(series []*Series) *JSONReport {
 	rep := &JSONReport{Experiment: "figure12"}
 	for _, s := range series {
-		for _, p := range s.Points {
-			rep.Cases = append(rep.Cases, JSONCase{
-				Case:         fmt.Sprintf("%s-%dp/tables=%d", s.Shape, s.Params, p.Tables),
-				Shape:        s.Shape.String(),
-				Params:       s.Params,
-				Tables:       p.Tables,
-				NsPerOp:      p.MedianTime.Nanoseconds(),
-				TimeMs:       float64(p.MedianTime.Microseconds()) / 1000,
-				CreatedPlans: p.MedianPlans,
-				SolvedLPs:    p.MedianLPs,
-				FinalPlans:   p.MedianFinal,
-				Workers:      p.Workers,
-				Repetitions:  p.Repetitions,
-			})
+		for i := range s.Points {
+			rep.Cases = append(rep.Cases, PointCase(s.Shape, s.Params, &s.Points[i], ""))
 		}
 	}
 	return rep
@@ -242,9 +310,33 @@ func BuildJSONReport(series []*Series) *JSONReport {
 // FormatJSON renders series as an indented JSON report for tooling
 // (perf tracking, CI comparisons).
 func FormatJSON(w io.Writer, series []*Series) error {
+	return WriteJSONReport(w, BuildJSONReport(series))
+}
+
+// WriteJSONReport writes a report (e.g. one extended with parallel
+// reference cases) as indented JSON.
+func WriteJSONReport(w io.Writer, rep *JSONReport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(BuildJSONReport(series))
+	return enc.Encode(rep)
+}
+
+// PointCase converts one measured point into a JSON case row with the
+// given name prefix.
+func PointCase(shape workload.Shape, params int, p *Point, prefix string) JSONCase {
+	return JSONCase{
+		Case:         fmt.Sprintf("%s%s-%dp/tables=%d", prefix, shape, params, p.Tables),
+		Shape:        shape.String(),
+		Params:       params,
+		Tables:       p.Tables,
+		NsPerOp:      p.MedianTime.Nanoseconds(),
+		TimeMs:       float64(p.MedianTime.Microseconds()) / 1000,
+		CreatedPlans: p.MedianPlans,
+		SolvedLPs:    p.MedianLPs,
+		FinalPlans:   p.MedianFinal,
+		Workers:      p.Workers,
+		Repetitions:  p.Repetitions,
+	}
 }
 
 func repsOf(s *Series) int {

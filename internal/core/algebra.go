@@ -39,9 +39,11 @@ type Algebra interface {
 }
 
 // ForkableAlgebra is an Algebra that can clone itself onto a different
-// geometry solver. The parallel wavefront gives every worker its own
+// geometry solver. The dependency scheduler gives every worker its own
 // fork so that concurrent Dom/Accumulate calls never share simplex
-// scratch state; algebras that hold no solver may return themselves.
+// scratch state — workers plan independent table sets concurrently and
+// may accumulate candidate costs of a single wide table set in
+// parallel chunks; algebras that hold no solver may return themselves.
 // An Algebra that does not implement ForkableAlgebra forces the
 // optimizer onto the sequential path regardless of Options.Workers.
 type ForkableAlgebra interface {

@@ -4,8 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"mpq/internal/catalog"
@@ -29,20 +27,33 @@ type Options struct {
 	Context *geometry.Context
 	// Algebra supplies cost operations; defaults to a PWLAlgebra over
 	// Context with sum accumulation on every metric. Custom algebras
-	// must implement ForkableAlgebra to enable the parallel wavefront.
+	// must implement ForkableAlgebra to enable the parallel scheduler.
 	Algebra Algebra
 	// KeepPerSet retains the Pareto plan sets of all intermediate table
-	// sets in the result, for inspection and validation.
+	// sets in the result, for inspection and validation. The returned
+	// map and its slices are fresh copies, so reshaping them cannot
+	// affect other result fields; the *PlanInfo values themselves are
+	// shared with Result.Plans and must be treated as read-only.
 	KeepPerSet bool
-	// Workers is the number of goroutines planning each wavefront of
-	// equal-cardinality table sets (see DESIGN.md, "Parallel wavefront
-	// RRPA"). Zero selects GOMAXPROCS; 1 runs the sequential path. Any
+	// Workers is the number of goroutines pulling runnable table sets
+	// from the dependency scheduler (see DESIGN.md, "Concurrency
+	// model"). Zero selects GOMAXPROCS; 1 runs the sequential path. Any
 	// worker count produces identical plan sets and identical aggregate
-	// geometry Stats: the wavefront barrier, the per-polytope Chebyshev
-	// memo and per-worker solvers make results independent of
-	// scheduling. The CostModel must tolerate concurrent calls when
+	// geometry Stats: per-mask work is self-contained, the sharded
+	// store publishes complete sets atomically, the per-polytope
+	// Chebyshev memo solves every memoized LP exactly once, and
+	// intra-mask split jobs merge through an order-preserving
+	// reduction. The CostModel must tolerate concurrent calls when
 	// Workers > 1.
 	Workers int
+	// SplitCandidates is the candidate-plan count at which a single
+	// wide mask is planned with intra-mask split parallelism (multiple
+	// workers accumulate candidate costs, one reduction prunes them in
+	// sequential order). Zero selects a default threshold and splits
+	// only when workers are idle; an explicit value forces splitting
+	// whenever the threshold is met. Results are identical either way —
+	// this knob only trades scheduling overhead against pipelining.
+	SplitCandidates int
 }
 
 // DefaultOptions mirrors the configuration of the paper's experiments.
@@ -80,9 +91,20 @@ type Stats struct {
 	// Geometry carries LP counts (Figure 12, bottom row) and related
 	// counters, merged across all workers.
 	Geometry geometry.Stats
+	// Scheduler reports the dependency scheduler's pipeline metrics
+	// (tasks, split jobs, worker utilization). These are scheduling
+	// metrics, not determinism-contract quantities: they may differ
+	// between runs and worker counts.
+	Scheduler SchedulerStats
 	// Duration is the wall-clock optimization time (Figure 12, top
 	// row).
 	Duration time.Duration
+}
+
+// PipelineUtilization returns the mean fraction of the worker pool kept
+// busy while the dependency scheduler ran (1.0 = perfectly pipelined).
+func (s Stats) PipelineUtilization() float64 {
+	return s.Scheduler.Utilization(s.Workers)
 }
 
 // Result of an optimization: the Pareto plan set for the full query with
@@ -93,7 +115,9 @@ type Result struct {
 	// Plans is the Pareto plan set (PPS) for the query.
 	Plans []*PlanInfo
 	// PerSet holds the PPS of every planned table set (only when
-	// Options.KeepPerSet).
+	// Options.KeepPerSet). The map and its slices are fresh copies
+	// owned by the caller; the *PlanInfo values are shared with Plans
+	// and must be treated as read-only.
 	PerSet map[catalog.TableSet][]*PlanInfo
 	// Stats is the run's work summary.
 	Stats Stats
@@ -119,7 +143,6 @@ func Optimize(schema *catalog.Schema, model CostModel, opts Options) (*Result, e
 		model:  model,
 		ctx:    ctx,
 		opts:   opts,
-		best:   make(map[catalog.TableSet][]*PlanInfo),
 	}
 	o.setupWorkers(algebra)
 	return o.run()
@@ -130,12 +153,12 @@ type optimizer struct {
 	model   CostModel
 	ctx     *geometry.Context
 	opts    Options
-	best    map[catalog.TableSet][]*PlanInfo
+	store   *planStore
 	stats   Stats
 	workers []*worker
 }
 
-// worker is the per-goroutine state of the parallel wavefront: a forked
+// worker is the per-goroutine state of the parallel scheduler: a forked
 // geometry solver, an algebra bound to it, and local plan counters.
 // workers[0] aliases the optimizer's own solver and algebra, so the
 // sequential path (Workers == 1) is exactly the historical single-
@@ -146,6 +169,7 @@ type worker struct {
 	algebra Algebra
 	created int
 	pruned  int
+	busy    time.Duration
 }
 
 // setupWorkers decides the worker count and builds per-worker state.
@@ -173,10 +197,23 @@ func (o *optimizer) run() (*Result, error) {
 	start := time.Now()
 	statsBefore := o.ctx.Stats
 
+	// Decide the schedule up front: every scheduled table set gets a
+	// slot in the sharded store, so completion marks and dependency
+	// counts refer to a fixed universe.
+	n := o.schema.NumTables()
+	all := o.schema.AllTables()
+	masks := o.scheduleMasks()
+	storeMasks := make([]catalog.TableSet, 0, n+len(masks))
+	for i := 0; i < n; i++ {
+		storeMasks = append(storeMasks, catalog.SetOf(catalog.TableID(i)))
+	}
+	storeMasks = append(storeMasks, masks...)
+	o.store = newPlanStore(n, storeMasks)
+
 	// Initialize plan sets for base tables (Algorithm 1 lines 3-6):
 	// consider all scan plans and prune. Base tables run on the first
 	// worker; this also deterministically warms the shared parameter-
-	// space memos before any parallel wavefront starts.
+	// space memos before any parallel task starts.
 	w0 := o.workers[0]
 	for i := range o.schema.Tables {
 		t := catalog.TableID(i)
@@ -188,159 +225,67 @@ func (o *optimizer) run() (*Result, error) {
 		if len(cur) == 0 {
 			return nil, fmt.Errorf("core: no scan plan for table %d", i)
 		}
-		o.best[q] = cur
+		o.store.complete(q, cur)
 	}
 
-	// Consider table sets of increasing cardinality (lines 7-13). Within
-	// one cardinality no table set depends on another — planSet(mask)
-	// only reads Pareto sets of strictly smaller cardinality — so each
-	// wavefront's masks are partitioned across the workers and the
-	// results are installed at the wavefront barrier.
-	n := o.schema.NumTables()
-	all := o.schema.AllTables()
-	fullyConnected := o.schema.Connected(all)
-	var masks []catalog.TableSet
-	for k := 2; k <= n; k++ {
-		masks = masks[:0]
-		for mask := catalog.TableSet(1); mask <= all; mask++ {
-			if mask.Count() != k {
-				continue
-			}
-			if o.opts.PostponeCartesian && fullyConnected && !o.schema.Connected(mask) {
-				// Plans for disconnected subsets are never needed when
-				// Cartesian products are postponed in a connected query
-				// graph.
-				continue
-			}
-			masks = append(masks, mask)
-		}
-		o.runWavefront(masks)
+	// Plan the join masks through the dependency scheduler (Algorithm 1
+	// lines 7-13, pipelined): a mask runs the moment every scheduled
+	// strict subset has completed, not when its whole cardinality class
+	// has. With one worker the scheduler degenerates to the historical
+	// in-order sequential drain.
+	sched := newScheduler(o, masks)
+	if len(o.workers) > 1 {
+		o.stats.Scheduler = sched.run()
+	} else {
+		o.stats.Scheduler = sched.runSequential()
 	}
 
 	for _, w := range o.workers {
 		o.stats.CreatedPlans += w.created
 		o.stats.PrunedPlans += w.pruned
 		if w != w0 {
-			o.ctx.Stats.Add(w.solver.Stats)
+			o.ctx.Stats.Add(w.solver.DrainStats())
 		}
 	}
 
-	final := o.best[all]
+	final := o.store.get(all)
 	if len(final) == 0 && n > 0 {
 		return nil, errors.New("core: no plan for the full query")
 	}
 	o.stats.FinalPlans = len(final)
-	for _, infos := range o.best {
-		if len(infos) > o.stats.MaxPlansPerSet {
-			o.stats.MaxPlansPerSet = len(infos)
-		}
-	}
+	o.stats.MaxPlansPerSet = o.store.maxSetSize()
 	o.stats.Duration = time.Since(start)
 	o.stats.Geometry = o.ctx.Stats
 	o.stats.Geometry.Sub(statsBefore)
 
 	res := &Result{Query: all, Plans: final, Stats: o.stats}
 	if o.opts.KeepPerSet {
-		res.PerSet = o.best
+		res.PerSet = o.store.snapshot()
 	}
 	return res, nil
 }
 
-// runWavefront plans every mask of one cardinality and installs the
-// resulting Pareto sets into o.best. With more than one worker the
-// masks are distributed over a goroutine pool; each mask is planned by
-// exactly one worker against the immutable state of all previous
-// wavefronts, so the result (and, via the merged per-worker counters,
-// every aggregate statistic) is identical for any worker count and any
-// scheduling.
-func (o *optimizer) runWavefront(masks []catalog.TableSet) {
-	nw := len(o.workers)
-	if nw > len(masks) {
-		nw = len(masks)
-	}
-	if nw <= 1 {
-		for _, q := range masks {
-			o.install(q, o.workers[0].planSet(q))
-		}
-		return
-	}
-	results := make([][]*PlanInfo, len(masks))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for _, w := range o.workers[:nw] {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(masks) {
-					return
-				}
-				results[i] = w.planSet(masks[i])
+// scheduleMasks lists the join masks (cardinality >= 2) the run will
+// plan, in deterministic cardinality-then-value order. Disconnected
+// subsets of a connected query graph are never needed when Cartesian
+// products are postponed, exactly as in the sequential algorithm.
+func (o *optimizer) scheduleMasks() []catalog.TableSet {
+	n := o.schema.NumTables()
+	all := o.schema.AllTables()
+	fullyConnected := o.schema.Connected(all)
+	var masks []catalog.TableSet
+	for k := 2; k <= n; k++ {
+		for mask := catalog.TableSet(1); mask <= all; mask++ {
+			if mask.Count() != k {
+				continue
 			}
-		}(w)
-	}
-	wg.Wait()
-	for i, q := range masks {
-		o.install(q, results[i])
-	}
-}
-
-// install records a mask's Pareto set. Empty sets are not stored,
-// matching the sequential algorithm (which never inserts into an empty
-// set without keeping at least the inserted plan).
-func (o *optimizer) install(q catalog.TableSet, infos []*PlanInfo) {
-	if len(infos) > 0 {
-		o.best[q] = infos
-	}
-}
-
-// planSet generates the Pareto plan set for joining table set q
-// (Algorithm 1, GenerateParetoPlanSet): all splits into two non-empty
-// subsets, all join operators, all pairs of sub-plans. With Cartesian
-// postponement, splits without a connecting join predicate are only
-// considered when no edged split produced plans. The result is
-// accumulated locally and only published by the caller, so concurrent
-// workers never write shared state.
-func (w *worker) planSet(q catalog.TableSet) []*PlanInfo {
-	cur, produced := w.trySplits(nil, q, true)
-	if !produced {
-		cur, _ = w.trySplits(cur, q, false)
-	}
-	return cur
-}
-
-func (w *worker) trySplits(cur []*PlanInfo, q catalog.TableSet, requireEdge bool) ([]*PlanInfo, bool) {
-	o := w.o
-	produced := false
-	q.SubsetsProper(func(q1 catalog.TableSet) bool {
-		q2 := q.Minus(q1)
-		p1s, p2s := o.best[q1], o.best[q2]
-		if len(p1s) == 0 || len(p2s) == 0 {
-			return true
-		}
-		if o.opts.PostponeCartesian && requireEdge && !o.schema.HasEdgeBetween(q1, q2) {
-			return true
-		}
-		alts := o.model.JoinAlternatives(q1, q2)
-		if len(alts) == 0 {
-			return true
-		}
-		for _, i1 := range p1s {
-			for _, i2 := range p2s {
-				for _, alt := range alts {
-					// Construct the new plan and accumulate its cost
-					// (lines 23-26).
-					pn := plan.Join(alt.Op, i1.Plan, i2.Plan)
-					cost := w.algebra.Accumulate(alt.Cost, i1.Cost, i2.Cost)
-					cur = w.prune(cur, pn, cost)
-					produced = true
-				}
+			if o.opts.PostponeCartesian && fullyConnected && !o.schema.Connected(mask) {
+				continue
 			}
+			masks = append(masks, mask)
 		}
-		return true
-	})
-	return cur, produced
+	}
+	return masks
 }
 
 // prune implements the pruning function of Algorithm 1 (lines 33-57)

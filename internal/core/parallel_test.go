@@ -51,13 +51,15 @@ func planString(n *plan.Node) string {
 	return fmt.Sprintf("%s(%s,%s)", n.Op, planString(n.Left), planString(n.Right))
 }
 
-// TestParallelWavefrontDeterminism asserts the central contract of the
-// parallel wavefront: for a fixed workload seed, any worker count
-// produces the identical Pareto plan set (same plans in the same
-// order) and identical aggregate statistics — created plans, pruned
-// plans, and every geometry counter including the Figure 12 LP count.
-// Running this under -race additionally exercises the reentrant solver
-// and the synchronized Chebyshev memo.
+// TestParallelWavefrontDeterminism asserts the historical determinism
+// contract, now upheld by the dependency scheduler: for a fixed
+// workload seed, any worker count produces the identical Pareto plan
+// set (same plans in the same order) and identical aggregate
+// statistics — created plans, pruned plans, and every geometry counter
+// including the Figure 12 LP count. Running this under -race
+// additionally exercises the reentrant solver and the synchronized
+// Chebyshev memo. TestSchedulerStoreEquivalence sharpens the plan-set
+// half of this contract to byte-identical store documents.
 func TestParallelWavefrontDeterminism(t *testing.T) {
 	cases := []workload.Config{
 		{Tables: 5, Params: 1, Shape: workload.Chain, Seed: 3},
@@ -132,8 +134,8 @@ func (n nonForkable) Eval(c core.Cost, x geometry.Vector) geometry.Vector {
 	return n.inner.Eval(c, x)
 }
 
-// TestParallelKeepPerSet: the per-set map must contain identical table
-// sets with identically sized Pareto sets under any worker count.
+// TestParallelKeepPerSet: the per-set snapshot must contain identical
+// table sets with identically sized Pareto sets under any worker count.
 func TestParallelKeepPerSet(t *testing.T) {
 	mk := func(workers int) *core.Result {
 		opts := core.DefaultOptions()

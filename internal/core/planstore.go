@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mpq/internal/catalog"
+)
+
+// planStore is the cardinality-sharded Pareto-plan-set store behind the
+// dependency scheduler (see DESIGN.md, "Concurrency model"). The full
+// set of table sets a run will plan is known up front, so every shard is
+// sized and indexed at construction and never changes shape afterwards;
+// the only mutation is the one-shot publication of a completed Pareto
+// set through an atomic pointer, which doubles as the completion mark.
+// Readers therefore need no locks: a non-nil slot is complete and — by
+// the release/acquire semantics of the atomic pointer — fully visible,
+// a nil slot is still in flight, and a table set without a slot was
+// never scheduled (disconnected subsets under Cartesian postponement),
+// which planning treats exactly like an empty plan set.
+type planStore struct {
+	// shards[k] holds the scheduled table sets of cardinality k.
+	shards []storeShard
+}
+
+type storeShard struct {
+	// index maps a table set to its slot; immutable after construction.
+	index map[catalog.TableSet]int
+	slots []storeSlot
+}
+
+type storeSlot struct {
+	plans atomic.Pointer[[]*PlanInfo]
+}
+
+// emptyPlanSet is the completion mark of a table set whose Pareto set
+// came out empty: distinguishable from "in flight" (nil pointer) while
+// behaving like an absent entry for readers (length zero).
+var emptyPlanSet []*PlanInfo
+
+// newPlanStore builds the store for the given scheduled table sets
+// (base tables and join masks alike).
+func newPlanStore(numTables int, masks []catalog.TableSet) *planStore {
+	st := &planStore{shards: make([]storeShard, numTables+1)}
+	counts := make([]int, numTables+1)
+	for _, q := range masks {
+		counts[q.Count()]++
+	}
+	for k := range st.shards {
+		st.shards[k] = storeShard{
+			index: make(map[catalog.TableSet]int, counts[k]),
+			slots: make([]storeSlot, counts[k]),
+		}
+	}
+	next := make([]int, numTables+1)
+	for _, q := range masks {
+		k := q.Count()
+		sh := &st.shards[k]
+		if _, dup := sh.index[q]; dup {
+			panic(fmt.Sprintf("core: table set %v scheduled twice", q))
+		}
+		sh.index[q] = next[k]
+		next[k]++
+	}
+	return st
+}
+
+// complete publishes the final Pareto set of q and marks it complete.
+// Each slot completes exactly once.
+func (st *planStore) complete(q catalog.TableSet, plans []*PlanInfo) {
+	sh := &st.shards[q.Count()]
+	i, ok := sh.index[q]
+	if !ok {
+		panic(fmt.Sprintf("core: completing unscheduled table set %v", q))
+	}
+	if plans == nil {
+		plans = emptyPlanSet
+	}
+	if !sh.slots[i].plans.CompareAndSwap(nil, &plans) {
+		panic(fmt.Sprintf("core: table set %v completed twice", q))
+	}
+}
+
+// get returns the completed Pareto set of q. An unscheduled q yields an
+// empty result (such sets are never planned, matching the sequential
+// algorithm's absent map entries); a scheduled-but-incomplete q is a
+// scheduler bug — the dependency ordering must have published every
+// strict subset before a mask starts — and panics loudly instead of
+// silently corrupting determinism.
+func (st *planStore) get(q catalog.TableSet) []*PlanInfo {
+	k := q.Count()
+	if k >= len(st.shards) {
+		return nil
+	}
+	sh := &st.shards[k]
+	i, ok := sh.index[q]
+	if !ok {
+		return nil
+	}
+	p := sh.slots[i].plans.Load()
+	if p == nil {
+		panic(fmt.Sprintf("core: reading incomplete table set %v (scheduler dependency bug)", q))
+	}
+	return *p
+}
+
+// snapshot returns a fresh map of every completed non-empty Pareto set
+// with copied slices, so callers can never alias or corrupt store
+// state (Result.PerSet hands this to the API surface).
+func (st *planStore) snapshot() map[catalog.TableSet][]*PlanInfo {
+	out := make(map[catalog.TableSet][]*PlanInfo)
+	for k := range st.shards {
+		sh := &st.shards[k]
+		for q, i := range sh.index {
+			p := sh.slots[i].plans.Load()
+			if p == nil || len(*p) == 0 {
+				continue
+			}
+			cp := make([]*PlanInfo, len(*p))
+			copy(cp, *p)
+			out[q] = cp
+		}
+	}
+	return out
+}
+
+// maxSetSize returns the largest completed Pareto set size across all
+// shards (the Stats.MaxPlansPerSet quantity).
+func (st *planStore) maxSetSize() int {
+	max := 0
+	for k := range st.shards {
+		sh := &st.shards[k]
+		for i := range sh.slots {
+			if p := sh.slots[i].plans.Load(); p != nil && len(*p) > max {
+				max = len(*p)
+			}
+		}
+	}
+	return max
+}

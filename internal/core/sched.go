@@ -1,0 +1,443 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpq/internal/catalog"
+	"mpq/internal/plan"
+)
+
+// defaultSplitCandidates is the candidate count at which a mask becomes
+// "wide" enough for intra-mask split parallelism when Options leaves the
+// threshold at zero. Below it, the fixed cost of publishing a split job
+// exceeds the accumulation work it parallelizes.
+const defaultSplitCandidates = 32
+
+// SchedulerStats reports the pipeline behavior of the dependency
+// scheduler. Unlike the plan and LP counters, these are scheduling
+// metrics: Tasks and SplitJobs depend on runtime idleness heuristics and
+// Busy/Wall on wall-clock time, so they are NOT part of the determinism
+// contract and may differ between runs and worker counts.
+type SchedulerStats struct {
+	// Tasks counts executed scheduler tasks: mask plans, split chunks,
+	// and split reductions.
+	Tasks int
+	// SplitJobs counts masks planned with intra-mask split parallelism.
+	SplitJobs int
+	// SplitChunks counts parallel accumulation chunks executed across
+	// all split jobs.
+	SplitChunks int
+	// Busy is the summed per-worker time spent inside tasks.
+	Busy time.Duration
+	// Wall is the wall-clock duration of the scheduling phase.
+	Wall time.Duration
+}
+
+// Utilization returns the mean fraction of the worker pool kept busy
+// while the scheduler ran: Busy / (Wall × workers). 1.0 means perfectly
+// pipelined; the wavefront barrier of earlier versions dropped well
+// below that on small-wavefront shapes (cliques, star hubs).
+func (s SchedulerStats) Utilization(workers int) float64 {
+	if s.Wall <= 0 || workers <= 0 {
+		return 0
+	}
+	u := float64(s.Busy) / (float64(s.Wall) * float64(workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// splitGroup is one split of a table set: the Pareto sets of the two
+// sides and the join alternatives connecting them. Candidate plans of a
+// group are ordered exactly like the historical triple loop — first
+// side's plans outermost, join alternatives innermost.
+type splitGroup struct {
+	p1s, p2s []*PlanInfo
+	alts     []Alternative
+}
+
+func (g *splitGroup) candidates() int { return len(g.p1s) * len(g.p2s) * len(g.alts) }
+
+// enumerateSplits lists the split groups of q in the exact order and
+// with the exact CostModel call pattern of the sequential algorithm:
+// one pass over splits with a connecting join predicate; when it yields
+// no candidate, a second pass over all splits (the Cartesian
+// postponement fallback of the paper's experiments).
+func (o *optimizer) enumerateSplits(q catalog.TableSet) []splitGroup {
+	groups, produced := o.collectSplits(q, true)
+	if !produced {
+		groups, _ = o.collectSplits(q, false)
+	}
+	return groups
+}
+
+func (o *optimizer) collectSplits(q catalog.TableSet, requireEdge bool) ([]splitGroup, bool) {
+	var groups []splitGroup
+	produced := false
+	q.SubsetsProper(func(q1 catalog.TableSet) bool {
+		q2 := q.Minus(q1)
+		p1s, p2s := o.store.get(q1), o.store.get(q2)
+		if len(p1s) == 0 || len(p2s) == 0 {
+			return true
+		}
+		if o.opts.PostponeCartesian && requireEdge && !o.schema.HasEdgeBetween(q1, q2) {
+			return true
+		}
+		alts := o.model.JoinAlternatives(q1, q2)
+		if len(alts) == 0 {
+			return true
+		}
+		groups = append(groups, splitGroup{p1s: p1s, p2s: p2s, alts: alts})
+		produced = true
+		return true
+	})
+	return groups, produced
+}
+
+// forEachCandidate invokes fn for every candidate of the split groups
+// in the canonical order: split order, then first side's plans, second
+// side's plans, join alternatives (the historical triple loop). Both
+// the sequential path and the split-job reduction iterate through this
+// one function, so their candidate orders can never diverge — the
+// byte-identity contract depends on that. splitJob.candidate decodes
+// the same order for random access; keep the two in sync.
+func forEachCandidate(groups []splitGroup, fn func(idx int, i1, i2 *PlanInfo, alt Alternative)) {
+	idx := 0
+	for gi := range groups {
+		g := &groups[gi]
+		for _, i1 := range g.p1s {
+			for _, i2 := range g.p2s {
+				for _, alt := range g.alts {
+					fn(idx, i1, i2, alt)
+					idx++
+				}
+			}
+		}
+	}
+}
+
+// planGroups generates and prunes every candidate plan of the split
+// groups in order — the historical GenerateParetoPlanSet loop body,
+// operating on a worker-local candidate set.
+func (w *worker) planGroups(groups []splitGroup) []*PlanInfo {
+	var cur []*PlanInfo
+	forEachCandidate(groups, func(_ int, i1, i2 *PlanInfo, alt Alternative) {
+		pn := plan.Join(alt.Op, i1.Plan, i2.Plan)
+		cur = w.prune(cur, pn, w.algebra.Accumulate(alt.Cost, i1.Cost, i2.Cost))
+	})
+	return cur
+}
+
+// splitJob is the intra-mask split parallelism of one wide mask. Phase
+// A: workers claim chunks of the candidate sequence and accumulate each
+// candidate's cost on their own algebra fork (candidate accumulation is
+// self-contained — it reads only immutable subset costs — so the chunk
+// partition cannot change any result or counter; memoized geometry is
+// computed and counted exactly once per polytope in every schedule).
+// Phase B: whichever worker finishes the last chunk prunes all
+// candidates in the exact sequential order against a single evolving
+// candidate set — the order-preserving reduction that makes the merged
+// result byte-identical to the sequential one.
+type splitJob struct {
+	q       catalog.TableSet
+	groups  []splitGroup
+	offsets []int  // offsets[i] = first candidate index of groups[i]
+	costs   []Cost // per-candidate accumulated costs (phase A output)
+	chunk   int    // candidates per chunk
+	chunks  int
+	next    atomic.Int64 // next unclaimed chunk
+	left    atomic.Int64 // chunks not yet finished
+}
+
+func newSplitJob(q catalog.TableSet, groups []splitGroup, total, workers int) *splitJob {
+	j := &splitJob{
+		q:       q,
+		groups:  groups,
+		offsets: make([]int, len(groups)+1),
+		costs:   make([]Cost, total),
+	}
+	for i := range groups {
+		j.offsets[i+1] = j.offsets[i] + groups[i].candidates()
+	}
+	// Aim for a few chunks per worker so late joiners still find work,
+	// without shrinking chunks into scheduling overhead.
+	j.chunk = total / (4 * workers)
+	if j.chunk < 4 {
+		j.chunk = 4
+	}
+	j.chunks = (total + j.chunk - 1) / j.chunk
+	j.left.Store(int64(j.chunks))
+	return j
+}
+
+func (j *splitJob) exhausted() bool { return j.next.Load() >= int64(j.chunks) }
+
+// candidate returns the decoded candidate at index idx of group gi:
+// its sub-plans and the join alternative, following the triple-loop
+// order (i1 outer, i2 middle, alt inner).
+func (j *splitJob) candidate(gi, idx int) (i1, i2 *PlanInfo, alt Alternative) {
+	g := &j.groups[gi]
+	r := idx - j.offsets[gi]
+	na, n2 := len(g.alts), len(g.p2s)
+	ai := r % na
+	r /= na
+	b := r % n2
+	a := r / n2
+	return g.p1s[a], g.p2s[b], g.alts[ai]
+}
+
+// runChunk accumulates the costs of chunk c on worker w.
+func (j *splitJob) runChunk(w *worker, c int) {
+	lo := c * j.chunk
+	hi := lo + j.chunk
+	if hi > len(j.costs) {
+		hi = len(j.costs)
+	}
+	gi := 0
+	for j.offsets[gi+1] <= lo {
+		gi++
+	}
+	for idx := lo; idx < hi; idx++ {
+		for j.offsets[gi+1] <= idx {
+			gi++
+		}
+		i1, i2, alt := j.candidate(gi, idx)
+		j.costs[idx] = w.algebra.Accumulate(alt.Cost, i1.Cost, i2.Cost)
+	}
+}
+
+// reduce prunes every candidate in sequential order using the costs of
+// phase A. It runs exactly once, after the last chunk completes.
+func (j *splitJob) reduce(w *worker) []*PlanInfo {
+	var cur []*PlanInfo
+	forEachCandidate(j.groups, func(idx int, i1, i2 *PlanInfo, alt Alternative) {
+		pn := plan.Join(alt.Op, i1.Plan, i2.Plan)
+		cur = w.prune(cur, pn, j.costs[idx])
+	})
+	return cur
+}
+
+// scheduler drives the dependency-pipelined execution of a run's join
+// masks: a mask becomes runnable the moment every scheduled strict
+// subset has completed (not when its whole cardinality class has),
+// workers pull runnable masks from the ready queue, and completed
+// Pareto sets are published into the sharded store. See DESIGN.md,
+// "Concurrency model".
+type scheduler struct {
+	o *optimizer
+
+	// Immutable dependency structure over the scheduled masks (k >= 2),
+	// in deterministic cardinality-then-value order.
+	masks      []catalog.TableSet
+	idx        map[catalog.TableSet]int32
+	dependents [][]int32
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	deps      []int32 // remaining incomplete scheduled subsets per mask
+	ready     []int32 // runnable mask indices (FIFO)
+	readyHead int
+	jobs      []*splitJob // split jobs with unclaimed chunks (LIFO)
+	remaining int         // masks not yet completed
+	idle      int         // workers waiting for a task
+
+	tasks       atomic.Int64
+	splitJobs   atomic.Int64
+	splitChunks atomic.Int64
+}
+
+// newScheduler builds the dependency graph: deps[i] counts the
+// scheduled strict subsets of masks[i] (base tables are complete before
+// the scheduler starts and are not counted), dependents[i] lists the
+// masks unblocked by masks[i]'s completion.
+func newScheduler(o *optimizer, masks []catalog.TableSet) *scheduler {
+	s := &scheduler{
+		o:          o,
+		masks:      masks,
+		idx:        make(map[catalog.TableSet]int32, len(masks)),
+		deps:       make([]int32, len(masks)),
+		dependents: make([][]int32, len(masks)),
+		remaining:  len(masks),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i, q := range masks {
+		s.idx[q] = int32(i)
+	}
+	for i, q := range masks {
+		q.SubsetsProper(func(sub catalog.TableSet) bool {
+			if si, ok := s.idx[sub]; ok {
+				s.deps[i]++
+				s.dependents[si] = append(s.dependents[si], int32(i))
+			}
+			return true
+		})
+	}
+	for i := range masks {
+		if s.deps[i] == 0 {
+			s.ready = append(s.ready, int32(i))
+		}
+	}
+	return s
+}
+
+// run executes all masks on the optimizer's workers and returns the
+// scheduler metrics.
+func (s *scheduler) run() SchedulerStats {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range s.o.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			s.workerLoop(w)
+		}(w)
+	}
+	wg.Wait()
+	st := SchedulerStats{
+		Tasks:       int(s.tasks.Load()),
+		SplitJobs:   int(s.splitJobs.Load()),
+		SplitChunks: int(s.splitChunks.Load()),
+		Wall:        time.Since(start),
+	}
+	for _, w := range s.o.workers {
+		st.Busy += w.busy
+	}
+	return st
+}
+
+// runSequential drains the masks in deterministic cardinality order on
+// the single worker — bit-for-bit the historical sequential execution.
+func (s *scheduler) runSequential() SchedulerStats {
+	start := time.Now()
+	w := s.o.workers[0]
+	for _, q := range s.masks {
+		s.o.store.complete(q, w.planGroups(s.o.enumerateSplits(q)))
+	}
+	wall := time.Since(start)
+	return SchedulerStats{Tasks: len(s.masks), Busy: wall, Wall: wall}
+}
+
+// workerLoop pulls tasks until every mask has completed.
+func (s *scheduler) workerLoop(w *worker) {
+	for {
+		j, mi := s.next()
+		if j == nil && mi < 0 {
+			return
+		}
+		start := time.Now()
+		if j != nil {
+			s.runJobChunks(w, j)
+		} else {
+			s.planMask(w, s.masks[mi])
+		}
+		w.busy += time.Since(start)
+	}
+}
+
+// next blocks until a task is available. Split chunks are preferred over
+// fresh masks: they finish work already in flight, unblocking
+// dependents sooner. Returns (nil, -1) when the run is complete.
+func (s *scheduler) next() (*splitJob, int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for len(s.jobs) > 0 {
+			j := s.jobs[len(s.jobs)-1]
+			if j.exhausted() {
+				s.jobs = s.jobs[:len(s.jobs)-1]
+				continue
+			}
+			return j, -1
+		}
+		if s.readyHead < len(s.ready) {
+			mi := s.ready[s.readyHead]
+			s.readyHead++
+			return nil, mi
+		}
+		if s.remaining == 0 {
+			return nil, -1
+		}
+		s.idle++
+		s.cond.Wait()
+		s.idle--
+	}
+}
+
+// planMask plans one mask. Wide masks with idle workers available are
+// split into a parallel accumulation job; everything else runs the
+// sequential per-mask path. Both paths produce identical plan sets and
+// counters, so the activation heuristic only affects wall-clock time.
+func (s *scheduler) planMask(w *worker, q catalog.TableSet) {
+	s.tasks.Add(1)
+	groups := s.o.enumerateSplits(q)
+	total := 0
+	for i := range groups {
+		total += groups[i].candidates()
+	}
+	threshold := s.o.opts.SplitCandidates
+	force := threshold > 0
+	if threshold <= 0 {
+		threshold = defaultSplitCandidates
+	}
+	if total >= threshold && (force || s.idleWorkers() > 0) {
+		j := newSplitJob(q, groups, total, len(s.o.workers))
+		s.splitJobs.Add(1)
+		s.publishJob(j)
+		s.runJobChunks(w, j)
+		return
+	}
+	s.complete(q, w.planGroups(groups))
+}
+
+// runJobChunks claims and processes chunks of j until none remain. The
+// worker finishing the last chunk runs the order-preserving reduction
+// and completes the mask.
+func (s *scheduler) runJobChunks(w *worker, j *splitJob) {
+	for {
+		c := int(j.next.Add(1)) - 1
+		if c >= j.chunks {
+			return
+		}
+		s.tasks.Add(1)
+		s.splitChunks.Add(1)
+		j.runChunk(w, c)
+		if j.left.Add(-1) == 0 {
+			s.tasks.Add(1)
+			s.complete(j.q, j.reduce(w))
+		}
+	}
+}
+
+func (s *scheduler) publishJob(j *splitJob) {
+	s.mu.Lock()
+	s.jobs = append(s.jobs, j)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *scheduler) idleWorkers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idle
+}
+
+// complete publishes a mask's Pareto set into the sharded store and
+// unblocks every dependent whose last dependency this was.
+func (s *scheduler) complete(q catalog.TableSet, infos []*PlanInfo) {
+	s.o.store.complete(q, infos)
+	s.mu.Lock()
+	s.remaining--
+	if i, ok := s.idx[q]; ok {
+		for _, di := range s.dependents[i] {
+			s.deps[di]--
+			if s.deps[di] == 0 {
+				s.ready = append(s.ready, di)
+			}
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

@@ -24,7 +24,9 @@ type Stats struct {
 // Add accumulates other into s. It is the merge operation used to
 // combine per-worker solver counters into the aggregate Figure 12
 // quantities; integer addition makes the aggregate independent of how
-// work was partitioned across workers.
+// work was partitioned across workers — including the out-of-order
+// task completion of a dependency-scheduled run, where workers plan
+// masks of different cardinalities concurrently.
 func (s *Stats) Add(other Stats) {
 	s.LPs += other.LPs
 	s.LPIterations += other.LPIterations
@@ -137,3 +139,14 @@ func (s *Solver) Fork() *Solver { return &Solver{Config: s.Config} }
 
 // ResetStats zeroes the counters.
 func (s *Solver) ResetStats() { s.Stats = Stats{} }
+
+// DrainStats returns the accumulated counters and zeroes them, so a
+// coordinator can merge per-worker counters into a run aggregate
+// exactly once even when workers complete tasks out of order or are
+// reused across phases. The caller must not race the solver's owner;
+// drain at join points only.
+func (s *Solver) DrainStats() Stats {
+	st := s.Stats
+	s.Stats = Stats{}
+	return st
+}

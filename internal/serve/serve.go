@@ -180,6 +180,20 @@ type Stats struct {
 	CachedPlanSets int
 	// Geometry aggregates the solver work of all pool workers.
 	Geometry geometry.Stats
+	// PipelineBusy sums the per-worker busy time inside the optimizer's
+	// dependency scheduler across all Prepares that ran an optimization;
+	// PipelineCapacity sums the corresponding scheduler wall-clock times
+	// multiplied by the worker count each run used.
+	PipelineBusy     time.Duration
+	PipelineCapacity time.Duration
+	// PipelineUtilization is PipelineBusy / PipelineCapacity: the mean
+	// worker utilization of the optimizer's dependency scheduler over
+	// all optimizations this server performed (1.0 = perfectly
+	// pipelined; 0 when nothing was optimized yet).
+	PipelineUtilization float64
+	// SplitJobs counts table sets planned with intra-mask split
+	// parallelism across all Prepares.
+	SplitJobs int64
 }
 
 // Server is a long-lived optimizer service. Create with New, release
@@ -302,6 +316,12 @@ func (s *Server) Stats() Stats {
 	defer s.mu.RUnlock()
 	st := s.stats
 	st.CachedPlanSets = len(s.cache)
+	if st.PipelineCapacity > 0 {
+		st.PipelineUtilization = float64(st.PipelineBusy) / float64(st.PipelineCapacity)
+		if st.PipelineUtilization > 1 {
+			st.PipelineUtilization = 1
+		}
+	}
 	return st
 }
 
@@ -482,6 +502,7 @@ func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudC
 	if err != nil {
 		return PrepareResult{}, err
 	}
+	s.recordPipeline(result.Stats)
 
 	// Failures past this point are server-side (serialization,
 	// persistence), not the client's template; wrap them in ErrInternal
@@ -505,6 +526,16 @@ func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudC
 		NumPlans: len(e.set.Plans),
 		Duration: result.Stats.Duration,
 	}, nil
+}
+
+// recordPipeline merges one optimization's dependency-scheduler metrics
+// into the server's pipeline-utilization aggregate.
+func (s *Server) recordPipeline(st core.Stats) {
+	s.mu.Lock()
+	s.stats.PipelineBusy += st.Scheduler.Busy
+	s.stats.PipelineCapacity += time.Duration(int64(st.Scheduler.Wall) * int64(st.Workers))
+	s.stats.SplitJobs += int64(st.Scheduler.SplitJobs)
+	s.mu.Unlock()
 }
 
 // newEntry deserializes a document and precomputes the selection

@@ -179,6 +179,36 @@ func TestServerMatchesSequentialPath(t *testing.T) {
 	if st.Geometry.LPs == 0 {
 		t.Error("no geometry work recorded")
 	}
+	// Every non-cached Prepare ran the dependency scheduler; its
+	// pipeline metrics must be aggregated into the server stats.
+	if st.PipelineBusy <= 0 || st.PipelineCapacity <= 0 {
+		t.Errorf("pipeline times not recorded: busy=%v capacity=%v", st.PipelineBusy, st.PipelineCapacity)
+	}
+	if st.PipelineUtilization <= 0 || st.PipelineUtilization > 1 {
+		t.Errorf("pipeline utilization %v out of (0,1]", st.PipelineUtilization)
+	}
+}
+
+// TestServerPipelineUtilizationParallelPrepare: with intra-query
+// parallelism enabled on Prepares, the utilization aggregate must still
+// land in (0,1] and split jobs are surfaced when forced.
+func TestServerPipelineUtilizationParallelPrepare(t *testing.T) {
+	opts := Options{Workers: 2}
+	opts.Optimizer = core.DefaultOptions()
+	opts.Optimizer.Workers = 2
+	opts.Optimizer.SplitCandidates = 1 // force intra-mask split jobs
+	s := New(opts)
+	defer s.Close()
+	if _, err := s.Prepare(testTemplate(5)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.PipelineUtilization <= 0 || st.PipelineUtilization > 1 {
+		t.Errorf("pipeline utilization %v out of (0,1]", st.PipelineUtilization)
+	}
+	if st.SplitJobs == 0 {
+		t.Error("forced split jobs not recorded in server stats")
+	}
 }
 
 // TestServerConcurrentStress drives many concurrent Prepare/Pick mixes

@@ -146,9 +146,9 @@ const (
 
 // Optimize runs RRPA / PWL-RRPA and returns a Pareto plan set for the
 // query (Algorithm 1 of the paper). Options.Workers selects the number
-// of goroutines planning each wavefront of equal-cardinality table
-// sets (0 = GOMAXPROCS, 1 = sequential); results and aggregate LP
-// statistics are identical for every worker count.
+// of goroutines pulling runnable table sets from the pipelined
+// dependency scheduler (0 = GOMAXPROCS, 1 = sequential); results and
+// aggregate LP statistics are identical for every worker count.
 func Optimize(schema *Schema, model CostModel, opts Options) (*Result, error) {
 	return core.Optimize(schema, model, opts)
 }
