@@ -10,12 +10,20 @@
 //	mpqbench -experiment figure12 -shapes chain,star,cycle,clique -params 1,2,3
 //	mpqbench -experiment figure12 -quick -json -baseline BENCH_baseline.json
 //	mpqbench -experiment figure12 -parallel clique:1:6,star:1:8
+//	mpqbench -experiment figure12 -picks clique:2:6 [-pick-points 256]
 //	mpqbench -experiment pqblowup
 //	mpqbench -experiment ablation [-tables 6]
 //
+// -picks is the pick-throughput mode: each listed plan set is prepared
+// once, a point-location pick index is built over it, all four
+// selection policies are verified byte-identical through the index and
+// through the linear scan at random points, and both paths' per-pick
+// latency is measured (reported as pick_cases in the JSON output).
+//
 // With -baseline, the run is additionally diffed against the given
 // snapshot (the CI regression gate): plan-count or LP-count drift
-// beyond tolerance exits non-zero, time drift only warns.
+// beyond tolerance exits non-zero — for pick cases too — and time
+// drift only warns.
 package main
 
 import (
@@ -48,6 +56,8 @@ func main() {
 		params     = flag.String("params", "1,2", "comma-separated parameter counts per curve")
 		maxTables  = flag.Int("max-tables", 0, "cap on the table count of every curve (0 = per-shape defaults)")
 		parallel   = flag.String("parallel", "", "parallel reference points shape:params:tables[,...], run at workers=GOMAXPROCS and reported as parallel_cases (not gated)")
+		picks      = flag.String("picks", "", "pick-throughput specs shape:params:tables[,...]: prepare once, verify index = linear scan, measure per-pick latency (pick_cases, gated)")
+		pickPoints = flag.Int("pick-points", 0, "random pick points per -picks spec (0 = 256)")
 		maxChain1  = flag.Int("max-chain-1p", 12, "max tables for chain, 1 parameter")
 		maxStar1   = flag.Int("max-star-1p", 12, "max tables for star, 1 parameter")
 		maxChain2  = flag.Int("max-chain-2p", 10, "max tables for chain, 2 parameters")
@@ -66,7 +76,8 @@ func main() {
 			quick: *quick, reps: *reps, csv: *csv, json: *jsonOut,
 			seed: *seed, workers: *workers,
 			shapes: *shapes, params: *params, maxTables: *maxTables,
-			parallel:  *parallel,
+			parallel: *parallel,
+			picks:    *picks, pickPoints: *pickPoints,
 			maxChain1: *maxChain1, maxStar1: *maxStar1,
 			maxChain2: *maxChain2, maxStar2: *maxStar2,
 			baseline: *baseline,
@@ -90,6 +101,8 @@ type figure12Config struct {
 	shapes, params                           string
 	maxTables                                int
 	parallel                                 string
+	picks                                    string
+	pickPoints                               int
 	maxChain1, maxStar1, maxChain2, maxStar2 int
 	baseline                                 string
 	compare                                  bench.CompareOptions
@@ -156,10 +169,10 @@ func buildCurves(cfg figure12Config) ([]curve, error) {
 	return curves, nil
 }
 
-// parseParallelPoints parses the -parallel list: shape:params:tables
-// entries measured at workers = GOMAXPROCS. An empty spec is valid and
+// parseSpecList parses a shape:params:tables list (the -parallel and
+// -picks formats); flagName labels errors. An empty spec is valid and
 // yields no points.
-func parseParallelPoints(spec string) ([]curve, error) {
+func parseSpecList(spec, flagName string) ([]curve, error) {
 	if spec == "" {
 		return nil, nil
 	}
@@ -167,7 +180,7 @@ func parseParallelPoints(spec string) ([]curve, error) {
 	for _, item := range strings.Split(spec, ",") {
 		parts := strings.Split(strings.TrimSpace(item), ":")
 		if len(parts) != 3 {
-			return nil, fmt.Errorf("invalid -parallel entry %q (want shape:params:tables)", item)
+			return nil, fmt.Errorf("invalid %s entry %q (want shape:params:tables)", flagName, item)
 		}
 		s, err := workload.ParseShape(parts[0])
 		if err != nil {
@@ -176,10 +189,10 @@ func parseParallelPoints(spec string) ([]curve, error) {
 		p, err1 := strconv.Atoi(parts[1])
 		n, err2 := strconv.Atoi(parts[2])
 		if err1 != nil || err2 != nil || p < 1 || n < 2 {
-			return nil, fmt.Errorf("invalid -parallel entry %q", item)
+			return nil, fmt.Errorf("invalid %s entry %q", flagName, item)
 		}
 		if s == workload.Cycle && n < 3 {
-			return nil, fmt.Errorf("invalid -parallel entry %q: a cycle needs at least 3 tables", item)
+			return nil, fmt.Errorf("invalid %s entry %q: a cycle needs at least 3 tables", flagName, item)
 		}
 		points = append(points, curve{shape: s, params: p, max: n})
 	}
@@ -213,9 +226,14 @@ func runFigure12(cfg figure12Config) {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(2)
 	}
-	// Validate the -parallel spec up front: a typo must fail in
-	// milliseconds, not after the sequential sweep.
-	parallelPoints, err := parseParallelPoints(cfg.parallel)
+	// Validate the -parallel and -picks specs up front: a typo must
+	// fail in milliseconds, not after the sequential sweep.
+	parallelPoints, err := parseSpecList(cfg.parallel, "-parallel")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(2)
+	}
+	pickSpecs, err := parseSpecList(cfg.picks, "-picks")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(2)
@@ -239,12 +257,12 @@ func runFigure12(cfg figure12Config) {
 		}
 		series = append(series, s)
 	}
-	parallelCases := runParallelPoints(cfg, parallelPoints)
+	rep := bench.BuildJSONReport(series)
+	rep.ParallelCases = runParallelPoints(cfg, parallelPoints)
+	rep.PickCases = runPickSpecs(cfg, pickSpecs)
 	fmt.Fprintf(os.Stderr, "total experiment time: %v\n", time.Since(start))
 	switch {
 	case cfg.json:
-		rep := bench.BuildJSONReport(series)
-		rep.ParallelCases = parallelCases
 		if err := bench.WriteJSONReport(os.Stdout, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
@@ -255,10 +273,34 @@ func runFigure12(cfg figure12Config) {
 		bench.FormatTable(os.Stdout, series)
 	}
 	if cfg.baseline != "" {
-		if !compareAgainstBaseline(cfg, series) {
+		if !compareAgainstBaseline(cfg, rep) {
 			os.Exit(1)
 		}
 	}
+}
+
+// runPickSpecs executes the -picks pick-throughput mode: prepare each
+// spec once, verify index and linear-scan results are byte-identical
+// across all four selection policies, and measure per-pick latency on
+// both paths.
+func runPickSpecs(cfg figure12Config, specs []curve) []bench.JSONCase {
+	if len(specs) == 0 {
+		return nil
+	}
+	pcfg := bench.PicksConfig{
+		Points:   cfg.pickPoints,
+		Seed:     cfg.seed,
+		Progress: os.Stderr,
+	}
+	for _, c := range specs {
+		pcfg.Specs = append(pcfg.Specs, bench.PickSpec{Shape: c.shape, Params: c.params, Tables: c.max})
+	}
+	ms, err := bench.RunPicks(pcfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	return bench.PickMeasurementCases(ms)
 }
 
 // runParallelPoints measures the -parallel reference points at the
@@ -285,10 +327,10 @@ func runParallelPoints(cfg figure12Config, points []curve) []bench.JSONCase {
 	return cases
 }
 
-// compareAgainstBaseline diffs the measured series against the
-// snapshot, printing drifts to stderr. Returns false when the gate
-// fails.
-func compareAgainstBaseline(cfg figure12Config, series []*bench.Series) bool {
+// compareAgainstBaseline diffs the measured report (Figure 12 cases
+// and pick cases) against the snapshot, printing drifts to stderr.
+// Returns false when the gate fails.
+func compareAgainstBaseline(cfg figure12Config, rep *bench.JSONReport) bool {
 	f, err := os.Open(cfg.baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -300,7 +342,7 @@ func compareAgainstBaseline(cfg figure12Config, series []*bench.Series) bool {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return false
 	}
-	failures, warnings := bench.Compare(base, bench.BuildJSONReport(series), cfg.compare)
+	failures, warnings := bench.Compare(base, rep, cfg.compare)
 	for _, d := range warnings {
 		fmt.Fprintln(os.Stderr, d)
 	}
@@ -312,7 +354,7 @@ func compareAgainstBaseline(cfg figure12Config, series []*bench.Series) bool {
 		return false
 	}
 	fmt.Fprintf(os.Stderr, "bench regression gate: OK against %s (%d cases, %d warning(s))\n",
-		cfg.baseline, len(base.Cases), len(warnings))
+		cfg.baseline, len(base.Cases)+len(base.PickCases), len(warnings))
 	return true
 }
 

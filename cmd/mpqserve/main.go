@@ -10,15 +10,23 @@
 //
 // HTTP endpoints:
 //
-//	POST /prepare {"workload":{"tables":4,"params":1,"shape":"chain","seed":21}}
-//	POST /pick    {"key":"...","point":[0.5],"policy":"weighted","weights":[1,10000]}
+//	POST /prepare   {"workload":{"tables":4,"params":1,"shape":"chain","seed":21}}
+//	POST /pick      {"key":"...","point":[0.5],"policy":"weighted","weights":[1,10000]}
+//	POST /pickbatch {"key":"...","points":[[0.2],[0.5],[0.8]],"policy":"frontier"}
 //	GET  /stats
 //
 // The stdin protocol wraps the same bodies with an "op" field:
 //
 //	{"op":"prepare","workload":{...}}
 //	{"op":"pick","key":"...","point":[0.5],"policy":"frontier"}
+//	{"op":"pickbatch","key":"...","points":[[0.2],[0.8]]}
 //	{"op":"stats"}
+//
+// By default each prepared plan set gets a point-location pick index
+// (built at prepare time, persisted with the plan set) so picks —
+// batched ones especially — are cell lookups instead of full candidate
+// scans; -index=false keeps the linear scan. Results are byte-identical
+// either way.
 package main
 
 import (
@@ -44,10 +52,11 @@ func main() {
 		workers = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 0, "request queue depth (0 = 8×workers)")
 		dir     = flag.String("dir", "", "directory persisting prepared plan sets across restarts")
+		useIdx  = flag.Bool("index", true, "build a point-location pick index per prepared plan set")
 	)
 	flag.Parse()
 
-	s := serve.New(serve.Options{Workers: *workers, QueueDepth: *queue, Dir: *dir})
+	s := serve.New(serve.Options{Workers: *workers, QueueDepth: *queue, Dir: *dir, Index: *useIdx})
 	defer s.Close()
 
 	if *stdin {
@@ -97,6 +106,16 @@ type pickReqJS struct {
 	Order    []int     `json:"order,omitempty"`
 }
 
+type pickBatchReqJS struct {
+	Key      string      `json:"key"`
+	Points   [][]float64 `json:"points"`
+	Policy   string      `json:"policy"`
+	Weights  []float64   `json:"weights,omitempty"`
+	Minimize int         `json:"minimize,omitempty"`
+	Bounds   []boundJS   `json:"bounds,omitempty"`
+	Order    []int       `json:"order,omitempty"`
+}
+
 type choiceJS struct {
 	Plan string    `json:"plan"`
 	Cost []float64 `json:"cost"`
@@ -105,6 +124,11 @@ type choiceJS struct {
 type pickRespJS struct {
 	Metrics []string   `json:"metrics"`
 	Choices []choiceJS `json:"choices"`
+}
+
+type pickBatchRespJS struct {
+	Metrics []string     `json:"metrics"`
+	Choices [][]choiceJS `json:"choices"`
 }
 
 type errorJS struct {
@@ -166,11 +190,46 @@ func doPick(s *serve.Server, body pickReqJS) (pickRespJS, error) {
 	if err != nil {
 		return pickRespJS{}, err
 	}
-	out := pickRespJS{Metrics: res.Metrics, Choices: []choiceJS{}}
-	for _, c := range res.Choices {
-		out.Choices = append(out.Choices, choiceJS{Plan: c.Plan.String(), Cost: c.Cost})
+	out := pickRespJS{Metrics: res.Metrics, Choices: choicesJS(res.Choices)}
+	return out, nil
+}
+
+func (r pickBatchReqJS) request() serve.PickBatchRequest {
+	req := serve.PickBatchRequest{
+		Key:      r.Key,
+		Policy:   serve.Policy(r.Policy),
+		Weights:  r.Weights,
+		Minimize: r.Minimize,
+		Order:    r.Order,
+	}
+	for _, p := range r.Points {
+		// The decoder already allocated each point slice fresh; adopt it.
+		req.Points = append(req.Points, p)
+	}
+	for _, b := range r.Bounds {
+		req.Bounds = append(req.Bounds, selection.Bound{Metric: b.Metric, Max: b.Max})
+	}
+	return req
+}
+
+func doPickBatch(s *serve.Server, body pickBatchReqJS) (pickBatchRespJS, error) {
+	res, err := s.PickBatch(body.request())
+	if err != nil {
+		return pickBatchRespJS{}, err
+	}
+	out := pickBatchRespJS{Metrics: res.Metrics, Choices: [][]choiceJS{}}
+	for _, cs := range res.Choices {
+		out.Choices = append(out.Choices, choicesJS(cs))
 	}
 	return out, nil
+}
+
+func choicesJS(cs []selection.Choice) []choiceJS {
+	out := []choiceJS{}
+	for _, c := range cs {
+		out = append(out, choiceJS{Plan: c.Plan.String(), Cost: c.Cost})
+	}
+	return out
 }
 
 // newHandler wires the server behind HTTP. Queue saturation maps to
@@ -198,6 +257,19 @@ func newHandler(s *serve.Server) http.Handler {
 			return
 		}
 		resp, err := doPick(s, body)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /pickbatch", func(w http.ResponseWriter, r *http.Request) {
+		var body pickBatchReqJS
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := doPickBatch(s, body)
 		if err != nil {
 			writeError(w, statusOf(err), err)
 			return
@@ -266,6 +338,11 @@ func runStdin(s *serve.Server, in io.Reader, out io.Writer) error {
 			var body pickReqJS
 			if err = json.Unmarshal(line, &body); err == nil {
 				resp, err = doPick(s, body)
+			}
+		case "pickbatch":
+			var body pickBatchReqJS
+			if err = json.Unmarshal(line, &body); err == nil {
+				resp, err = doPickBatch(s, body)
 			}
 		case "stats":
 			resp = s.Stats()

@@ -111,6 +111,101 @@ func TestHTTPProtocol(t *testing.T) {
 	}
 }
 
+// TestHTTPPickBatch: /pickbatch on an index-enabled server answers in
+// point order and matches individual /pick responses exactly.
+func TestHTTPPickBatch(t *testing.T) {
+	s := serve.New(serve.Options{Workers: 2, Index: true})
+	defer s.Close()
+	ts := httptest.NewServer(newHandler(s))
+	defer ts.Close()
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	status, body := post("/prepare", prepareLine)
+	if status != http.StatusOK {
+		t.Fatalf("prepare status %d: %s", status, body)
+	}
+	var prep prepareRespJS
+	if err := json.Unmarshal(body, &prep); err != nil {
+		t.Fatal(err)
+	}
+
+	points := []string{"[0.1]", "[0.5]", "[0.9]"}
+	singles := make([]pickRespJS, len(points))
+	for i, p := range points {
+		status, body := post("/pick", fmt.Sprintf(`{"key":%q,"point":%s,"policy":"weighted","weights":[1,10000]}`, prep.Key, p))
+		if status != http.StatusOK {
+			t.Fatalf("pick %s status %d: %s", p, status, body)
+		}
+		if err := json.Unmarshal(body, &singles[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	status, body = post("/pickbatch", fmt.Sprintf(
+		`{"key":%q,"points":[%s],"policy":"weighted","weights":[1,10000]}`,
+		prep.Key, strings.Join(points, ",")))
+	if status != http.StatusOK {
+		t.Fatalf("pickbatch status %d: %s", status, body)
+	}
+	var batch pickBatchRespJS
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Choices) != len(points) {
+		t.Fatalf("batch returned %d answers for %d points", len(batch.Choices), len(points))
+	}
+	for i := range points {
+		if fmt.Sprint(batch.Choices[i]) != fmt.Sprint(singles[i].Choices) {
+			t.Errorf("batch point %d: %v != single pick %v", i, batch.Choices[i], singles[i].Choices)
+		}
+	}
+
+	// Error mapping: a bad point in the batch is the client's fault.
+	if status, _ := post("/pickbatch", fmt.Sprintf(`{"key":%q,"points":[[0.5],[9]]}`, prep.Key)); status != http.StatusBadRequest {
+		t.Errorf("bad batch point status = %d, want 400", status)
+	}
+	if status, _ := post("/pickbatch", `{"key":"missing","points":[[0.5]]}`); status != http.StatusNotFound {
+		t.Errorf("unknown key batch status = %d, want 404", status)
+	}
+
+	// The stdin protocol shares the handler logic.
+	var out bytes.Buffer
+	line := fmt.Sprintf(`{"op":"pickbatch","key":%q,"points":[%s],"policy":"weighted","weights":[1,10000]}`,
+		prep.Key, strings.Join(points, ","))
+	if err := runStdin(s, strings.NewReader(line+"\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	var stdinBatch pickBatchRespJS
+	if err := json.Unmarshal(out.Bytes(), &stdinBatch); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(stdinBatch) != fmt.Sprint(batch) {
+		t.Errorf("stdin batch %v != http batch %v", stdinBatch, batch)
+	}
+
+	// Per-point accounting via the handler stack: 3 single picks plus
+	// two 3-point batches (HTTP and stdin) = 9 pick points.
+	st := s.Stats()
+	if want := int64(3 * len(points)); st.Picks != want {
+		t.Errorf("Picks = %d, want %d", st.Picks, want)
+	}
+	if st.Index.BatchRequests != 2 || st.Index.BatchPoints != int64(2*len(points)) ||
+		st.Index.IndexPicks != st.Picks {
+		t.Errorf("index stats = %+v", st.Index)
+	}
+}
+
 func TestStdinProtocol(t *testing.T) {
 	s := serve.New(serve.Options{Workers: 2})
 	defer s.Close()

@@ -59,6 +59,35 @@
 // worker utilization of the dependency scheduler) and SplitJobs
 // (table sets planned with intra-mask split parallelism).
 //
+// With ServeOptions.Index, Prepare additionally builds a
+// point-location pick index over the plan set's parameter space (a
+// kd-tree style cell decomposition, persisted with the plan set as the
+// store's v3 index stanza) so each pick scans only the candidates
+// relevant in the query point's cell — byte-identical to the full
+// linear scan, which remains the verified fallback. High pick rates
+// batch through PickBatch, which sorts the points into index cells and
+// answers them in request order:
+//
+//	srv := mpq.NewServer(mpq.ServeOptions{Workers: 4, Index: true})
+//	defer srv.Close()
+//	prep, _ := srv.Prepare(mpq.ServeTemplate{Workload: mpq.WorkloadConfig{
+//		Tables: 6, Params: 2, Shape: mpq.Clique, Seed: 7,
+//	}})
+//	res, _ := srv.PickBatch(mpq.PickBatchRequest{
+//		Key:     prep.Key,
+//		Points:  []mpq.Vector{{0.2, 0.4}, {0.5, 0.5}, {0.8, 0.1}},
+//		Policy:  mpq.PolicyWeightedSum,
+//		Weights: []float64{1, 10000},
+//	})
+//	for i, choices := range res.Choices {
+//		fmt.Println(i, choices[0].Plan, choices[0].Cost)
+//	}
+//
+// ServeStats.Index reports the index behavior: leaves and average
+// candidates per leaf, build time, picks served by cell lookup versus
+// the linear fallback, and batch request/point counts (Stats.Picks
+// counts batch picks per point).
+//
 // The subpackages under internal implement the machinery: geometry
 // (polytopes, simplex LP solver, region difference, convexity
 // recognition), pwl (piecewise-linear cost functions), region

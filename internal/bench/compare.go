@@ -68,16 +68,24 @@ func (d Drift) String() string {
 }
 
 // Compare diffs the current report against a baseline. Every baseline
-// case must be present in the current report with the same worker
-// count; plan-count and LP-count drift beyond tolerance fails, time
-// drift only warns. Extra current cases are ignored (the baseline
-// defines the gate's coverage).
+// case — the Figure 12 cases and the pick-throughput cases alike —
+// must be present in the current report with the same worker count;
+// plan-count and LP-count drift beyond tolerance fails, time drift
+// only warns. Extra current cases are ignored (the baseline defines
+// the gate's coverage); ParallelCases are informational and never
+// compared.
 func Compare(baseline, current *JSONReport, opts CompareOptions) (failures, warnings []Drift) {
-	byName := make(map[string]JSONCase, len(current.Cases))
+	byName := make(map[string]JSONCase, len(current.Cases)+len(current.PickCases))
 	for _, c := range current.Cases {
 		byName[c.Case] = c
 	}
-	for _, base := range baseline.Cases {
+	for _, c := range current.PickCases {
+		byName[c.Case] = c
+	}
+	gated := make([]JSONCase, 0, len(baseline.Cases)+len(baseline.PickCases))
+	gated = append(gated, baseline.Cases...)
+	gated = append(gated, baseline.PickCases...)
+	for _, base := range gated {
 		cur, ok := byName[base.Case]
 		if !ok {
 			failures = append(failures, Drift{Case: base.Case, Field: "missing"})

@@ -36,6 +36,11 @@ type Point struct {
 	Repetitions int
 	// Workers is the optimizer worker count the runs used.
 	Workers int
+	// MedianUtilization is the median of the runs' pipeline
+	// utilizations (Stats.PipelineUtilization) — how busy the
+	// dependency scheduler kept the worker pool. Informational: a
+	// scheduling metric, never gated.
+	MedianUtilization float64
 }
 
 // Series is one curve of Figure 12: a shape and parameter count over a
@@ -176,6 +181,7 @@ func RunPoint(cfg Config, tables int) (*Point, error) {
 	plans := make([]int, 0, cfg.Repetitions)
 	lps := make([]int64, 0, cfg.Repetitions)
 	finals := make([]int, 0, cfg.Repetitions)
+	utils := make([]float64, 0, cfg.Repetitions)
 	params := cfg.Params
 	if params > tables {
 		params = tables
@@ -191,16 +197,18 @@ func RunPoint(cfg Config, tables int) (*Point, error) {
 		plans = append(plans, stats.CreatedPlans)
 		lps = append(lps, stats.Geometry.LPs)
 		finals = append(finals, stats.FinalPlans)
+		utils = append(utils, stats.PipelineUtilization())
 		workers = stats.Workers
 	}
 	return &Point{
-		Tables:      tables,
-		MedianTime:  medianDuration(times),
-		MedianPlans: medianInt(plans),
-		MedianLPs:   medianInt64(lps),
-		MedianFinal: medianInt(finals),
-		Repetitions: cfg.Repetitions,
-		Workers:     workers,
+		Tables:            tables,
+		MedianTime:        medianDuration(times),
+		MedianPlans:       medianInt(plans),
+		MedianLPs:         medianInt64(lps),
+		MedianFinal:       medianInt(finals),
+		Repetitions:       cfg.Repetitions,
+		Workers:           workers,
+		MedianUtilization: medianFloat(utils),
 	}, nil
 }
 
@@ -279,6 +287,10 @@ type JSONCase struct {
 	FinalPlans   int     `json:"final_plans"`
 	Workers      int     `json:"workers"`
 	Repetitions  int     `json:"repetitions"`
+	// PipelineUtilization is the median worker-pool utilization of the
+	// optimizer's dependency scheduler (informational, never gated;
+	// exactly 1 for sequential runs, omitted when unknown).
+	PipelineUtilization float64 `json:"pipeline_utilization,omitempty"`
 }
 
 // JSONReport is the envelope FormatJSON emits, so snapshots carry their
@@ -288,11 +300,16 @@ type JSONReport struct {
 	Cases      []JSONCase `json:"cases"`
 	// ParallelCases are informational wall-clock reference points run at
 	// a parallel worker count (pipelining-sensitive shapes at Workers =
-	// GOMAXPROCS). The regression gate compares only Cases: parallel
-	// wall-clock depends on the machine's core count, while the plan and
-	// LP counts of these rows match the sequential cases by the
-	// scheduler's determinism contract.
+	// GOMAXPROCS). The regression gate compares Cases and PickCases but
+	// not ParallelCases: parallel wall-clock depends on the machine's
+	// core count, while the plan and LP counts of these rows match the
+	// sequential cases by the scheduler's determinism contract.
 	ParallelCases []JSONCase `json:"parallel_cases,omitempty"`
+	// PickCases are the pick-throughput rows (mpqbench -picks): per
+	// spec, a "/linear" and an "/index" row sharing the prepare's
+	// deterministic plan and LP counts (gated: drift fails) with the
+	// measured per-pick latency as the time field (drift warns).
+	PickCases []JSONCase `json:"pick_cases,omitempty"`
 }
 
 // BuildJSONReport converts series into the machine-readable report
@@ -325,17 +342,18 @@ func WriteJSONReport(w io.Writer, rep *JSONReport) error {
 // given name prefix.
 func PointCase(shape workload.Shape, params int, p *Point, prefix string) JSONCase {
 	return JSONCase{
-		Case:         fmt.Sprintf("%s%s-%dp/tables=%d", prefix, shape, params, p.Tables),
-		Shape:        shape.String(),
-		Params:       params,
-		Tables:       p.Tables,
-		NsPerOp:      p.MedianTime.Nanoseconds(),
-		TimeMs:       float64(p.MedianTime.Microseconds()) / 1000,
-		CreatedPlans: p.MedianPlans,
-		SolvedLPs:    p.MedianLPs,
-		FinalPlans:   p.MedianFinal,
-		Workers:      p.Workers,
-		Repetitions:  p.Repetitions,
+		Case:                fmt.Sprintf("%s%s-%dp/tables=%d", prefix, shape, params, p.Tables),
+		Shape:               shape.String(),
+		Params:              params,
+		Tables:              p.Tables,
+		NsPerOp:             p.MedianTime.Nanoseconds(),
+		TimeMs:              float64(p.MedianTime.Microseconds()) / 1000,
+		CreatedPlans:        p.MedianPlans,
+		SolvedLPs:           p.MedianLPs,
+		FinalPlans:          p.MedianFinal,
+		Workers:             p.Workers,
+		Repetitions:         p.Repetitions,
+		PipelineUtilization: p.MedianUtilization,
 	}
 }
 
@@ -358,5 +376,10 @@ func medianInt(v []int) int {
 
 func medianInt64(v []int64) int64 {
 	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
+}
+
+func medianFloat(v []float64) float64 {
+	sort.Float64s(v)
 	return v[len(v)/2]
 }

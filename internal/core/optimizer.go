@@ -46,13 +46,18 @@ type Options struct {
 	// reduction. The CostModel must tolerate concurrent calls when
 	// Workers > 1.
 	Workers int
-	// SplitCandidates is the candidate-plan count at which a single
+	// SplitCandidates is the estimated-work threshold at which a single
 	// wide mask is planned with intra-mask split parallelism (multiple
 	// workers accumulate candidate costs, one reduction prunes them in
-	// sequential order). Zero selects a default threshold and splits
-	// only when workers are idle; an explicit value forces splitting
-	// whenever the threshold is met. Results are identical either way —
-	// this knob only trades scheduling overhead against pipelining.
+	// sequential order). Work is cost-aware: candidate plans weighted
+	// by a piece-pair estimate — for PWL costs, the summed per-metric
+	// products of the joined sides' piece counts — so cheap wide masks
+	// (many candidates, few pieces) split less eagerly than piece-rich
+	// ones; the estimate is always at least the candidate count. Zero
+	// selects a default threshold and splits only when workers are
+	// idle; an explicit value forces splitting whenever the estimate
+	// meets it. Results are identical either way — this knob only
+	// trades scheduling overhead against pipelining.
 	SplitCandidates int
 }
 

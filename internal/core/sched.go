@@ -7,13 +7,19 @@ import (
 
 	"mpq/internal/catalog"
 	"mpq/internal/plan"
+	"mpq/internal/pwl"
 )
 
-// defaultSplitCandidates is the candidate count at which a mask becomes
-// "wide" enough for intra-mask split parallelism when Options leaves the
-// threshold at zero. Below it, the fixed cost of publishing a split job
+// defaultSplitWork is the estimated accumulation work at which a mask
+// becomes "wide" enough for intra-mask split parallelism when Options
+// leaves the threshold at zero. Work is measured in piece-pair units
+// (see splitWorkEstimate): a candidate's accumulation cost is driven by
+// the product of its sides' per-metric piece counts, so a mask with
+// many single-piece candidates (cheap, fast to accumulate) no longer
+// splits as eagerly as one whose candidates carry rich PWL costs.
+// Below the threshold, the fixed cost of publishing a split job
 // exceeds the accumulation work it parallelizes.
-const defaultSplitCandidates = 32
+const defaultSplitWork = 512
 
 // SchedulerStats reports the pipeline behavior of the dependency
 // scheduler. Unlike the plan and LP counters, these are scheduling
@@ -60,6 +66,49 @@ type splitGroup struct {
 }
 
 func (g *splitGroup) candidates() int { return len(g.p1s) * len(g.p2s) * len(g.alts) }
+
+// workEstimate approximates the group's accumulation cost in piece-pair
+// units: accumulating one candidate intersects its sides' piece
+// partitions per metric, so the cost of the whole group is the summed
+// per-metric product of the sides' total piece counts, times the join
+// alternatives. Non-PWL costs count one piece per metric, so the
+// estimate is always at least the candidate count.
+func (g *splitGroup) workEstimate() int {
+	metrics := 0
+	for _, p := range g.p1s {
+		if m, ok := p.Cost.(*pwl.Multi); ok {
+			metrics = m.NumMetrics()
+		}
+		break
+	}
+	if metrics == 0 {
+		return g.candidates()
+	}
+	work := 0
+	for m := 0; m < metrics; m++ {
+		s1, ok1 := sidePieces(g.p1s, m)
+		s2, ok2 := sidePieces(g.p2s, m)
+		if !ok1 || !ok2 {
+			return g.candidates()
+		}
+		work += s1 * s2
+	}
+	return len(g.alts) * work
+}
+
+// sidePieces sums the piece counts of metric m over one side's plans;
+// ok is false when a cost is not PWL.
+func sidePieces(plans []*PlanInfo, m int) (int, bool) {
+	total := 0
+	for _, p := range plans {
+		multi, ok := p.Cost.(*pwl.Multi)
+		if !ok {
+			return 0, false
+		}
+		total += multi.Component(m).NumPieces()
+	}
+	return total, true
+}
 
 // enumerateSplits lists the split groups of q in the exact order and
 // with the exact CostModel call pattern of the sequential algorithm:
@@ -370,19 +419,25 @@ func (s *scheduler) next() (*splitJob, int32) {
 // split into a parallel accumulation job; everything else runs the
 // sequential per-mask path. Both paths produce identical plan sets and
 // counters, so the activation heuristic only affects wall-clock time.
+// Activation is cost-aware: the mask's estimated accumulation work
+// (candidates weighted by a piece-pair estimate, see workEstimate) is
+// compared against the threshold, so a wide mask of cheap single-piece
+// candidates no longer splits eagerly while a narrower mask of
+// piece-rich costs still does.
 func (s *scheduler) planMask(w *worker, q catalog.TableSet) {
 	s.tasks.Add(1)
 	groups := s.o.enumerateSplits(q)
-	total := 0
+	total, work := 0, 0
 	for i := range groups {
 		total += groups[i].candidates()
+		work += groups[i].workEstimate()
 	}
 	threshold := s.o.opts.SplitCandidates
 	force := threshold > 0
 	if threshold <= 0 {
-		threshold = defaultSplitCandidates
+		threshold = defaultSplitWork
 	}
-	if total >= threshold && (force || s.idleWorkers() > 0) {
+	if work >= threshold && (force || s.idleWorkers() > 0) {
 		j := newSplitJob(q, groups, total, len(s.o.workers))
 		s.splitJobs.Add(1)
 		s.publishJob(j)

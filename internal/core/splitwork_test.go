@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"mpq/internal/geometry"
+	"mpq/internal/plan"
+	"mpq/internal/pwl"
+)
+
+// planWithPieces builds a PlanInfo whose single-metric PWL cost has n
+// pieces over [0,1].
+func planWithPieces(t *testing.T, metrics, n int) *PlanInfo {
+	t.Helper()
+	comps := make([]*pwl.Function, metrics)
+	for m := 0; m < metrics; m++ {
+		pieces := make([]pwl.Piece, n)
+		for i := 0; i < n; i++ {
+			lo, hi := float64(i)/float64(n), float64(i+1)/float64(n)
+			pieces[i] = pwl.Piece{
+				Region: geometry.Interval(lo, hi),
+				W:      geometry.Vector{1},
+				B:      float64(i),
+			}
+		}
+		comps[m] = pwl.NewFunction(pieces...)
+	}
+	return &PlanInfo{Plan: plan.Scan(0, "s"), Cost: pwl.NewMulti(comps...)}
+}
+
+// TestSplitWorkEstimate: the activation estimate must scale with the
+// sides' piece counts — a group of single-piece candidates weighs its
+// candidate count (times metrics), a piece-rich group weighs the
+// per-metric piece-count products — and must never undercount the
+// candidate count (so explicit SplitCandidates thresholds of 1 still
+// force split jobs everywhere, the contract of the equivalence tests).
+func TestSplitWorkEstimate(t *testing.T) {
+	cheap := splitGroup{
+		p1s:  []*PlanInfo{planWithPieces(t, 2, 1), planWithPieces(t, 2, 1)},
+		p2s:  []*PlanInfo{planWithPieces(t, 2, 1), planWithPieces(t, 2, 1)},
+		alts: []Alternative{{Op: "J"}},
+	}
+	// 2 metrics × (2 pieces × 2 pieces) = 8; candidates = 4.
+	if got, want := cheap.workEstimate(), 8; got != want {
+		t.Errorf("cheap group work = %d, want %d", got, want)
+	}
+	rich := splitGroup{
+		p1s:  []*PlanInfo{planWithPieces(t, 2, 8), planWithPieces(t, 2, 8)},
+		p2s:  []*PlanInfo{planWithPieces(t, 2, 8), planWithPieces(t, 2, 8)},
+		alts: []Alternative{{Op: "J"}},
+	}
+	// 2 metrics × (16 × 16) = 512 for the same 4 candidates.
+	if got, want := rich.workEstimate(), 512; got != want {
+		t.Errorf("rich group work = %d, want %d", got, want)
+	}
+	if cheap.workEstimate() < cheap.candidates() || rich.workEstimate() < rich.candidates() {
+		t.Error("work estimate undercounts the candidate count")
+	}
+	// Non-PWL costs fall back to the candidate count.
+	opaque := splitGroup{
+		p1s:  []*PlanInfo{{Plan: plan.Scan(0, "s"), Cost: "opaque"}},
+		p2s:  []*PlanInfo{{Plan: plan.Scan(1, "s"), Cost: "opaque"}},
+		alts: []Alternative{{Op: "J"}, {Op: "K"}},
+	}
+	if got, want := opaque.workEstimate(), 2; got != want {
+		t.Errorf("opaque group work = %d, want %d", got, want)
+	}
+}

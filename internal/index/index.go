@@ -1,0 +1,609 @@
+// Package index implements a point-location pick index over a prepared
+// Pareto plan set's parameter space: an adaptive binary-split (kd-tree
+// style) decomposition of the parameter box whose leaves store the ids
+// of the candidates whose relevance regions intersect the leaf cell.
+// Run-time plan selection then scans only a leaf's candidate subset
+// instead of every candidate — the precomputed decision structure the
+// serving layer uses to turn high pick rates over one plan set into
+// cell lookups (in the spirit of plan diagrams, which discretize
+// parametric optimizer output the same way).
+//
+// The index is *conservative*: a candidate is dropped from a cell only
+// when one of its relevance-region cutouts provably contains the whole
+// cell beyond the containment tolerance of the selection policies
+// (selection.ContainsEps), and a cost piece is dropped from a leaf's
+// evaluation view only when one of its normalized constraints is
+// violated beyond pwl's evaluation tolerance everywhere in the cell
+// (with the full piece scan as the in-view fallback). Every selection
+// policy therefore returns byte-identical results through the index and
+// through the full linear scan; internal/index's property test and the
+// serving layer's stress tests assert this end to end.
+//
+// Builds are deterministic for any Options.Workers: the tree shape
+// depends only on the candidate set and the build options, never on
+// goroutine scheduling, so persisted indexes (the store's v3 "index"
+// stanza) are byte-stable across processes and pool sizes.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"mpq/internal/geometry"
+	"mpq/internal/pwl"
+	"mpq/internal/selection"
+)
+
+// Tolerances of the conservative cell tests. Candidate exclusion must
+// be strict with respect to selection.ContainsEps (a dropped candidate
+// must fail the policy's containment test at *every* point routed to
+// the cell), piece exclusion with respect to pwl's 1e-9 evaluation
+// tolerance; both margins are three orders of magnitude wider, plus a
+// relative term absorbing the closed-form box arithmetic error.
+const (
+	cellStrictEps = 1e-6
+	cellRelEps    = 1e-9
+	// boxPadFactor pads the root bounding box so that every point the
+	// serving layer accepts (inside the parameter space within 1e-9,
+	// with LP-tolerance bounding-box edges) is strictly inside the
+	// padded box.
+	boxPadFactor = 1e-6
+)
+
+// Options configures an index build. The zero value selects the
+// defaults.
+type Options struct {
+	// LeafTarget stops splitting once a cell holds at most this many
+	// *prunable* candidates (candidates with relevance-region cutouts;
+	// always-relevant candidates appear in every leaf and do not count).
+	// Zero selects 4.
+	LeafTarget int
+	// MaxDepth bounds the tree depth. Zero selects 16.
+	MaxDepth int
+	// MaxLeaves bounds the leaf count; the budget is divided evenly
+	// between subtrees at every split, so the bound is deterministic and
+	// independent of build parallelism. Zero selects 4096.
+	MaxLeaves int
+	// Workers is the build parallelism: subtrees near the root are built
+	// by concurrent goroutines. The resulting tree is identical for any
+	// value. Zero selects 1.
+	Workers int
+}
+
+// withDefaults normalizes zero fields.
+func (o Options) withDefaults() Options {
+	if o.LeafTarget <= 0 {
+		o.LeafTarget = 4
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 16
+	}
+	if o.MaxLeaves <= 0 {
+		o.MaxLeaves = 4096
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Index is a built point-location index. It is immutable and safe for
+// concurrent use.
+type Index struct {
+	dim    int
+	lo, hi geometry.Vector // padded bounding box of the parameter space
+	opts   Options         // build options (normalized; Workers not persisted)
+	nodes  []node          // preorder, nodes[0] is the root
+
+	leaves        int
+	leafCandTotal int64
+	maxDepth      int
+	buildTime     time.Duration
+}
+
+// node is one tree node. Internal nodes route by x[dim] < split; leaves
+// hold the candidate ids (ascending plan order). right == 0 marks a
+// leaf: in preorder the root is never a child, so no internal node can
+// reference index 0.
+type node struct {
+	dim   int32
+	left  int32
+	right int32
+	split float64
+	cands []int32
+}
+
+// Build constructs the index for a candidate set over the given
+// parameter space. The solver is used only to compute the space's
+// bounding box; the build itself is closed-form box arithmetic,
+// parallelized across opts.Workers goroutines with a deterministic
+// result.
+func Build(s *geometry.Solver, space *geometry.Polytope, cands []selection.Candidate, opts Options) (*Index, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	dim := space.Dim()
+	lo, hi, ok := s.BoundingBox(space)
+	if !ok {
+		return nil, fmt.Errorf("index: parameter space has no bounded box")
+	}
+	// Pad so every servable point (inside the space within the pick
+	// tolerance) is strictly interior to the root box.
+	for i := 0; i < dim; i++ {
+		pad := boxPadFactor * (1 + math.Abs(hi[i]-lo[i]))
+		lo[i] -= pad
+		hi[i] += pad
+	}
+	ids := make([]int32, len(cands))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	b := &builder{cands: cands, opts: opts}
+	// Spawn goroutines only near the root: ~log2(Workers)+1 levels keep
+	// every worker busy without flooding the scheduler.
+	for d := 1; d < opts.Workers; d *= 2 {
+		b.parDepth++
+	}
+	root := b.build(lo, hi, ids, 0, opts.MaxLeaves)
+	ix := &Index{dim: dim, lo: lo, hi: hi, opts: opts}
+	ix.flatten(root, 0)
+	ix.buildTime = time.Since(start)
+	return ix, nil
+}
+
+// builder carries the immutable build inputs.
+type builder struct {
+	cands    []selection.Candidate
+	opts     Options
+	parDepth int
+}
+
+// bnode is the pointer-linked build-time tree, flattened to the
+// preorder node array once the build completes.
+type bnode struct {
+	dim         int
+	split       float64
+	left, right *bnode
+	cands       []int32
+}
+
+// build recursively decomposes the closed cell [lo,hi]. budget is the
+// maximum number of leaves this subtree may produce (split evenly
+// between children, so the bound is schedule-independent).
+func (b *builder) build(lo, hi geometry.Vector, ids []int32, depth, budget int) *bnode {
+	prunable := 0
+	for _, id := range ids {
+		if prunableCandidate(b.cands[id]) {
+			prunable++
+		}
+	}
+	if prunable <= b.opts.LeafTarget || depth >= b.opts.MaxDepth ||
+		budget < 2 || !b.refinable(lo, hi, ids) {
+		return &bnode{cands: ids}
+	}
+	// Split the widest dimension at its midpoint (lowest dimension on
+	// ties — deterministic).
+	d := 0
+	for i := 1; i < len(lo); i++ {
+		if hi[i]-lo[i] > hi[d]-lo[d] {
+			d = i
+		}
+	}
+	split := (lo[d] + hi[d]) / 2
+	if !(split > lo[d] && split < hi[d]) {
+		// Degenerate cell (zero width or non-finite bounds): stop.
+		return &bnode{cands: ids}
+	}
+	leftHi := hi.Clone()
+	leftHi[d] = split
+	rightLo := lo.Clone()
+	rightLo[d] = split
+	leftIDs := b.filter(lo, leftHi, ids)
+	rightIDs := b.filter(rightLo, hi, ids)
+	lb := (budget + 1) / 2
+	rb := budget - lb
+	n := &bnode{dim: d, split: split}
+	if depth < b.parDepth {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.left = b.build(lo, leftHi, leftIDs, depth+1, lb)
+		}()
+		n.right = b.build(rightLo, hi, rightIDs, depth+1, rb)
+		wg.Wait()
+	} else {
+		n.left = b.build(lo, leftHi, leftIDs, depth+1, lb)
+		n.right = b.build(rightLo, hi, rightIDs, depth+1, rb)
+	}
+	return n
+}
+
+// refinable reports whether splitting the cell further can still shed a
+// candidate: some kept candidate must have a cutout that overlaps the
+// cell (a cutout provably disjoint from the cell can never contain a
+// descendant cell, and a cutout containing the whole cell would already
+// have excluded the candidate). Purely a termination heuristic — it
+// cannot affect soundness, only tree size.
+func (b *builder) refinable(lo, hi geometry.Vector, ids []int32) bool {
+	for _, id := range ids {
+		c := b.cands[id]
+		if !prunableCandidate(c) {
+			continue
+		}
+		for _, cut := range c.RR.Cutouts() {
+			if !boxDisjoint(lo, hi, cut) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// boxDisjoint reports whether the cutout is provably disjoint from the
+// box: some constraint's box minimum already exceeds its bound.
+func boxDisjoint(lo, hi geometry.Vector, c *geometry.Polytope) bool {
+	for _, h := range c.Constraints() {
+		mn := 0.0
+		for i, w := range h.W {
+			if w > 0 {
+				mn += w * lo[i]
+			} else {
+				mn += w * hi[i]
+			}
+		}
+		if mn > h.B {
+			return true
+		}
+	}
+	return false
+}
+
+// filter keeps the candidates whose relevance region may intersect the
+// closed cell box, preserving order.
+func (b *builder) filter(lo, hi geometry.Vector, ids []int32) []int32 {
+	out := make([]int32, 0, len(ids))
+	for _, id := range ids {
+		c := b.cands[id]
+		if prunableCandidate(c) && cellExcluded(c.RR.Cutouts(), lo, hi) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// coverProbeDepth bounds the recursive union-coverage refinement of
+// cellExcluded: a cell is also excluded when, after up to this many
+// binary subdivisions, every sub-box is strictly inside some single
+// cutout — catching the common case of a cell covered by the union of
+// several dominance cutouts, none of which contains it alone.
+const coverProbeDepth = 4
+
+// prunableCandidate reports whether the candidate can ever be excluded
+// from a cell: it must carry a relevance region with cutouts (a nil
+// region means always relevant; a cutout-free region restricts only to
+// the parameter space, which every served point is inside).
+func prunableCandidate(c selection.Candidate) bool {
+	return c.RR != nil && c.RR.NumCutouts() > 0
+}
+
+// cellExcluded reports whether the cutouts strictly cover the whole
+// closed cell box — then every point routed to the cell fails the
+// policies' containment test and the candidate cannot influence any
+// pick there. A single containing cutout decides immediately;
+// otherwise the cell is subdivided up to coverProbeDepth times and
+// every sub-box must end up strictly inside some cutout (union
+// coverage). Cutouts provably disjoint from a sub-box are dropped from
+// its recursion.
+func cellExcluded(cutouts []*geometry.Polytope, lo, hi geometry.Vector) bool {
+	return unionCovers(cutouts, lo, hi, coverProbeDepth)
+}
+
+func unionCovers(cutouts []*geometry.Polytope, lo, hi geometry.Vector, depth int) bool {
+	overlapping := 0
+	for _, c := range cutouts {
+		if boxStrictlyInside(lo, hi, c) {
+			return true
+		}
+		if !boxDisjoint(lo, hi, c) {
+			overlapping++
+		}
+	}
+	if depth == 0 || overlapping < 2 {
+		// One overlapping cutout cannot cover a box it does not contain.
+		return false
+	}
+	rest := make([]*geometry.Polytope, 0, overlapping)
+	for _, c := range cutouts {
+		if !boxDisjoint(lo, hi, c) {
+			rest = append(rest, c)
+		}
+	}
+	d := 0
+	for i := 1; i < len(lo); i++ {
+		if hi[i]-lo[i] > hi[d]-lo[d] {
+			d = i
+		}
+	}
+	mid := (lo[d] + hi[d]) / 2
+	if !(mid > lo[d] && mid < hi[d]) {
+		return false
+	}
+	leftHi := hi.Clone()
+	leftHi[d] = mid
+	if !unionCovers(rest, lo, leftHi, depth-1) {
+		return false
+	}
+	rightLo := lo.Clone()
+	rightLo[d] = mid
+	return unionCovers(rest, rightLo, hi, depth-1)
+}
+
+// boxStrictlyInside reports whether every point of the box satisfies
+// every constraint of c with margin beyond selection.ContainsEps: the
+// box maximum of each W·x (closed form over the box corners) must stay
+// below B by the strict margin plus a relative term covering the
+// summation error.
+func boxStrictlyInside(lo, hi geometry.Vector, c *geometry.Polytope) bool {
+	for _, h := range c.Constraints() {
+		m := 0.0
+		scale := math.Abs(h.B)
+		for i, w := range h.W {
+			if w > 0 {
+				m += w * hi[i]
+			} else {
+				m += w * lo[i]
+			}
+			scale += math.Abs(w) * math.Max(math.Abs(lo[i]), math.Abs(hi[i]))
+		}
+		if m > h.B-cellStrictEps-cellRelEps*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// flatten appends the subtree rooted at bn to ix.nodes in preorder and
+// returns its node id, accumulating the leaf statistics.
+func (ix *Index) flatten(bn *bnode, depth int) int32 {
+	id := int32(len(ix.nodes))
+	ix.nodes = append(ix.nodes, node{})
+	if depth > ix.maxDepth {
+		ix.maxDepth = depth
+	}
+	if bn.left == nil {
+		ix.nodes[id] = node{cands: bn.cands}
+		ix.leaves++
+		ix.leafCandTotal += int64(len(bn.cands))
+		return id
+	}
+	l := ix.flatten(bn.left, depth+1)
+	r := ix.flatten(bn.right, depth+1)
+	ix.nodes[id] = node{dim: int32(bn.dim), split: bn.split, left: l, right: r}
+	return id
+}
+
+// Dim returns the parameter-space dimension.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Leaves returns the leaf count.
+func (ix *Index) Leaves() int { return ix.leaves }
+
+// MaxDepth returns the deepest leaf's depth.
+func (ix *Index) MaxDepth() int { return ix.maxDepth }
+
+// AvgLeafCandidates returns the mean candidate-id count per leaf.
+func (ix *Index) AvgLeafCandidates() float64 {
+	if ix.leaves == 0 {
+		return 0
+	}
+	return float64(ix.leafCandTotal) / float64(ix.leaves)
+}
+
+// LeafCandidateTotal returns the summed candidate-id count over all
+// leaves.
+func (ix *Index) LeafCandidateTotal() int64 { return ix.leafCandTotal }
+
+// BuildTime returns the wall-clock build duration (zero for indexes
+// reconstructed from a snapshot).
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// Locate routes x to its leaf and returns the leaf id and the ids of
+// the candidates possibly relevant there. ok is false when x falls
+// outside the index's padded parameter box — callers must then fall
+// back to the full candidate scan.
+func (ix *Index) Locate(x geometry.Vector) (leaf int32, ids []int32, ok bool) {
+	if len(x) != ix.dim {
+		return 0, nil, false
+	}
+	for i := 0; i < ix.dim; i++ {
+		// Negated form so NaN coordinates fail the check and fall back
+		// to the linear scan instead of descending to an arbitrary leaf.
+		if !(x[i] >= ix.lo[i] && x[i] <= ix.hi[i]) {
+			return 0, nil, false
+		}
+	}
+	i := int32(0)
+	for {
+		n := &ix.nodes[i]
+		if n.right == 0 {
+			return i, n.cands, true
+		}
+		if x[n.dim] < n.split {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// NumNodes returns the total node count (for sizing per-leaf caches:
+// leaf ids index into [0, NumNodes)).
+func (ix *Index) NumNodes() int { return len(ix.nodes) }
+
+// LeafCandidates materializes, for every leaf id, the candidate subset
+// to run the selection policies on: the leaf's candidates with their
+// cost functions restricted to the pieces that may contain a point of
+// the leaf cell (pwl.Restrict — dropped pieces are provably outside
+// the cell beyond the evaluation tolerance, and the view falls back to
+// the full scan when no hinted piece contains the point, so policy
+// results through these subsets are byte-identical to the full linear
+// scan). The returned slice is indexed by leaf id (non-leaf slots are
+// nil).
+func (ix *Index) LeafCandidates(cands []selection.Candidate) [][]selection.Candidate {
+	out := make([][]selection.Candidate, len(ix.nodes))
+	ix.walkLeaves(0, ix.lo.Clone(), ix.hi.Clone(), func(leaf int32, lo, hi geometry.Vector) {
+		ids := ix.nodes[leaf].cands
+		sub := make([]selection.Candidate, len(ids))
+		for i, id := range ids {
+			sub[i] = restrictCandidate(cands[id], lo, hi)
+		}
+		out[leaf] = sub
+	})
+	return out
+}
+
+// walkLeaves visits every leaf with its cell box. The boxes are
+// recomputed from the splits, so lo/hi are scratch and mutated in
+// place.
+func (ix *Index) walkLeaves(i int32, lo, hi geometry.Vector, fn func(leaf int32, lo, hi geometry.Vector)) {
+	n := &ix.nodes[i]
+	if n.right == 0 {
+		fn(i, lo, hi)
+		return
+	}
+	d := n.dim
+	save := hi[d]
+	hi[d] = n.split
+	ix.walkLeaves(n.left, lo, hi, fn)
+	hi[d] = save
+	save = lo[d]
+	lo[d] = n.split
+	ix.walkLeaves(n.right, lo, hi, fn)
+	lo[d] = save
+}
+
+// restrictCandidate returns the candidate with each cost component
+// restricted to the pieces that may contain a point of the cell, and
+// its relevance region restricted to the cutouts that can decide a
+// containment test inside the cell.
+func restrictCandidate(c selection.Candidate, lo, hi geometry.Vector) selection.Candidate {
+	if c.RR != nil {
+		cutouts := c.RR.Cutouts()
+		kept := make([]*geometry.Polytope, 0, len(cutouts))
+		for _, cut := range cutouts {
+			if trimmed, decidable := trimCutout(cut, lo, hi); decidable {
+				kept = append(kept, trimmed)
+			}
+		}
+		if len(kept) == 0 {
+			// No cutout can decide containment in this cell, and every
+			// served point is inside the space: the candidate is always
+			// relevant here — selection's nil fast path skips the test
+			// entirely.
+			c.RR = nil
+		} else {
+			// The view drops the per-candidate space test (served points
+			// are validated in-space before selection) and scans only the
+			// kept cutouts with their undecided constraints.
+			c.RR = c.RR.ContainmentView(kept)
+		}
+	}
+	m := c.Cost
+	comps := make([]*pwl.Function, m.NumMetrics())
+	changed := false
+	for k := 0; k < m.NumMetrics(); k++ {
+		f := m.Component(k)
+		pieces := f.Pieces()
+		keep := make([]int, 0, len(pieces))
+		for i := range pieces {
+			if !pieceExcluded(&pieces[i], lo, hi) {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) < len(pieces) {
+			comps[k] = f.Restrict(keep)
+			changed = true
+		} else {
+			comps[k] = f
+		}
+	}
+	if changed {
+		c.Cost = pwl.NewMulti(comps...)
+	}
+	return c
+}
+
+// trimCutout restricts a cutout to the constraints still undecided in
+// the cell. decidable is false when the cutout provably cannot decide
+// a containment test anywhere in the cell: some constraint's box
+// minimum already exceeds its bound by more than the strict
+// containment tolerance, so no cell point is strictly inside the
+// cutout and dropping it from the scan cannot change any Contains
+// outcome. Constraints *strictly satisfied* everywhere in the cell
+// (box maximum below the bound by more than the tolerance) can never
+// flip a cell point's containment test to false and are dropped from
+// the kept cutout; at least one constraint always survives (a cutout
+// with every constraint strictly satisfied contains the cell, so the
+// candidate was excluded during the build).
+func trimCutout(c *geometry.Polytope, lo, hi geometry.Vector) (trimmed *geometry.Polytope, decidable bool) {
+	hs := c.Constraints()
+	kept := make([]geometry.Halfspace, 0, len(hs))
+	for _, h := range hs {
+		mn, mx := 0.0, 0.0
+		scale := math.Abs(h.B)
+		for i, w := range h.W {
+			if w > 0 {
+				mn += w * lo[i]
+				mx += w * hi[i]
+			} else {
+				mn += w * hi[i]
+				mx += w * lo[i]
+			}
+			scale += math.Abs(w) * math.Max(math.Abs(lo[i]), math.Abs(hi[i]))
+		}
+		margin := cellStrictEps + cellRelEps*scale
+		if mn-h.B > margin {
+			return nil, false // violated everywhere: cutout undecidable
+		}
+		if mx <= h.B-margin {
+			continue // satisfied everywhere: constraint never decides
+		}
+		kept = append(kept, h)
+	}
+	if len(kept) == len(hs) {
+		return c, true
+	}
+	return geometry.NewPolytope(c.Dim(), kept...), true
+}
+
+// pieceExcluded reports whether the piece's region provably excludes
+// the whole cell: some normalized constraint is violated by more than
+// pwl's evaluation tolerance at every point of the box (the box
+// minimum of the normalized W·x stays above B by the strict margin).
+func pieceExcluded(p *pwl.Piece, lo, hi geometry.Vector) bool {
+	for _, h := range p.Region.Constraints() {
+		nrm := h.W.NormInf()
+		if nrm < 1e-300 {
+			continue
+		}
+		s := 1 / nrm
+		mn := 0.0
+		scale := math.Abs(h.B) * s
+		for i, w := range h.W {
+			w *= s
+			if w > 0 {
+				mn += w * lo[i]
+			} else {
+				mn += w * hi[i]
+			}
+			scale += math.Abs(w) * math.Max(math.Abs(lo[i]), math.Abs(hi[i]))
+		}
+		if mn-h.B*s > cellStrictEps+cellRelEps*scale {
+			return true
+		}
+	}
+	return false
+}

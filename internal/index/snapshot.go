@@ -1,0 +1,152 @@
+package index
+
+import (
+	"fmt"
+	"math"
+)
+
+// Snapshot is the serialized form of an Index — the store format's v3
+// "index" stanza. Nodes are the preorder flattening of the tree;
+// Right == 0 marks a leaf (the root is never a child). The build
+// options that shaped the tree are persisted for provenance; the build
+// parallelism is a runtime knob and is not.
+type Snapshot struct {
+	LeafTarget int            `json:"leaf_target"`
+	MaxDepth   int            `json:"max_depth"`
+	MaxLeaves  int            `json:"max_leaves"`
+	Lo         []float64      `json:"lo"`
+	Hi         []float64      `json:"hi"`
+	Nodes      []SnapshotNode `json:"nodes"`
+}
+
+// SnapshotNode is one serialized tree node: Dim/Split/Left/Right for
+// internal nodes, Cands (ascending candidate ids) for leaves.
+type SnapshotNode struct {
+	Dim   int     `json:"dim,omitempty"`
+	Split float64 `json:"split,omitempty"`
+	Left  int     `json:"left,omitempty"`
+	Right int     `json:"right,omitempty"`
+	Cands []int32 `json:"cands,omitempty"`
+}
+
+// Snapshot returns the serialized form of the index. Serializing a
+// reconstructed index reproduces the snapshot exactly (the store
+// round-trip identity depends on it). The leaf candidate slices are
+// shared with the index (and, after FromSnapshot, with the snapshot
+// passed in) — like Pieces and Cutouts elsewhere, they must not be
+// modified.
+func (ix *Index) Snapshot() *Snapshot {
+	s := &Snapshot{
+		LeafTarget: ix.opts.LeafTarget,
+		MaxDepth:   ix.opts.MaxDepth,
+		MaxLeaves:  ix.opts.MaxLeaves,
+		Lo:         append([]float64(nil), ix.lo...),
+		Hi:         append([]float64(nil), ix.hi...),
+		Nodes:      make([]SnapshotNode, len(ix.nodes)),
+	}
+	for i, n := range ix.nodes {
+		if n.right == 0 {
+			s.Nodes[i] = SnapshotNode{Cands: n.cands}
+		} else {
+			s.Nodes[i] = SnapshotNode{Dim: int(n.dim), Split: n.split, Left: int(n.left), Right: int(n.right)}
+		}
+	}
+	return s
+}
+
+// FromSnapshot reconstructs an Index from its serialized form,
+// validating the tree structure against the plan count and parameter
+// dimension of the enclosing document. The reconstructed index carries
+// no build time (nothing was built).
+func FromSnapshot(s *Snapshot, numCands, dim int) (*Index, error) {
+	if len(s.Lo) != dim || len(s.Hi) != dim || dim <= 0 {
+		return nil, fmt.Errorf("index: snapshot box dimension %d/%d, want %d", len(s.Lo), len(s.Hi), dim)
+	}
+	for i := 0; i < dim; i++ {
+		if !(s.Lo[i] < s.Hi[i]) || math.IsNaN(s.Lo[i]) || math.IsNaN(s.Hi[i]) {
+			return nil, fmt.Errorf("index: snapshot box [%v, %v] invalid in dimension %d", s.Lo[i], s.Hi[i], i)
+		}
+	}
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("index: snapshot without nodes")
+	}
+	ix := &Index{
+		dim: dim,
+		lo:  append([]float64(nil), s.Lo...),
+		hi:  append([]float64(nil), s.Hi...),
+		opts: Options{
+			LeafTarget: s.LeafTarget,
+			MaxDepth:   s.MaxDepth,
+			MaxLeaves:  s.MaxLeaves,
+		}.withDefaults(),
+		nodes: make([]node, len(s.Nodes)),
+	}
+	for i, sn := range s.Nodes {
+		if sn.Right == 0 {
+			// Leaf: candidate ids must be valid, strictly ascending plan
+			// positions (the order the linear scan would visit).
+			prev := int32(-1)
+			for _, id := range sn.Cands {
+				if id <= prev || int(id) >= numCands {
+					return nil, fmt.Errorf("index: leaf %d has invalid candidate id %d (plans: %d)", i, id, numCands)
+				}
+				prev = id
+			}
+			ix.nodes[i] = node{cands: sn.Cands}
+			continue
+		}
+		// Internal: preorder children — left is the next node, right
+		// past the left subtree, both in range.
+		if sn.Dim < 0 || sn.Dim >= dim {
+			return nil, fmt.Errorf("index: node %d splits dimension %d of %d", i, sn.Dim, dim)
+		}
+		if sn.Left != i+1 || sn.Right <= sn.Left || sn.Right >= len(s.Nodes) {
+			return nil, fmt.Errorf("index: node %d has non-preorder children %d/%d", i, sn.Left, sn.Right)
+		}
+		if math.IsNaN(sn.Split) {
+			return nil, fmt.Errorf("index: node %d has NaN split", i)
+		}
+		if len(sn.Cands) > 0 {
+			return nil, fmt.Errorf("index: internal node %d carries candidate ids", i)
+		}
+		ix.nodes[i] = node{dim: int32(sn.Dim), split: sn.Split, left: int32(sn.Left), right: int32(sn.Right)}
+	}
+	if err := ix.verifyTree(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// verifyTree walks the reconstructed tree, checks that the preorder
+// node array is exactly the reachable set, and computes the leaf
+// statistics.
+func (ix *Index) verifyTree() error {
+	var walk func(i int32, depth int) (int32, error)
+	walk = func(i int32, depth int) (int32, error) {
+		n := &ix.nodes[i]
+		if depth > ix.maxDepth {
+			ix.maxDepth = depth
+		}
+		if n.right == 0 {
+			ix.leaves++
+			ix.leafCandTotal += int64(len(n.cands))
+			return i + 1, nil
+		}
+		next, err := walk(n.left, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		if next != n.right {
+			return 0, fmt.Errorf("index: node %d's right child %d does not follow its left subtree (ends at %d)", i, n.right, next)
+		}
+		return walk(n.right, depth+1)
+	}
+	end, err := walk(0, 0)
+	if err != nil {
+		return err
+	}
+	if int(end) != len(ix.nodes) {
+		return fmt.Errorf("index: %d nodes serialized, %d reachable", len(ix.nodes), end)
+	}
+	return nil
+}

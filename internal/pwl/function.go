@@ -50,6 +50,11 @@ type Function struct {
 	dim    int
 	pieces []Piece
 	cover  *geometry.Polytope
+	// full is non-nil for restricted views (see Restrict): when no
+	// restricted piece contains the evaluation point, Eval delegates to
+	// the full function so results stay byte-identical to an
+	// unrestricted scan.
+	full *Function
 }
 
 // NewFunction builds a PWL function from pieces. At least one piece is
@@ -102,6 +107,26 @@ func (f *Function) WithCover(domain *geometry.Polytope) *Function {
 // Pieces returns the linear pieces. The slice must not be modified.
 func (f *Function) Pieces() []Piece { return f.pieces }
 
+// Restrict returns a view of f that evaluates only the pieces at the
+// given indices (which must be ascending positions into Pieces), falling
+// back to the full function when none of them contains the evaluation
+// point. Eval through the view is byte-identical to Eval on f whenever
+// the dropped pieces provably do not contain the point within Eval's
+// tolerance — the contract point-location indexes rely on: a piece may
+// be dropped for a parameter-space cell only when one of its normalized
+// constraints is violated beyond the tolerance everywhere in the cell.
+// f must not itself be a restricted view.
+func (f *Function) Restrict(keep []int) *Function {
+	if f.full != nil {
+		panic("pwl: Restrict of a restricted view")
+	}
+	pieces := make([]Piece, len(keep))
+	for i, k := range keep {
+		pieces[i] = f.pieces[k]
+	}
+	return &Function{dim: f.dim, pieces: pieces, full: f}
+}
+
 // NumPieces returns the number of linear pieces.
 func (f *Function) NumPieces() int { return len(f.pieces) }
 
@@ -123,6 +148,12 @@ func (f *Function) Eval(x geometry.Vector) (val float64, ok bool) {
 			best = i
 		}
 	}
+	if f.full != nil {
+		// Restricted view with the point outside every hinted piece:
+		// delegate to the full function so both the fallback piece and
+		// the not-ok outcome match an unrestricted scan exactly.
+		return f.full.Eval(x)
+	}
 	if best < 0 {
 		return 0, false
 	}
@@ -139,10 +170,25 @@ func (f *Function) MustEval(x geometry.Vector) float64 {
 }
 
 func maxViolation(p *geometry.Polytope, x geometry.Vector) float64 {
+	// Inlined h.Normalize().W.Dot(x) - n.B with the exact same float
+	// operations but no per-constraint vector allocation — Eval is the
+	// serving layer's hottest loop, and the two Normalize allocations
+	// per constraint dominated pick cost.
 	worst := 0.0
 	for _, h := range p.Constraints() {
-		n := h.Normalize()
-		if v := n.W.Dot(x) - n.B; v > worst {
+		m := h.W.NormInf()
+		var v float64
+		if m < 1e-300 {
+			v = h.W.Dot(x) - h.B
+		} else {
+			s := 1 / m
+			dot := 0.0
+			for i, w := range h.W {
+				dot += (w * s) * x[i]
+			}
+			v = dot - h.B/m
+		}
+		if v > worst {
 			worst = v
 		}
 	}
@@ -189,16 +235,29 @@ func (m *Multi) Component(i int) *Function { return m.comps[i] }
 
 // Eval evaluates all components at x.
 func (m *Multi) Eval(x geometry.Vector) (geometry.Vector, bool) {
-	out := geometry.NewVector(len(m.comps))
+	return m.EvalInto(nil, x)
+}
+
+// EvalInto evaluates all components at x into dst, reusing its backing
+// array when the capacity suffices (allocating otherwise). Values are
+// identical to Eval's; selection's single-choice policies use this to
+// scan large candidate sets without a cost-vector allocation per
+// candidate.
+func (m *Multi) EvalInto(dst geometry.Vector, x geometry.Vector) (geometry.Vector, bool) {
+	if cap(dst) < len(m.comps) {
+		dst = geometry.NewVector(len(m.comps))
+	} else {
+		dst = dst[:len(m.comps)]
+	}
 	allOK := true
 	for i, c := range m.comps {
 		v, ok := c.Eval(x)
 		if !ok {
 			allOK = false
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out, allOK
+	return dst, allOK
 }
 
 // TotalPieces returns the summed piece count across components, a size

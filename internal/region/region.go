@@ -93,6 +93,10 @@ type Region struct {
 	cutouts []*geometry.Polytope
 	points  []geometry.Vector // surviving relevance points
 	opts    Options
+	// assumeInSpace marks read-only containment views (ContainmentView):
+	// Contains skips the parameter-space test because the caller
+	// guarantees queried points lie inside the space.
+	assumeInSpace bool
 }
 
 // New creates the full relevance region over the given parameter space
@@ -158,13 +162,29 @@ func (r *Region) Options() Options { return r.opts }
 // modified.
 func (r *Region) Cutouts() []*geometry.Polytope { return r.cutouts }
 
+// ContainmentView returns a read-only view of the region that tests
+// the given cutouts instead of the region's own. Contains through the
+// view skips the parameter-space test; it is identical to the full
+// region for every in-space point where the replaced cutout list is
+// containment-equivalent — the contract of the pick index's cell
+// restriction, which drops cutouts (and individual cutout constraints)
+// that provably cannot decide a containment test inside a
+// parameter-space cell, and only answers points validated to lie
+// inside the space. The view must not be mutated (Subtract/IsEmpty) or
+// serialized; it carries no relevance points.
+func (r *Region) ContainmentView(cutouts []*geometry.Polytope) *Region {
+	return &Region{space: r.space, cutouts: cutouts, opts: r.opts, assumeInSpace: true}
+}
+
 // NumCutouts returns the number of stored cutouts.
 func (r *Region) NumCutouts() int { return len(r.cutouts) }
 
 // Contains reports whether x belongs to the relevance region: inside the
-// parameter space and outside every cutout.
+// parameter space and outside every cutout. Views built with
+// ContainmentView assume x is inside the space and test only the
+// cutouts.
 func (r *Region) Contains(x geometry.Vector, eps float64) bool {
-	if !r.space.ContainsPoint(x, eps) {
+	if !r.assumeInSpace && !r.space.ContainsPoint(x, eps) {
 		return false
 	}
 	for _, c := range r.cutouts {

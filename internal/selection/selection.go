@@ -46,7 +46,7 @@ var ErrNoFeasiblePlan = errors.New("selection: no plan satisfies the constraints
 // are skipped (the relevance mapping of Section 2 guarantees the
 // remaining plans cover the front).
 func Frontier(candidates []Candidate, x geometry.Vector) []Choice {
-	evaluated := evaluate(candidates, x)
+	evaluated := Evaluate(candidates, x)
 	var front []Choice
 	for i, c := range evaluated {
 		dominated := false
@@ -102,18 +102,27 @@ func WeightedSum(candidates []Candidate, x geometry.Vector, weights []float64) (
 	if !positive {
 		return Choice{}, errors.New("selection: all weights are zero")
 	}
-	evaluated := evaluate(candidates, x)
-	if len(evaluated) == 0 {
-		return Choice{}, ErrNoFeasiblePlan
-	}
-	best := evaluated[0]
-	bestVal := scalarize(best.Cost, weights)
-	for _, c := range evaluated[1:] {
-		if v := scalarize(c.Cost, weights); v < bestVal {
-			best, bestVal = c, v
+	// Stream over the relevant candidates with two reused cost buffers
+	// instead of materializing the full evaluated list: same iteration
+	// order and comparisons, so the winner (and its cost values) is
+	// identical to the materialized scan.
+	var cur, best geometry.Vector
+	var bestPlan *plan.Node
+	bestVal := 0.0
+	for _, cand := range candidates {
+		if cand.RR != nil && !cand.RR.Contains(x, ContainsEps) {
+			continue
+		}
+		cur, _ = cand.Cost.EvalInto(cur, x)
+		if v := scalarize(cur, weights); bestPlan == nil || v < bestVal {
+			bestPlan, bestVal = cand.Plan, v
+			cur, best = best, cur
 		}
 	}
-	return best, nil
+	if bestPlan == nil {
+		return Choice{}, ErrNoFeasiblePlan
+	}
+	return Choice{Plan: bestPlan, Cost: best}, nil
 }
 
 // Bound is an upper limit on one metric.
@@ -127,13 +136,16 @@ type Bound struct {
 // latency budget, or minimize time subject to a precision-loss limit
 // (Scenario 2).
 func MinimizeSubjectTo(candidates []Candidate, x geometry.Vector, minimize int, bounds []Bound) (Choice, error) {
-	evaluated := evaluate(candidates, x)
-	var best *Choice
-	for i := range evaluated {
-		c := evaluated[i]
+	var cur, best geometry.Vector
+	var bestPlan *plan.Node
+	for _, cand := range candidates {
+		if cand.RR != nil && !cand.RR.Contains(x, ContainsEps) {
+			continue
+		}
+		cur, _ = cand.Cost.EvalInto(cur, x)
 		ok := true
 		for _, b := range bounds {
-			if c.Cost[b.Metric] > b.Max+1e-12 {
+			if cur[b.Metric] > b.Max+1e-12 {
 				ok = false
 				break
 			}
@@ -141,30 +153,36 @@ func MinimizeSubjectTo(candidates []Candidate, x geometry.Vector, minimize int, 
 		if !ok {
 			continue
 		}
-		if best == nil || c.Cost[minimize] < best.Cost[minimize] {
-			best = &c
+		if bestPlan == nil || cur[minimize] < best[minimize] {
+			bestPlan = cand.Plan
+			cur, best = best, cur
 		}
 	}
-	if best == nil {
+	if bestPlan == nil {
 		return Choice{}, ErrNoFeasiblePlan
 	}
-	return *best, nil
+	return Choice{Plan: bestPlan, Cost: best}, nil
 }
 
 // Lexicographic picks the plan minimizing metrics in the given priority
 // order, breaking ties by the next metric (within tolerance).
 func Lexicographic(candidates []Candidate, x geometry.Vector, order []int) (Choice, error) {
-	evaluated := evaluate(candidates, x)
-	if len(evaluated) == 0 {
-		return Choice{}, ErrNoFeasiblePlan
-	}
-	best := evaluated[0]
-	for _, c := range evaluated[1:] {
-		if lexLess(c.Cost, best.Cost, order) {
-			best = c
+	var cur, best geometry.Vector
+	var bestPlan *plan.Node
+	for _, cand := range candidates {
+		if cand.RR != nil && !cand.RR.Contains(x, ContainsEps) {
+			continue
+		}
+		cur, _ = cand.Cost.EvalInto(cur, x)
+		if bestPlan == nil || lexLess(cur, best, order) {
+			bestPlan = cand.Plan
+			cur, best = best, cur
 		}
 	}
-	return best, nil
+	if bestPlan == nil {
+		return Choice{}, ErrNoFeasiblePlan
+	}
+	return Choice{Plan: bestPlan, Cost: best}, nil
 }
 
 func lexLess(a, b geometry.Vector, order []int) bool {
@@ -180,10 +198,29 @@ func lexLess(a, b geometry.Vector, order []int) bool {
 	return false
 }
 
-func evaluate(candidates []Candidate, x geometry.Vector) []Choice {
-	out := make([]Choice, 0, len(candidates))
+// ContainsEps is the relevance-region containment tolerance of the
+// selection policies: a candidate participates at x unless x is inside
+// one of its region's cutouts by more than this margin. Point-location
+// indexes over candidate sets (internal/index) must prune candidates
+// conservatively with respect to this tolerance to keep policy results
+// byte-identical to a full scan.
+const ContainsEps = 1e-9
+
+// Evaluate filters candidates by their relevance regions at x and
+// evaluates the survivors' cost functions — the shared first step of
+// every policy, exported so index structures can validate their leaf
+// candidate sets against it.
+func Evaluate(candidates []Candidate, x geometry.Vector) []Choice {
+	// At any one point only a small fraction of a large candidate set is
+	// relevant; start with a small buffer instead of one sized for the
+	// full set (append grows it in the rare wide-front case).
+	capHint := len(candidates)
+	if capHint > 16 {
+		capHint = 16
+	}
+	out := make([]Choice, 0, capHint)
 	for _, cand := range candidates {
-		if cand.RR != nil && !cand.RR.Contains(x, 1e-9) {
+		if cand.RR != nil && !cand.RR.Contains(x, ContainsEps) {
 			continue
 		}
 		v, _ := cand.Cost.Eval(x)

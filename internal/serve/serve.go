@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -32,6 +33,8 @@ import (
 	"mpq/internal/cloud"
 	"mpq/internal/core"
 	"mpq/internal/geometry"
+	"mpq/internal/index"
+	"mpq/internal/pwl"
 	"mpq/internal/region"
 	"mpq/internal/selection"
 	"mpq/internal/store"
@@ -75,6 +78,18 @@ type Options struct {
 	// before optimizing — the embedded-SQL deployment model where plan
 	// sets survive server restarts.
 	Dir string
+	// Index enables the point-location pick index: Prepare builds one
+	// over each plan set's parameter space (persisted with the document
+	// as the store's v3 index stanza) and Picks resolve the candidate
+	// subset by cell lookup. Plan sets loaded without a persisted index
+	// are indexed on load. The full linear candidate scan remains the
+	// verified fallback — for servers with the knob off, and for points
+	// outside an index's box — and returns byte-identical results.
+	Index bool
+	// IndexOptions tunes the index build; zero fields take the index
+	// package defaults, except Workers, which defaults to the pool size
+	// (the build parallelizes across the solver pool's width).
+	IndexOptions index.Options
 }
 
 // Template describes a query template to prepare: either an explicit
@@ -172,10 +187,15 @@ type Stats struct {
 	Prepares        int64
 	PrepareHits     int64
 	PrepareDiskHits int64
-	// Picks counts completed Pick requests.
+	// Picks counts completed pick *points*: one per Pick request plus
+	// one per point of every PickBatch request (not one per batch).
 	Picks int64
 	// Rejected counts requests refused with ErrQueueFull.
 	Rejected int64
+	// Index reports the pick-index behavior (build work, cell shape,
+	// and how many pick points the index served versus the linear-scan
+	// fallback).
+	Index IndexStats
 	// CachedPlanSets is the current cache size.
 	CachedPlanSets int
 	// Geometry aggregates the solver work of all pool workers.
@@ -196,6 +216,33 @@ type Stats struct {
 	SplitJobs int64
 }
 
+// IndexStats is the pick-index slice of the server counters.
+type IndexStats struct {
+	// IndexedPlanSets counts cached plan sets carrying a built index;
+	// Leaves and LeafCandidates sum their leaf counts and per-leaf
+	// candidate ids, AvgLeafCandidates is their ratio (candidates a
+	// cell lookup scans on average, versus the full set for a linear
+	// scan).
+	IndexedPlanSets   int
+	Leaves            int64
+	LeafCandidates    int64
+	AvgLeafCandidates float64
+	// Builds counts index builds this server performed (documents
+	// loaded with a persisted index stanza need none); BuildTime sums
+	// their wall-clock durations.
+	Builds    int64
+	BuildTime time.Duration
+	// IndexPicks counts pick points answered through a cell lookup;
+	// FallbackPicks those answered by the full linear scan (index off,
+	// no index on the set, or point outside the index box).
+	IndexPicks    int64
+	FallbackPicks int64
+	// BatchRequests counts PickBatch requests; BatchPoints the points
+	// they carried (each batch point is also counted in Stats.Picks).
+	BatchRequests int64
+	BatchPoints   int64
+}
+
 // Server is a long-lived optimizer service. Create with New, release
 // with Close. All methods are safe for concurrent use.
 type Server struct {
@@ -213,10 +260,25 @@ type Server struct {
 // entry is a cached plan set with its precomputed selection
 // candidates. Only the deserialized form is kept: the serialized
 // document it round-tripped through lives in Options.Dir when
-// persistence is on.
+// persistence is on. With the pick index enabled, idx is the
+// point-location index and leafCands the per-leaf candidate subsets
+// (piece-restricted cost views) Picks scan instead of candidates.
 type entry struct {
 	set        *store.PlanSet
 	candidates []selection.Candidate
+	idx        *index.Index
+	leafCands  [][]selection.Candidate
+}
+
+// lookup resolves the candidate subset for a pick point: the leaf cell
+// of the index when available, the full linear-scan set otherwise.
+func (e *entry) lookup(x geometry.Vector) (cands []selection.Candidate, viaIndex bool) {
+	if e.idx != nil {
+		if leaf, _, ok := e.idx.Locate(x); ok {
+			return e.leafCands[leaf], true
+		}
+	}
+	return e.candidates, false
 }
 
 // inflightPrepare deduplicates concurrent Prepares of one key: the
@@ -253,6 +315,11 @@ func New(opts Options) *Server {
 	opts.Solver = geometry.NewSolver(opts.Solver).Config
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 8 * opts.Workers
+	}
+	if opts.IndexOptions.Workers <= 0 {
+		// Index builds parallelize across the pool's width (the building
+		// worker's siblings are idle while its Prepare holds them off).
+		opts.IndexOptions.Workers = opts.Workers
 	}
 	s := &Server{
 		opts:     opts,
@@ -321,6 +388,17 @@ func (s *Server) Stats() Stats {
 		if st.PipelineUtilization > 1 {
 			st.PipelineUtilization = 1
 		}
+	}
+	for _, e := range s.cache {
+		if e.idx == nil {
+			continue
+		}
+		st.Index.IndexedPlanSets++
+		st.Index.Leaves += int64(e.idx.Leaves())
+		st.Index.LeafCandidates += e.idx.LeafCandidateTotal()
+	}
+	if st.Index.Leaves > 0 {
+		st.Index.AvgLeafCandidates = float64(st.Index.LeafCandidates) / float64(st.Index.Leaves)
 	}
 	return st
 }
@@ -476,7 +554,7 @@ func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudC
 	// Restart path: reuse the persisted document when present.
 	if s.opts.Dir != "" {
 		if raw, err := os.ReadFile(s.docPath(key)); err == nil {
-			e, err := newEntry(raw)
+			e, err := s.newEntry(raw, w)
 			if err == nil {
 				s.insert(key, e, true)
 				return PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}, nil
@@ -504,11 +582,19 @@ func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudC
 	}
 	s.recordPipeline(result.Stats)
 
+	// With the pick index enabled, build it over the optimizer's plan
+	// set now so the persisted document carries it (restarted servers
+	// and shared Options.Dir stores skip the rebuild).
+	var ix *index.Index
+	if s.opts.Index {
+		ix = s.buildIndex(w, model.Space(), result.Plans)
+	}
+
 	// Failures past this point are server-side (serialization,
 	// persistence), not the client's template; wrap them in ErrInternal
 	// so transports report 5xx instead of 4xx.
 	var buf bytes.Buffer
-	if err := store.Save(&buf, model.MetricNames(), model.Space(), result.Plans); err != nil {
+	if err := store.SaveIndexed(&buf, model.MetricNames(), model.Space(), result.Plans, ix); err != nil {
 		return PrepareResult{}, fmt.Errorf("%w: %v", ErrInternal, err)
 	}
 	if s.opts.Dir != "" {
@@ -516,7 +602,7 @@ func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudC
 			return PrepareResult{}, fmt.Errorf("%w: persisting plan set: %v", ErrInternal, err)
 		}
 	}
-	e, err := newEntry(buf.Bytes())
+	e, err := s.newEntry(buf.Bytes(), w)
 	if err != nil {
 		return PrepareResult{}, fmt.Errorf("%w: reloading saved plan set: %v", ErrInternal, err)
 	}
@@ -526,6 +612,30 @@ func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudC
 		NumPlans: len(e.set.Plans),
 		Duration: result.Stats.Duration,
 	}, nil
+}
+
+// buildIndex builds the pick index over a just-optimized plan set,
+// recording the build in the index stats. A failed build (e.g. an
+// unbounded parameter space) is not fatal: the entry serves through the
+// linear scan instead.
+func (s *Server) buildIndex(w *worker, space *geometry.Polytope, plans []*core.PlanInfo) *index.Index {
+	cands := make([]selection.Candidate, 0, len(plans))
+	for _, info := range plans {
+		cost, ok := info.Cost.(*pwl.Multi)
+		if !ok {
+			return nil // non-PWL algebra; Save will reject the set anyway
+		}
+		cands = append(cands, selection.Candidate{Plan: info.Plan, Cost: cost, RR: info.RR})
+	}
+	ix, err := index.Build(w.solver, space, cands, s.opts.IndexOptions)
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.stats.Index.Builds++
+	s.stats.Index.BuildTime += ix.BuildTime()
+	s.mu.Unlock()
+	return ix
 }
 
 // recordPipeline merges one optimization's dependency-scheduler metrics
@@ -539,8 +649,12 @@ func (s *Server) recordPipeline(st core.Stats) {
 }
 
 // newEntry deserializes a document and precomputes the selection
-// candidates.
-func newEntry(doc []byte) (*entry, error) {
+// candidates. With the pick index enabled, the document's persisted
+// index is used when present; otherwise (older documents, documents
+// written by index-less servers) one is rebuilt on load. Either way the
+// per-leaf candidate subsets are materialized once here, so a pick is a
+// tree descent plus a subset scan.
+func (s *Server) newEntry(doc []byte, w *worker) (*entry, error) {
 	set, err := store.Load(bytes.NewReader(doc))
 	if err != nil {
 		return nil, err
@@ -549,7 +663,26 @@ func newEntry(doc []byte) (*entry, error) {
 	for i, lp := range set.Plans {
 		cands[i] = selection.Candidate{Plan: lp.Plan, Cost: lp.Cost, RR: lp.RR}
 	}
-	return &entry{set: set, candidates: cands}, nil
+	e := &entry{set: set, candidates: cands}
+	if s.opts.Index {
+		e.idx = set.Index
+		if e.idx == nil {
+			// Rebuild-on-load: the document predates the index stanza or
+			// was written without one. A failed build falls back to the
+			// linear scan.
+			if ix, err := index.Build(w.solver, set.Space, cands, s.opts.IndexOptions); err == nil {
+				e.idx = ix
+				s.mu.Lock()
+				s.stats.Index.Builds++
+				s.stats.Index.BuildTime += ix.BuildTime()
+				s.mu.Unlock()
+			}
+		}
+		if e.idx != nil {
+			e.leafCands = e.idx.LeafCandidates(cands)
+		}
+	}
+	return e, nil
 }
 
 // insert publishes an entry; the first insert of a key wins.
@@ -601,53 +734,210 @@ func (s *Server) Pick(req PickRequest) (PickResult, error) {
 	return res, jerr
 }
 
+// PickBatchRequest evaluates one selection policy at many parameter
+// points against one prepared plan set — the high-pick-rate interface
+// the pick index is built for. The policy fields mirror PickRequest.
+type PickBatchRequest struct {
+	// Key is the plan-set key returned by Prepare.
+	Key string
+	// Points are the parameter vectors to pick for, answered in order.
+	Points []geometry.Vector
+	// Policy selects the preference policy; the zero value means
+	// PolicyFrontier.
+	Policy Policy
+	// Weights configures PolicyWeightedSum.
+	Weights []float64
+	// Minimize and Bounds configure PolicyMinimizeSubjectTo.
+	Minimize int
+	Bounds   []selection.Bound
+	// Order configures PolicyLexicographic.
+	Order []int
+}
+
+// PickBatchResult answers a PickBatchRequest: Choices[i] are the
+// selected plans for Points[i].
+type PickBatchResult struct {
+	// Metrics names the cost components.
+	Metrics []string
+	// Choices holds, per point, the selected plans (exactly one for the
+	// single-plan policies).
+	Choices [][]selection.Choice
+}
+
+// PickBatch evaluates a selection policy at every point of the request
+// against a prepared plan set, as one queued unit of work. Points are
+// sorted into index cells first, so consecutive picks of one cell reuse
+// its candidate subset; answers come back in request order and are
+// byte-identical to issuing the Picks one by one. Any invalid point or
+// selection failure fails the whole batch (the error names the point).
+func (s *Server) PickBatch(req PickBatchRequest) (PickBatchResult, error) {
+	var res PickBatchResult
+	var jerr error
+	err := s.run(func(w *worker) {
+		res, jerr = s.pickBatchOn(req)
+	})
+	if err != nil {
+		return PickBatchResult{}, err
+	}
+	return res, jerr
+}
+
+// pickBatchOn executes a batch on a pool worker.
+func (s *Server) pickBatchOn(req PickBatchRequest) (PickBatchResult, error) {
+	e, err := s.entryFor(req.Key)
+	if err != nil {
+		return PickBatchResult{}, err
+	}
+	if !validPolicy(req.Policy) {
+		// Request-shape problems are reported as such, before any
+		// per-point validation, and even for empty batches.
+		return PickBatchResult{}, fmt.Errorf("serve: unknown policy %q", req.Policy)
+	}
+	for i, x := range req.Points {
+		if err := e.validatePoint(x); err != nil {
+			return PickBatchResult{}, fmt.Errorf("point %d: %w", i, err)
+		}
+	}
+	// Route every point to its cell, then process in cell order: picks
+	// sharing a leaf run back to back on the same (cache-hot) candidate
+	// subset. Fallback points (no index, or outside the box) share the
+	// full candidate set and run first.
+	leaves := make([]int32, len(req.Points))
+	indexPicks := 0
+	for i, x := range req.Points {
+		leaves[i] = -1
+		if e.idx != nil {
+			if leaf, _, ok := e.idx.Locate(x); ok {
+				leaves[i] = leaf
+				indexPicks++
+			}
+		}
+	}
+	order := make([]int, len(req.Points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return leaves[order[a]] < leaves[order[b]] })
+
+	shell := PickRequest{
+		Policy:   req.Policy,
+		Weights:  req.Weights,
+		Minimize: req.Minimize,
+		Bounds:   req.Bounds,
+		Order:    req.Order,
+	}
+	choices := make([][]selection.Choice, len(req.Points))
+	for _, i := range order {
+		cands := e.candidates
+		if leaves[i] >= 0 {
+			cands = e.leafCands[leaves[i]]
+		}
+		shell.Point = req.Points[i]
+		cs, err := applyPolicy(cands, shell)
+		if err != nil {
+			return PickBatchResult{}, fmt.Errorf("point %d: %w", i, err)
+		}
+		choices[i] = cs
+	}
+	s.mu.Lock()
+	s.stats.Picks += int64(len(req.Points))
+	s.stats.Index.IndexPicks += int64(indexPicks)
+	s.stats.Index.FallbackPicks += int64(len(req.Points) - indexPicks)
+	s.stats.Index.BatchRequests++
+	s.stats.Index.BatchPoints += int64(len(req.Points))
+	s.mu.Unlock()
+	return PickBatchResult{Metrics: e.set.Metrics, Choices: choices}, nil
+}
+
 // pickOn executes a Pick on a pool worker. Selection is pure point
 // evaluation (the relevance-region fast path needs no LPs), so the
 // worker's solver is untouched; the queue trip still bounds the
-// server's concurrent work.
+// server's concurrent work. With a pick index on the entry, the point
+// is routed to its cell and only the cell's candidate subset is
+// scanned — byte-identical to the linear fallback by the index's
+// conservative construction.
 func (s *Server) pickOn(req PickRequest) (PickResult, error) {
-	s.mu.RLock()
-	e, ok := s.cache[req.Key]
-	s.mu.RUnlock()
-	if !ok {
-		return PickResult{}, fmt.Errorf("%w: %q", ErrUnknownPlanSet, req.Key)
+	e, err := s.entryFor(req.Key)
+	if err != nil {
+		return PickResult{}, err
 	}
-	if len(req.Point) != e.set.Space.Dim() {
-		return PickResult{}, fmt.Errorf("serve: point dimension %d, want %d", len(req.Point), e.set.Space.Dim())
+	if err := e.validatePoint(req.Point); err != nil {
+		return PickResult{}, err
 	}
-	if !e.set.Space.ContainsPoint(req.Point, 1e-9) {
-		// Outside the parameter space the stored cost pieces would be
-		// extrapolated and relevance regions are meaningless; reject
-		// instead of fabricating a result.
-		return PickResult{}, fmt.Errorf("serve: point %v outside the plan set's parameter space", req.Point)
-	}
-	res := PickResult{Metrics: e.set.Metrics}
-	switch req.Policy {
-	case PolicyFrontier, "":
-		res.Choices = selection.Frontier(e.candidates, req.Point)
-	case PolicyWeightedSum:
-		c, err := selection.WeightedSum(e.candidates, req.Point, req.Weights)
-		if err != nil {
-			return PickResult{}, err
-		}
-		res.Choices = []selection.Choice{c}
-	case PolicyMinimizeSubjectTo:
-		c, err := selection.MinimizeSubjectTo(e.candidates, req.Point, req.Minimize, req.Bounds)
-		if err != nil {
-			return PickResult{}, err
-		}
-		res.Choices = []selection.Choice{c}
-	case PolicyLexicographic:
-		c, err := selection.Lexicographic(e.candidates, req.Point, req.Order)
-		if err != nil {
-			return PickResult{}, err
-		}
-		res.Choices = []selection.Choice{c}
-	default:
-		return PickResult{}, fmt.Errorf("serve: unknown policy %q", req.Policy)
+	cands, viaIndex := e.lookup(req.Point)
+	choices, err := applyPolicy(cands, req)
+	if err != nil {
+		return PickResult{}, err
 	}
 	s.mu.Lock()
 	s.stats.Picks++
+	if viaIndex {
+		s.stats.Index.IndexPicks++
+	} else {
+		s.stats.Index.FallbackPicks++
+	}
 	s.mu.Unlock()
-	return res, nil
+	return PickResult{Metrics: e.set.Metrics, Choices: choices}, nil
+}
+
+// entryFor resolves a plan-set key.
+func (s *Server) entryFor(key string) (*entry, error) {
+	s.mu.RLock()
+	e, ok := s.cache[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPlanSet, key)
+	}
+	return e, nil
+}
+
+// validatePoint rejects points the stored plan set cannot price.
+func (e *entry) validatePoint(x geometry.Vector) error {
+	if len(x) != e.set.Space.Dim() {
+		return fmt.Errorf("serve: point dimension %d, want %d", len(x), e.set.Space.Dim())
+	}
+	if !e.set.Space.ContainsPoint(x, 1e-9) {
+		// Outside the parameter space the stored cost pieces would be
+		// extrapolated and relevance regions are meaningless; reject
+		// instead of fabricating a result.
+		return fmt.Errorf("serve: point %v outside the plan set's parameter space", x)
+	}
+	return nil
+}
+
+// validPolicy reports whether p names a selection policy.
+func validPolicy(p Policy) bool {
+	switch p {
+	case PolicyFrontier, "", PolicyWeightedSum, PolicyMinimizeSubjectTo, PolicyLexicographic:
+		return true
+	}
+	return false
+}
+
+// applyPolicy runs the request's selection policy over a candidate set.
+func applyPolicy(cands []selection.Candidate, req PickRequest) ([]selection.Choice, error) {
+	switch req.Policy {
+	case PolicyFrontier, "":
+		return selection.Frontier(cands, req.Point), nil
+	case PolicyWeightedSum:
+		c, err := selection.WeightedSum(cands, req.Point, req.Weights)
+		if err != nil {
+			return nil, err
+		}
+		return []selection.Choice{c}, nil
+	case PolicyMinimizeSubjectTo:
+		c, err := selection.MinimizeSubjectTo(cands, req.Point, req.Minimize, req.Bounds)
+		if err != nil {
+			return nil, err
+		}
+		return []selection.Choice{c}, nil
+	case PolicyLexicographic:
+		c, err := selection.Lexicographic(cands, req.Point, req.Order)
+		if err != nil {
+			return nil, err
+		}
+		return []selection.Choice{c}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %q", req.Policy)
+	}
 }

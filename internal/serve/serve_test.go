@@ -290,6 +290,228 @@ func TestServerConcurrentStress(t *testing.T) {
 	}
 }
 
+// TestServerIndexedPicksMatchSequentialPath: with the pick index
+// enabled, every Pick and every PickBatch must still return exactly
+// (byte-identically) what the in-process sequential linear scan
+// returns, and the index must actually serve the picks (not the
+// fallback).
+func TestServerIndexedPicksMatchSequentialPath(t *testing.T) {
+	s := New(Options{Workers: 2, Index: true})
+	defer s.Close()
+	for _, seed := range []int64{21, 33} {
+		tpl := testTemplate(seed)
+		expected := sequentialPicks(t, tpl)
+		prep, err := s.Prepare(tpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range testPoints {
+			got := serverPicks(t, s, prep.Key, x)
+			for k, want := range got {
+				if fmt.Sprint(expected[k]) != fmt.Sprint(want) {
+					t.Errorf("seed %d %s: indexed server returned %v, sequential path %v", seed, k, want, expected[k])
+				}
+			}
+		}
+		// The same points as one batch, per policy.
+		batchPolicies := []PickBatchRequest{
+			{Key: prep.Key, Points: testPoints, Policy: PolicyFrontier},
+			{Key: prep.Key, Points: testPoints, Policy: PolicyWeightedSum, Weights: []float64{1, 10000}},
+			{Key: prep.Key, Points: testPoints, Policy: PolicyLexicographic, Order: []int{1, 0}},
+		}
+		names := []string{"frontier", "weighted", "lex"}
+		for bi, breq := range batchPolicies {
+			bres, err := s.PickBatch(breq)
+			if err != nil {
+				t.Fatalf("seed %d batch %s: %v", seed, names[bi], err)
+			}
+			if len(bres.Choices) != len(testPoints) {
+				t.Fatalf("batch returned %d answers for %d points", len(bres.Choices), len(testPoints))
+			}
+			for pi, x := range testPoints {
+				want := expected[expectKey(names[bi], x)]
+				if fmt.Sprint(renderAll(bres.Choices[pi])) != fmt.Sprint(want) {
+					t.Errorf("seed %d batch %s at %v: %v, sequential %v",
+						seed, names[bi], x, renderAll(bres.Choices[pi]), want)
+				}
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Index.IndexedPlanSets != 2 {
+		t.Errorf("indexed plan sets = %d, want 2", st.Index.IndexedPlanSets)
+	}
+	if st.Index.Builds != 2 || st.Index.BuildTime <= 0 {
+		t.Errorf("index builds = %d (time %v), want 2 builds with recorded time", st.Index.Builds, st.Index.BuildTime)
+	}
+	if st.Index.Leaves <= 0 || st.Index.AvgLeafCandidates <= 0 {
+		t.Errorf("index shape not reported: %+v", st.Index)
+	}
+	if st.Index.IndexPicks == 0 {
+		t.Error("no picks served through the index")
+	}
+	if st.Index.FallbackPicks != 0 {
+		t.Errorf("%d in-space picks fell back to the linear scan", st.Index.FallbackPicks)
+	}
+}
+
+// TestPickStatsAccounting is the pick-accounting regression test:
+// Stats.Picks counts batch picks per *point* (not per request), and
+// index-served versus fallback-served picks are distinguished.
+func TestPickStatsAccounting(t *testing.T) {
+	check := func(t *testing.T, s *Server, wantIndexed bool) {
+		t.Helper()
+		prep, err := s.Prepare(testTemplate(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Pick(PickRequest{Key: prep.Key, Point: testPoints[0]}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.PickBatch(PickBatchRequest{Key: prep.Key, Points: testPoints}); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		wantPicks := int64(1 + len(testPoints))
+		if st.Picks != wantPicks {
+			t.Errorf("Picks = %d, want %d (batch picks count per point)", st.Picks, wantPicks)
+		}
+		if st.Index.BatchRequests != 1 || st.Index.BatchPoints != int64(len(testPoints)) {
+			t.Errorf("batch accounting = %d requests / %d points, want 1 / %d",
+				st.Index.BatchRequests, st.Index.BatchPoints, len(testPoints))
+		}
+		if st.Index.IndexPicks+st.Index.FallbackPicks != wantPicks {
+			t.Errorf("index+fallback = %d+%d, want %d total",
+				st.Index.IndexPicks, st.Index.FallbackPicks, wantPicks)
+		}
+		if wantIndexed && st.Index.IndexPicks != wantPicks {
+			t.Errorf("indexed server served %d of %d picks via the index", st.Index.IndexPicks, wantPicks)
+		}
+		if !wantIndexed && st.Index.IndexPicks != 0 {
+			t.Errorf("index-less server reported %d index picks", st.Index.IndexPicks)
+		}
+	}
+	t.Run("indexed", func(t *testing.T) {
+		s := New(Options{Workers: 1, Index: true})
+		defer s.Close()
+		check(t, s, true)
+	})
+	t.Run("linear", func(t *testing.T) {
+		s := New(Options{Workers: 1})
+		defer s.Close()
+		check(t, s, false)
+	})
+}
+
+// TestPickBatchErrors: an invalid point fails the whole batch with an
+// error naming the point.
+func TestPickBatchErrors(t *testing.T) {
+	s := New(Options{Workers: 1, Index: true})
+	defer s.Close()
+	if _, err := s.PickBatch(PickBatchRequest{Key: "missing"}); !errors.Is(err, ErrUnknownPlanSet) {
+		t.Errorf("unknown key error = %v", err)
+	}
+	prep, err := s.Prepare(testTemplate(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.PickBatch(PickBatchRequest{
+		Key:    prep.Key,
+		Points: []geometry.Vector{{0.5}, {7}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "point 1") {
+		t.Errorf("out-of-space batch point error = %v", err)
+	}
+	_, err = s.PickBatch(PickBatchRequest{
+		Key: prep.Key, Points: []geometry.Vector{{0.5}}, Policy: "nonsense",
+	})
+	if err == nil || strings.Contains(err.Error(), "point") {
+		t.Errorf("unknown policy in batch = %v, want a request-level (not per-point) error", err)
+	}
+	// Policy validation happens up front, even for empty batches.
+	if _, err := s.PickBatch(PickBatchRequest{Key: prep.Key, Policy: "nonsense"}); err == nil {
+		t.Error("unknown policy accepted in empty batch")
+	}
+	if _, err := s.PickBatch(PickBatchRequest{Key: prep.Key}); err != nil {
+		t.Errorf("empty batch with valid policy failed: %v", err)
+	}
+}
+
+// TestIndexedPersistenceAcrossServers: a persisted indexed document is
+// served by a restarted server without rebuilding the index, and an
+// index-enabled server reindexes documents written without one.
+func TestIndexedPersistenceAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+	tpl := testTemplate(21)
+
+	s1 := New(Options{Workers: 1, Dir: dir, Index: true})
+	prep1, err := s1.Prepare(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s1.Stats(); st.Index.Builds != 1 {
+		t.Errorf("first server builds = %d, want 1", st.Index.Builds)
+	}
+	res1, err := s1.Pick(PickRequest{Key: prep1.Key, Point: geometry.Vector{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// Restart with the persisted stanza: no rebuild, identical picks,
+	// index-served.
+	s2 := New(Options{Workers: 1, Dir: dir, Index: true})
+	prep2, err := s2.Prepare(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep2.Cached {
+		t.Error("restart Prepare did not hit the persisted document")
+	}
+	if st := s2.Stats(); st.Index.Builds != 0 {
+		t.Errorf("restarted server rebuilt the index %d times despite the persisted stanza", st.Index.Builds)
+	}
+	res2, err := s2.Pick(PickRequest{Key: prep2.Key, Point: geometry.Vector{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(renderAll(res1.Choices)) != fmt.Sprint(renderAll(res2.Choices)) {
+		t.Errorf("picks differ across restart: %v vs %v", renderAll(res1.Choices), renderAll(res2.Choices))
+	}
+	if st := s2.Stats(); st.Index.IndexPicks != 1 {
+		t.Errorf("restarted server index picks = %d, want 1", st.Index.IndexPicks)
+	}
+	s2.Close()
+
+	// A document written WITHOUT an index is reindexed on load by an
+	// index-enabled server.
+	dir2 := t.TempDir()
+	plain := New(Options{Workers: 1, Dir: dir2})
+	if _, err := plain.Prepare(tpl); err != nil {
+		t.Fatal(err)
+	}
+	plain.Close()
+	s3 := New(Options{Workers: 1, Dir: dir2, Index: true})
+	defer s3.Close()
+	prep3, err := s3.Prepare(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep3.Cached {
+		t.Error("index-enabled server did not reuse the index-less document")
+	}
+	if st := s3.Stats(); st.Index.Builds != 1 {
+		t.Errorf("rebuild-on-load builds = %d, want 1", st.Index.Builds)
+	}
+	res3, err := s3.Pick(PickRequest{Key: prep3.Key, Point: geometry.Vector{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(renderAll(res1.Choices)) != fmt.Sprint(renderAll(res3.Choices)) {
+		t.Errorf("reindexed picks differ: %v vs %v", renderAll(res1.Choices), renderAll(res3.Choices))
+	}
+}
+
 // TestQueueBackpressure: with a single worker wedged and the queue at
 // capacity, further submissions fail fast with ErrQueueFull and are
 // counted as rejected.

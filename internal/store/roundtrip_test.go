@@ -8,7 +8,9 @@ import (
 	"mpq/internal/cloud"
 	"mpq/internal/core"
 	"mpq/internal/geometry"
+	"mpq/internal/index"
 	"mpq/internal/pwl"
+	"mpq/internal/selection"
 	"mpq/internal/workload"
 )
 
@@ -106,6 +108,71 @@ func checkRoundTrip(t *testing.T, metrics []string, space *geometry.Polytope, in
 	if !bytes.Equal(first.Bytes(), second.Bytes()) {
 		t.Errorf("Save∘Load is not the identity: document sizes %d vs %d",
 			first.Len(), second.Len())
+	}
+}
+
+// TestRoundTripPropertyIndexed is the v3 round-trip property: a
+// document saved with a pick-index stanza loads the index back and
+// saving the loaded set with its loaded index reproduces the exact
+// bytes (Save∘Load is the identity for indexed documents too).
+func TestRoundTripPropertyIndexed(t *testing.T) {
+	for _, shape := range []workload.Shape{workload.Chain, workload.Star, workload.Clique} {
+		t.Run(fmt.Sprint(shape), func(t *testing.T) {
+			schema, err := workload.Generate(workload.Config{
+				Tables: 4, Params: 2, Shape: shape, Seed: 6,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := geometry.NewContext()
+			model, err := cloud.NewModel(schema, cloud.DefaultConfig(), ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.DefaultOptions()
+			opts.Context = ctx
+			res, err := core.Optimize(schema, model, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands := make([]selection.Candidate, len(res.Plans))
+			for i, info := range res.Plans {
+				cands[i] = selection.Candidate{Plan: info.Plan, Cost: info.Cost.(*pwl.Multi), RR: info.RR}
+			}
+			ix, err := index.Build(ctx, model.Space(), cands, index.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var first bytes.Buffer
+			if err := SaveIndexed(&first, model.MetricNames(), model.Space(), res.Plans, ix); err != nil {
+				t.Fatalf("first save: %v", err)
+			}
+			ps, err := Load(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if ps.Index == nil {
+				t.Fatal("indexed document loaded without an index")
+			}
+			if ps.Index.Leaves() != ix.Leaves() || ps.Index.LeafCandidateTotal() != ix.LeafCandidateTotal() ||
+				ps.Index.MaxDepth() != ix.MaxDepth() {
+				t.Errorf("loaded index shape (leaves=%d cands=%d depth=%d) != built (leaves=%d cands=%d depth=%d)",
+					ps.Index.Leaves(), ps.Index.LeafCandidateTotal(), ps.Index.MaxDepth(),
+					ix.Leaves(), ix.LeafCandidateTotal(), ix.MaxDepth())
+			}
+			loaded := make([]*core.PlanInfo, len(ps.Plans))
+			for i, lp := range ps.Plans {
+				loaded[i] = &core.PlanInfo{Plan: lp.Plan, Cost: lp.Cost, RR: lp.RR}
+			}
+			var second bytes.Buffer
+			if err := SaveIndexed(&second, ps.Metrics, ps.Space, loaded, ps.Index); err != nil {
+				t.Fatalf("second save: %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Errorf("SaveIndexed∘Load is not the identity: document sizes %d vs %d",
+					first.Len(), second.Len())
+			}
+		})
 	}
 }
 

@@ -18,17 +18,21 @@ import (
 	"mpq/internal/catalog"
 	"mpq/internal/core"
 	"mpq/internal/geometry"
+	"mpq/internal/index"
 	"mpq/internal/plan"
 	"mpq/internal/pwl"
 	"mpq/internal/region"
 )
 
-// FormatVersion identifies the serialization layout. Version 2 added
-// the region-options stanza and the explicit always-relevant marker;
-// version 1 documents are still readable (their regions load with the
-// paper's default refinements, and plans without cutouts are treated as
-// always relevant, the only semantics version 1 could express).
-const FormatVersion = 2
+// FormatVersion identifies the serialization layout. Version 3 added
+// the optional point-location pick-index stanza (SaveIndexed); version
+// 2 added the region-options stanza and the explicit always-relevant
+// marker. Older documents are still readable: version 2 documents
+// simply carry no index (callers rebuild one on load when they want
+// it), and version 1 regions load with the paper's default refinements
+// and treat plans without cutouts as always relevant, the only
+// semantics version 1 could express.
+const FormatVersion = 3
 
 // minFormatVersion is the oldest version Load still accepts.
 const minFormatVersion = 1
@@ -44,6 +48,10 @@ type Document struct {
 	// be. Absent in version 1 documents (which load with the defaults).
 	RegionOptions *regionOptionsJS `json:"region_options,omitempty"`
 	Plans         []planEnt        `json:"plans"`
+	// Index is the optional point-location pick index over the plan
+	// set's parameter space (version 3). Absent when the set was saved
+	// without one; loaders that want an index rebuild it from the plans.
+	Index *index.Snapshot `json:"index,omitempty"`
 }
 
 type planEnt struct {
@@ -126,6 +134,14 @@ type halfspaceJS struct {
 // optimizer run share their options), so Load rebuilds regions exactly
 // as they were configured at save time.
 func Save(w io.Writer, metrics []string, space *geometry.Polytope, plans []*core.PlanInfo) error {
+	return SaveIndexed(w, metrics, space, plans, nil)
+}
+
+// SaveIndexed is Save with an optional point-location pick index built
+// over the same plan order (nil saves no index stanza). The index's
+// leaf candidate ids refer to positions in plans; Load returns the
+// reconstructed index alongside the plan set.
+func SaveIndexed(w io.Writer, metrics []string, space *geometry.Polytope, plans []*core.PlanInfo, ix *index.Index) error {
 	doc := Document{
 		Version: FormatVersion,
 		Metrics: metrics,
@@ -157,6 +173,12 @@ func Save(w io.Writer, metrics []string, space *geometry.Polytope, plans []*core
 		// default change cannot silently alter reload semantics.
 		doc.RegionOptions = regionOptionsToJS(region.DefaultOptions())
 	}
+	if ix != nil {
+		if ix.Dim() != space.Dim() {
+			return fmt.Errorf("store: index dimension %d, want space dimension %d", ix.Dim(), space.Dim())
+		}
+		doc.Index = ix.Snapshot()
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)
 }
@@ -174,6 +196,10 @@ type PlanSet struct {
 	Metrics []string
 	Space   *geometry.Polytope
 	Plans   []LoadedPlan
+	// Index is the point-location pick index persisted with the set,
+	// or nil when the document carried none (pre-v3 documents, or sets
+	// saved without one). Its leaf candidate ids index Plans.
+	Index *index.Index
 }
 
 // Load reads a serialized plan set.
@@ -234,6 +260,13 @@ func Load(r io.Reader) (*PlanSet, error) {
 			lp.RR = rr
 		}
 		ps.Plans = append(ps.Plans, lp)
+	}
+	if doc.Index != nil {
+		ix, err := index.FromSnapshot(doc.Index, len(ps.Plans), space.Dim())
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		ps.Index = ix
 	}
 	return ps, nil
 }

@@ -271,6 +271,52 @@ func TestLoadVersion1Document(t *testing.T) {
 	}
 }
 
+// TestLoadVersion2Document: version 2 documents (no index stanza)
+// still load, with a nil PlanSet.Index.
+func TestLoadVersion2Document(t *testing.T) {
+	const doc = `{"version":2,"metrics":["t"],"space":{"dim":1,"constraints":[{"w":[1],"b":1},{"w":[-1],"b":0}]},` +
+		`"region_options":{"strategy":"bemporad","relevance_points":16,"eliminate_redundant_cutouts":true},` +
+		`"plans":[{"tree":{"op":"s","table":0},"always_relevant":true,` +
+		`"cost":{"components":[{"pieces":[{"region":{"dim":1},"w":[1],"b":0}]}]}}]}`
+	ps, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Index != nil {
+		t.Error("v2 document loaded with an index")
+	}
+}
+
+// TestLoadRejectsBadIndexStanza: malformed index stanzas (out-of-range
+// candidate ids, non-preorder children, wrong box dimension) are
+// rejected with descriptive errors instead of misrouting picks later.
+func TestLoadRejectsBadIndexStanza(t *testing.T) {
+	const tmpl = `{"version":3,"metrics":["t"],"space":{"dim":1,"constraints":[{"w":[1],"b":1},{"w":[-1],"b":0}]},` +
+		`"region_options":{"strategy":"bemporad","relevance_points":16,"eliminate_redundant_cutouts":true},` +
+		`"plans":[{"tree":{"op":"s","table":0},"always_relevant":true,` +
+		`"cost":{"components":[{"pieces":[{"region":{"dim":1},"w":[1],"b":0}]}]}}],` +
+		`"index":%s}`
+	good := `{"leaf_target":4,"max_depth":16,"max_leaves":4096,"lo":[0],"hi":[1],"nodes":[{"cands":[0]}]}`
+	if _, err := Load(strings.NewReader(fmt.Sprintf(tmpl, good))); err != nil {
+		t.Fatalf("valid indexed skeleton rejected: %v", err)
+	}
+	cases := map[string]string{
+		"candidate id out of range": `{"lo":[0],"hi":[1],"nodes":[{"cands":[5]}]}`,
+		"box dimension":             `{"lo":[0,0],"hi":[1,1],"nodes":[{"cands":[0]}]}`,
+		"inverted box":              `{"lo":[1],"hi":[0],"nodes":[{"cands":[0]}]}`,
+		"no nodes":                  `{"lo":[0],"hi":[1],"nodes":[]}`,
+		"non-preorder children":     `{"lo":[0],"hi":[1],"nodes":[{"split":0.5,"left":2,"right":1},{"cands":[0]},{"cands":[0]}]}`,
+		"split dim out of range":    `{"lo":[0],"hi":[1],"nodes":[{"dim":3,"split":0.5,"left":1,"right":2},{"cands":[0]},{"cands":[0]}]}`,
+		"unsorted candidate ids":    `{"lo":[0],"hi":[1],"nodes":[{"cands":[0,0]}]}`,
+		"unreachable node":          `{"lo":[0],"hi":[1],"nodes":[{"cands":[0]},{"cands":[0]}]}`,
+	}
+	for name, ixDoc := range cases {
+		if _, err := Load(strings.NewReader(fmt.Sprintf(tmpl, ixDoc))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestSaveRejectsNonPWLCosts(t *testing.T) {
 	space := geometry.Interval(0, 1)
 	plans := []*core.PlanInfo{{Plan: nil, Cost: "not a pwl cost"}}

@@ -10,6 +10,7 @@ import (
 	"mpq/internal/core"
 	"mpq/internal/diagram"
 	"mpq/internal/geometry"
+	"mpq/internal/index"
 	"mpq/internal/plan"
 	"mpq/internal/pwl"
 	"mpq/internal/region"
@@ -296,8 +297,24 @@ type (
 	PickRequest = serve.PickRequest
 	// PickResult is the response to a PickRequest.
 	PickResult = serve.PickResult
+	// PickBatchRequest selects plans for many parameter points against
+	// one prepared plan set in a single request; points are sorted into
+	// pick-index cells to amortize traversals.
+	PickBatchRequest = serve.PickBatchRequest
+	// PickBatchResult is the response to a PickBatchRequest, in request
+	// point order.
+	PickBatchResult = serve.PickBatchResult
 	// PickPolicy selects the run-time preference policy of a pick.
 	PickPolicy = serve.Policy
+	// PickIndex is a point-location index over a plan set's parameter
+	// space: leaves hold the candidates relevant in each cell, so picks
+	// scan a cell's subset instead of every candidate.
+	PickIndex = index.Index
+	// PickIndexOptions tunes a pick-index build (leaf target, depth and
+	// leaf bounds, build parallelism).
+	PickIndexOptions = index.Options
+	// ServeIndexStats is the pick-index slice of ServeStats.
+	ServeIndexStats = serve.IndexStats
 )
 
 // The run-time preference policies of a PickRequest.
@@ -321,10 +338,26 @@ var (
 
 // NewServer starts a long-lived optimizer service: Prepare optimizes a
 // template once, persists its Pareto plan set through the store format
-// and caches it; Pick selects plans for concrete parameter values
-// against the cached set. All methods are safe for concurrent use; see
-// DESIGN.md, "Serving layer".
+// and caches it; Pick (and PickBatch) select plans for concrete
+// parameter values against the cached set. With ServeOptions.Index,
+// Prepare also builds a point-location pick index that turns each pick
+// into a cell lookup, with byte-identical results to the linear scan.
+// All methods are safe for concurrent use; see DESIGN.md, "Serving
+// layer" and "Pick index".
 func NewServer(opts ServeOptions) *Server { return serve.New(opts) }
+
+// BuildPickIndex builds a point-location pick index over a loaded plan
+// set, for embedding the run-time half without a Server: pass the
+// index's leaf candidates to the selection policies instead of the full
+// candidate set. For points *inside the plan set's parameter space*
+// (ps.Space.ContainsPoint(x, 1e-9) — validate before selecting, as the
+// Server does), results are byte-identical to scanning all candidates;
+// the leaf views elide the per-candidate space test, so out-of-space
+// points must not be routed through them. When Locate reports a point
+// outside the index box, fall back to the full candidate scan.
+func BuildPickIndex(s *Solver, ps *PlanSet, opts PickIndexOptions) (*PickIndex, error) {
+	return index.Build(s, ps.Space, SelectionCandidates(ps), opts)
+}
 
 // FrontSizeDiagram maps Pareto-front cardinality over the parameter
 // space.
