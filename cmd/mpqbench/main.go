@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -58,6 +59,9 @@ func main() {
 		parallel   = flag.String("parallel", "", "parallel reference points shape:params:tables[,...], run at workers=GOMAXPROCS and reported as parallel_cases (not gated)")
 		picks      = flag.String("picks", "", "pick-throughput specs shape:params:tables[,...]: prepare once, verify index = linear scan, measure per-pick latency (pick_cases, gated)")
 		pickPoints = flag.Int("pick-points", 0, "random pick points per -picks spec (0 = 256)")
+		fleetSpec  = flag.String("fleet", "", "fleet-serving specs shape:params:tables[,...]: N servers over one shared store, gate hit rate and fleet pick throughput (fleet_cases)")
+		fleetSrv   = flag.Int("fleet-servers", 3, "fleet size for -fleet")
+		fleetPts   = flag.Int("fleet-points", 0, "pick points per server per -fleet round (0 = 256)")
 		maxChain1  = flag.Int("max-chain-1p", 12, "max tables for chain, 1 parameter")
 		maxStar1   = flag.Int("max-star-1p", 12, "max tables for star, 1 parameter")
 		maxChain2  = flag.Int("max-chain-2p", 10, "max tables for chain, 2 parameters")
@@ -78,6 +82,7 @@ func main() {
 			shapes: *shapes, params: *params, maxTables: *maxTables,
 			parallel: *parallel,
 			picks:    *picks, pickPoints: *pickPoints,
+			fleet: *fleetSpec, fleetServers: *fleetSrv, fleetPoints: *fleetPts,
 			maxChain1: *maxChain1, maxStar1: *maxStar1,
 			maxChain2: *maxChain2, maxStar2: *maxStar2,
 			baseline: *baseline,
@@ -103,6 +108,8 @@ type figure12Config struct {
 	parallel                                 string
 	picks                                    string
 	pickPoints                               int
+	fleet                                    string
+	fleetServers, fleetPoints                int
 	maxChain1, maxStar1, maxChain2, maxStar2 int
 	baseline                                 string
 	compare                                  bench.CompareOptions
@@ -238,6 +245,11 @@ func runFigure12(cfg figure12Config) {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(2)
 	}
+	fleetSpecs, err := parseSpecList(cfg.fleet, "-fleet")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(2)
+	}
 	var series []*bench.Series
 	start := time.Now()
 	for _, c := range curves {
@@ -260,6 +272,7 @@ func runFigure12(cfg figure12Config) {
 	rep := bench.BuildJSONReport(series)
 	rep.ParallelCases = runParallelPoints(cfg, parallelPoints)
 	rep.PickCases = runPickSpecs(cfg, pickSpecs)
+	rep.FleetCases = runFleetSpecs(cfg, fleetSpecs)
 	fmt.Fprintf(os.Stderr, "total experiment time: %v\n", time.Since(start))
 	switch {
 	case cfg.json:
@@ -303,6 +316,31 @@ func runPickSpecs(cfg figure12Config, specs []curve) []bench.JSONCase {
 	return bench.PickMeasurementCases(ms)
 }
 
+// runFleetSpecs executes the -fleet fleet-serving mode: N in-process
+// servers over one shared on-disk store; the hit-rate floor (≥ (N−1)/N
+// of Prepares served from the store) is enforced by the run itself,
+// and the resulting cases are gated against the baseline.
+func runFleetSpecs(cfg figure12Config, specs []curve) []bench.JSONCase {
+	if len(specs) == 0 {
+		return nil
+	}
+	fcfg := bench.FleetConfig{
+		Servers:  cfg.fleetServers,
+		Points:   cfg.fleetPoints,
+		Seed:     cfg.seed,
+		Progress: os.Stderr,
+	}
+	for _, c := range specs {
+		fcfg.Specs = append(fcfg.Specs, bench.PickSpec{Shape: c.shape, Params: c.params, Tables: c.max})
+	}
+	ms, err := bench.RunFleet(fcfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	return bench.FleetMeasurementCases(ms)
+}
+
 // runParallelPoints measures the -parallel reference points at the
 // pipelined scheduler's full parallelism (workers = GOMAXPROCS).
 func runParallelPoints(cfg figure12Config, points []curve) []bench.JSONCase {
@@ -320,6 +358,9 @@ func runParallelPoints(cfg figure12Config, points []curve) []bench.JSONCase {
 			os.Exit(1)
 		}
 		jc := bench.PointCase(c.shape, c.params, p, "parallel/")
+		// Parallel wall-clock is only meaningful relative to the
+		// machine's core count; record it with the case.
+		jc.NumCPU = runtime.NumCPU()
 		cases = append(cases, jc)
 		fmt.Fprintf(os.Stderr, "parallel %s-%dp n=%-2d workers=%d time=%v plans=%d LPs=%d\n",
 			c.shape, c.params, c.max, p.Workers, p.MedianTime, p.MedianPlans, p.MedianLPs)

@@ -10,9 +10,10 @@
 //
 // HTTP endpoints:
 //
-//	POST /prepare   {"workload":{"tables":4,"params":1,"shape":"chain","seed":21}}
-//	POST /pick      {"key":"...","point":[0.5],"policy":"weighted","weights":[1,10000]}
-//	POST /pickbatch {"key":"...","points":[[0.2],[0.5],[0.8]],"policy":"frontier"}
+//	POST /prepare      {"workload":{"tables":4,"params":1,"shape":"chain","seed":21}}
+//	POST /pick         {"key":"...","point":[0.5],"policy":"weighted","weights":[1,10000]}
+//	POST /pickbatch    {"key":"...","points":[[0.2],[0.5],[0.8]],"policy":"frontier"}
+//	GET  /planset/<key>  serialized plan-set document (the peer-fetch endpoint)
 //	GET  /stats
 //
 // The stdin protocol wraps the same bodies with an "op" field:
@@ -27,10 +28,22 @@
 // batched ones especially — are cell lookups instead of full candidate
 // scans; -index=false keeps the linear scan. Results are byte-identical
 // either way.
+//
+// Fleet deployment: -cache-bytes bounds the in-memory plan-set cache
+// (size-aware LRU; evicted sets reload transparently), -shared-dir
+// points a fleet of mpqserve processes at one shared on-disk plan-set
+// store so each template is computed once per fleet, and -peers lists
+// sibling servers to fetch prepared documents from before computing.
+// -prepare-max caps concurrently optimizing Prepares; -donate lends
+// idle pool workers to in-flight Prepares' split jobs. On SIGINT or
+// SIGTERM the server shuts down gracefully: the HTTP listener drains
+// in-flight requests (up to -drain), the request queue is drained, and
+// the shared store is flushed.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -39,7 +52,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
+	"mpq/internal/fleet"
 	"mpq/internal/selection"
 	"mpq/internal/serve"
 	"mpq/internal/workload"
@@ -47,26 +65,79 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "HTTP listen address")
-		stdin   = flag.Bool("stdin", false, "serve the line protocol on stdin instead of HTTP")
-		workers = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "request queue depth (0 = 8×workers)")
-		dir     = flag.String("dir", "", "directory persisting prepared plan sets across restarts")
-		useIdx  = flag.Bool("index", true, "build a point-location pick index per prepared plan set")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		stdin      = flag.Bool("stdin", false, "serve the line protocol on stdin instead of HTTP")
+		workers    = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "request queue depth (0 = 8×workers)")
+		dir        = flag.String("dir", "", "directory persisting prepared plan sets across restarts")
+		useIdx     = flag.Bool("index", true, "build a point-location pick index per prepared plan set")
+		cacheBytes = flag.Int64("cache-bytes", 0, "in-memory plan-set cache budget in bytes (0 = unbounded)")
+		sharedDir  = flag.String("shared-dir", "", "shared plan-set store directory for a fleet of servers")
+		peers      = flag.String("peers", "", "comma-separated peer base URLs to fetch prepared plan sets from")
+		prepMax    = flag.Int("prepare-max", 0, "max concurrently optimizing Prepares (0 = no cap)")
+		donate     = flag.Bool("donate", true, "donate idle pool workers to in-flight Prepares' split jobs")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
 	)
 	flag.Parse()
 
-	s := serve.New(serve.Options{Workers: *workers, QueueDepth: *queue, Dir: *dir, Index: *useIdx})
+	opts := serve.Options{
+		Workers: *workers, QueueDepth: *queue, Dir: *dir, Index: *useIdx,
+		CacheBytes:            *cacheBytes,
+		MaxConcurrentPrepares: *prepMax,
+		DonateWorkers:         *donate,
+	}
+	if *sharedDir != "" {
+		shared, err := fleet.NewDirStore(*sharedDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Shared = shared
+	}
+	if *peers != "" {
+		opts.Peers = fleet.NewPeerClient(strings.Split(*peers, ","), 0)
+	}
+	s := serve.New(opts)
+	// Close drains the request queue and flushes the shared store; it
+	// runs on every exit path below.
 	defer s.Close()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *stdin {
-		if err := runStdin(s, os.Stdin, os.Stdout); err != nil {
+		if err := runStdin(ctx, s, os.Stdin, os.Stdout); err != nil {
+			s.Close()
 			log.Fatal(err)
 		}
 		return
 	}
-	log.Printf("mpqserve listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, newHandler(s)))
+	if err := runHTTP(ctx, s, *addr, *drain); err != nil {
+		s.Close()
+		log.Fatal(err)
+	}
+}
+
+// runHTTP serves until the listener fails or ctx is cancelled (SIGINT/
+// SIGTERM), then shuts the listener down gracefully within the drain
+// deadline. The caller's deferred Server.Close drains the request
+// queue and flushes the shared store afterwards.
+func runHTTP(ctx context.Context, s *serve.Server, addr string, drain time.Duration) error {
+	srv := &http.Server{Addr: addr, Handler: newHandler(s)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("mpqserve listening on %s", addr)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("mpqserve: shutting down, draining requests for up to %v", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("mpqserve: shutdown: %v", err)
+	}
+	return nil
 }
 
 // Wire types of the JSON protocol.
@@ -276,6 +347,20 @@ func newHandler(s *serve.Server) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("GET /planset/{key}", func(w http.ResponseWriter, r *http.Request) {
+		// The peer-fetch endpoint: the serialized plan-set document,
+		// byte-identical to what this server loaded or computed. Serves
+		// from the cache or the shared store only — never by computing,
+		// and never by asking peers (no fetch cascades).
+		doc, err := s.Document(r.PathValue("key"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(doc)
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -309,53 +394,108 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // runStdin serves the line protocol: one JSON request per input line,
-// one JSON response per output line.
-func runStdin(s *serve.Server, in io.Reader, out io.Writer) error {
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+// one JSON response per output line, until EOF or ctx cancellation
+// (SIGINT/SIGTERM) — whichever comes first. Requests already read are
+// answered before returning; the caller's Server.Close drains the
+// queue and flushes the shared store.
+func runStdin(ctx context.Context, s *serve.Server, in io.Reader, out io.Writer) error {
 	enc := json.NewEncoder(out)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var op struct {
-			Op string `json:"op"`
-		}
-		if err := json.Unmarshal(line, &op); err != nil {
-			enc.Encode(errorJS{Error: err.Error()})
-			continue
-		}
-		var resp any
-		var err error
-		switch op.Op {
-		case "prepare":
-			var body prepareReqJS
-			if err = json.Unmarshal(line, &body); err == nil {
-				resp, err = doPrepare(s, body)
+	lines := make(chan []byte)
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(in)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := append([]byte(nil), sc.Bytes()...)
+			select {
+			case lines <- line:
+			case <-ctx.Done():
+				return
 			}
-		case "pick":
-			var body pickReqJS
-			if err = json.Unmarshal(line, &body); err == nil {
-				resp, err = doPick(s, body)
-			}
-		case "pickbatch":
-			var body pickBatchReqJS
-			if err = json.Unmarshal(line, &body); err == nil {
-				resp, err = doPickBatch(s, body)
-			}
-		case "stats":
-			resp = s.Stats()
-		default:
-			err = fmt.Errorf("unknown op %q", op.Op)
 		}
-		if err != nil {
-			enc.Encode(errorJS{Error: err.Error()})
-			continue
-		}
-		if encodeErr := enc.Encode(resp); encodeErr != nil {
-			return encodeErr
+		scanErr <- sc.Err()
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			log.Printf("mpqserve: shutting down stdin protocol")
+			// Answer anything the scanner already read but has not yet
+			// handed over: the unbuffered send may be parked an instant
+			// behind the signal, so give each pending line a short
+			// grace window, bounded overall so a firehose client cannot
+			// hold shutdown open.
+			deadline := time.After(500 * time.Millisecond)
+			for {
+				select {
+				case line, ok := <-lines:
+					if !ok {
+						return nil
+					}
+					if len(line) > 0 {
+						if err := handleLine(s, enc, line); err != nil {
+							return err
+						}
+					}
+				case <-time.After(50 * time.Millisecond):
+					return nil
+				case <-deadline:
+					return nil
+				}
+			}
+		case line, ok := <-lines:
+			if !ok {
+				select {
+				case err := <-scanErr:
+					return err
+				default:
+					return nil
+				}
+			}
+			if len(line) == 0 {
+				continue
+			}
+			if err := handleLine(s, enc, line); err != nil {
+				return err
+			}
 		}
 	}
-	return sc.Err()
+}
+
+// handleLine answers one stdin-protocol request; the returned error is
+// an output-encoding failure (request errors are answered in-band).
+func handleLine(s *serve.Server, enc *json.Encoder, line []byte) error {
+	var op struct {
+		Op string `json:"op"`
+	}
+	if err := json.Unmarshal(line, &op); err != nil {
+		return enc.Encode(errorJS{Error: err.Error()})
+	}
+	var resp any
+	var err error
+	switch op.Op {
+	case "prepare":
+		var body prepareReqJS
+		if err = json.Unmarshal(line, &body); err == nil {
+			resp, err = doPrepare(s, body)
+		}
+	case "pick":
+		var body pickReqJS
+		if err = json.Unmarshal(line, &body); err == nil {
+			resp, err = doPick(s, body)
+		}
+	case "pickbatch":
+		var body pickBatchReqJS
+		if err = json.Unmarshal(line, &body); err == nil {
+			resp, err = doPickBatch(s, body)
+		}
+	case "stats":
+		resp = s.Stats()
+	default:
+		err = fmt.Errorf("unknown op %q", op.Op)
+	}
+	if err != nil {
+		return enc.Encode(errorJS{Error: err.Error()})
+	}
+	return enc.Encode(resp)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -183,7 +184,7 @@ func TestHTTPPickBatch(t *testing.T) {
 	var out bytes.Buffer
 	line := fmt.Sprintf(`{"op":"pickbatch","key":%q,"points":[%s],"policy":"weighted","weights":[1,10000]}`,
 		prep.Key, strings.Join(points, ","))
-	if err := runStdin(s, strings.NewReader(line+"\n"), &out); err != nil {
+	if err := runStdin(context.Background(), s, strings.NewReader(line+"\n"), &out); err != nil {
 		t.Fatal(err)
 	}
 	var stdinBatch pickBatchRespJS
@@ -215,7 +216,7 @@ func TestStdinProtocol(t *testing.T) {
 		`{"op":"prepare","workload":{"tables":4,"params":1,"shape":"chain","seed":21}}` + "\n" +
 			`{"op":"stats"}` + "\n" +
 			`{"op":"bogus"}` + "\n")
-	if err := runStdin(s, in, &out); err != nil {
+	if err := runStdin(context.Background(), s, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -234,7 +235,7 @@ func TestStdinProtocol(t *testing.T) {
 	// against the same server: the cache carries over.
 	var out2 bytes.Buffer
 	pick := fmt.Sprintf(`{"op":"pick","key":%q,"point":[0.5],"policy":"weighted","weights":[1,10000]}`, prep.Key)
-	if err := runStdin(s, strings.NewReader(pick+"\n"), &out2); err != nil {
+	if err := runStdin(context.Background(), s, strings.NewReader(pick+"\n"), &out2); err != nil {
 		t.Fatal(err)
 	}
 	var res pickRespJS

@@ -88,6 +88,39 @@
 // the linear fallback, and batch request/point counts (Stats.Picks
 // counts batch picks per point).
 //
+// # Fleet serving
+//
+// A fleet of servers shares preparations through a shared plan-set
+// store (ServeOptions.Shared): every prepared document is published
+// under its cache key, and a sibling server consults the store — and,
+// with ServeOptions.Peers, other servers over HTTP — before
+// optimizing, so each template is computed once per fleet. The
+// in-memory cache is bounded by ServeOptions.CacheBytes (size-aware
+// LRU; evicted plan sets reload transparently at pick time), and
+// ServeOptions.MaxConcurrentPrepares keeps expensive Prepares from
+// monopolizing the solver pool. Two servers over one shared directory:
+//
+//	shared, _ := mpq.NewSharedDirStore("/var/lib/mpq/plansets")
+//	a := mpq.NewServer(mpq.ServeOptions{Workers: 4, Index: true, Shared: shared})
+//	defer a.Close()
+//	b := mpq.NewServer(mpq.ServeOptions{Workers: 4, Index: true, Shared: shared,
+//		CacheBytes: 256 << 20})
+//	defer b.Close()
+//	tpl := mpq.ServeTemplate{Workload: mpq.WorkloadConfig{
+//		Tables: 6, Params: 2, Shape: mpq.Clique, Seed: 7,
+//	}}
+//	prepA, _ := a.Prepare(tpl) // optimizes and publishes to the store
+//	prepB, _ := b.Prepare(tpl) // served from the store: no optimization
+//	fmt.Println(prepA.Key == prepB.Key, prepB.Cached,
+//		b.Stats().SharedHits) // true true 1
+//
+// Pick results are byte-identical whichever way the plan set arrived
+// (computed, loaded from the shared dir, or fetched from a peer), and
+// Close flushes the store on the way out. ServeStats exposes the fleet
+// counters: Cache (admitted − evicted = resident), SharedHits,
+// PeerHits, SharedPuts, Reloads, Admission and DonatedTasks. See
+// DESIGN.md, "Fleet serving".
+//
 // The subpackages under internal implement the machinery: geometry
 // (polytopes, simplex LP solver, region difference, convexity
 // recognition), pwl (piecewise-linear cost functions), region
@@ -97,6 +130,8 @@
 // and exhaustive ground truth), sampled (a non-PWL cost algebra for
 // the generic algorithm), store (the versioned plan-set serialization
 // format), selection (run-time plan selection policies), serve (the
-// optimizer-as-a-service layer) and bench (the Figure 12 experiment
-// harness with its CI regression gate).
+// optimizer-as-a-service layer), fleet (the memory-bounded cache,
+// shared plan-set store, peer fetches and admission control behind
+// fleet serving) and bench (the Figure 12 experiment harness with its
+// CI regression gate).
 package mpq

@@ -68,23 +68,27 @@ func (d Drift) String() string {
 }
 
 // Compare diffs the current report against a baseline. Every baseline
-// case — the Figure 12 cases and the pick-throughput cases alike —
-// must be present in the current report with the same worker count;
-// plan-count and LP-count drift beyond tolerance fails, time drift
-// only warns. Extra current cases are ignored (the baseline defines
-// the gate's coverage); ParallelCases are informational and never
-// compared.
+// case — the Figure 12 cases, the pick-throughput cases and the
+// fleet-serving cases alike — must be present in the current report
+// with the same worker count; plan-count, LP-count and shared-hit-rate
+// drift beyond tolerance fails, time drift only warns. Extra current
+// cases are ignored (the baseline defines the gate's coverage);
+// ParallelCases are informational and never compared.
 func Compare(baseline, current *JSONReport, opts CompareOptions) (failures, warnings []Drift) {
-	byName := make(map[string]JSONCase, len(current.Cases)+len(current.PickCases))
+	byName := make(map[string]JSONCase, len(current.Cases)+len(current.PickCases)+len(current.FleetCases))
 	for _, c := range current.Cases {
 		byName[c.Case] = c
 	}
 	for _, c := range current.PickCases {
 		byName[c.Case] = c
 	}
-	gated := make([]JSONCase, 0, len(baseline.Cases)+len(baseline.PickCases))
+	for _, c := range current.FleetCases {
+		byName[c.Case] = c
+	}
+	gated := make([]JSONCase, 0, len(baseline.Cases)+len(baseline.PickCases)+len(baseline.FleetCases))
 	gated = append(gated, baseline.Cases...)
 	gated = append(gated, baseline.PickCases...)
+	gated = append(gated, baseline.FleetCases...)
 	for _, base := range gated {
 		cur, ok := byName[base.Case]
 		if !ok {
@@ -116,6 +120,10 @@ func Compare(baseline, current *JSONReport, opts CompareOptions) (failures, warn
 		check("created_plans", float64(base.CreatedPlans), float64(cur.CreatedPlans), opts.PlanTol, false)
 		check("final_plans", float64(base.FinalPlans), float64(cur.FinalPlans), opts.PlanTol, false)
 		check("solved_lps", float64(base.SolvedLPs), float64(cur.SolvedLPs), opts.LPTol, false)
+		// Fleet cases carry the shared-store hit rate; it is exact by
+		// construction ((N−1)/N), so it shares the plan tolerance. Rows
+		// without a rate compare 0 against 0.
+		check("shared_hit_rate", base.SharedHitRate, cur.SharedHitRate, opts.PlanTol, false)
 		check("time_ms", base.TimeMs, cur.TimeMs, opts.TimeTol, true)
 	}
 	return failures, warnings

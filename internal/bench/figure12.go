@@ -291,6 +291,15 @@ type JSONCase struct {
 	// optimizer's dependency scheduler (informational, never gated;
 	// exactly 1 for sequential runs, omitted when unknown).
 	PipelineUtilization float64 `json:"pipeline_utilization,omitempty"`
+	// NumCPU records runtime.NumCPU() of the measuring machine for the
+	// parallel and fleet cases (informational, never gated): it makes
+	// the "utilization 1.0 on a 1-CPU box is vacuous" caveat
+	// machine-checkable instead of a footnote.
+	NumCPU int `json:"num_cpu,omitempty"`
+	// SharedHitRate is the fraction of a fleet case's Prepares served
+	// from the shared plan-set store (fleet cases only; gated — drift
+	// beyond the plan tolerance fails).
+	SharedHitRate float64 `json:"shared_hit_rate,omitempty"`
 }
 
 // JSONReport is the envelope FormatJSON emits, so snapshots carry their
@@ -310,6 +319,12 @@ type JSONReport struct {
 	// deterministic plan and LP counts (gated: drift fails) with the
 	// measured per-pick latency as the time field (drift warns).
 	PickCases []JSONCase `json:"pick_cases,omitempty"`
+	// FleetCases are the fleet-serving rows (mpqbench -fleet): per
+	// spec, one row with the single compute's deterministic plan and
+	// LP counts and the exact shared-store hit rate (gated: drift
+	// fails) plus the fleet-concurrent pick latency as the time field
+	// (drift warns).
+	FleetCases []JSONCase `json:"fleet_cases,omitempty"`
 }
 
 // BuildJSONReport converts series into the machine-readable report

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"mpq/internal/workload"
+)
+
+func TestRunFleet(t *testing.T) {
+	ms, err := RunFleet(FleetConfig{
+		Servers: 2,
+		Specs:   []PickSpec{{Shape: workload.Star, Params: 1, Tables: 4}},
+		Points:  32,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("got %d measurements", len(ms))
+	}
+	m := ms[0]
+	if m.HitRate < 0.5 {
+		t.Errorf("hit rate %.3f below (N-1)/N = 0.5", m.HitRate)
+	}
+	if m.Prepares != 2 || m.SharedHits != 1 {
+		t.Errorf("prepares/shared = %d/%d, want 2/1", m.Prepares, m.SharedHits)
+	}
+	if m.Prep.CreatedPlans == 0 || m.Prep.Geometry.LPs == 0 {
+		t.Errorf("compute stats empty: %+v", m.Prep)
+	}
+	if m.PickNs <= 0 || m.NumCPU <= 0 {
+		t.Errorf("measurement incomplete: pick=%dns cpus=%d", m.PickNs, m.NumCPU)
+	}
+
+	cases := FleetMeasurementCases(ms)
+	if len(cases) != 1 {
+		t.Fatalf("got %d cases", len(cases))
+	}
+	c := cases[0]
+	if !strings.HasPrefix(c.Case, "fleet/star-1p/tables=4/servers=2") {
+		t.Errorf("case name %q", c.Case)
+	}
+	if c.SharedHitRate != m.HitRate || c.NumCPU != m.NumCPU || c.CreatedPlans != m.Prep.CreatedPlans {
+		t.Errorf("case fields do not mirror the measurement: %+v", c)
+	}
+}
+
+// TestCompareGatesFleetCases: fleet cases participate in the gate —
+// a missing case or a drifted hit rate fails, time drift only warns.
+func TestCompareGatesFleetCases(t *testing.T) {
+	base := &JSONReport{
+		Cases: []JSONCase{{Case: "chain-1p/tables=3", Workers: 1, CreatedPlans: 10, SolvedLPs: 100, FinalPlans: 2, TimeMs: 1}},
+		FleetCases: []JSONCase{{
+			Case: "fleet/star-1p/tables=4/servers=2", Workers: 1,
+			CreatedPlans: 20, SolvedLPs: 200, FinalPlans: 3, TimeMs: 0.1,
+			SharedHitRate: 0.5, NumCPU: 1,
+		}},
+	}
+	ok := &JSONReport{
+		Cases: base.Cases,
+		FleetCases: []JSONCase{{
+			Case: "fleet/star-1p/tables=4/servers=2", Workers: 1,
+			CreatedPlans: 20, SolvedLPs: 200, FinalPlans: 3, TimeMs: 9,
+			SharedHitRate: 0.5, NumCPU: 64, // a different machine is fine
+		}},
+	}
+	failures, warnings := Compare(base, ok, DefaultCompareOptions())
+	if len(failures) != 0 {
+		t.Errorf("matching fleet case failed the gate: %v", failures)
+	}
+	if len(warnings) != 1 || warnings[0].Field != "time_ms" {
+		t.Errorf("time drift should warn once, got %v", warnings)
+	}
+
+	drifted := &JSONReport{
+		Cases: base.Cases,
+		FleetCases: []JSONCase{{
+			Case: "fleet/star-1p/tables=4/servers=2", Workers: 1,
+			CreatedPlans: 20, SolvedLPs: 200, FinalPlans: 3, TimeMs: 0.1,
+			SharedHitRate: 0.0, // the fleet stopped sharing
+		}},
+	}
+	failures, _ = Compare(base, drifted, DefaultCompareOptions())
+	found := false
+	for _, d := range failures {
+		if d.Field == "shared_hit_rate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hit-rate drift did not fail the gate: %v", failures)
+	}
+
+	missing := &JSONReport{Cases: base.Cases}
+	failures, _ = Compare(base, missing, DefaultCompareOptions())
+	found = false
+	for _, d := range failures {
+		if d.Case == "fleet/star-1p/tables=4/servers=2" && d.Field == "missing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing fleet case did not fail the gate: %v", failures)
+	}
+}

@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"mpq/internal/core"
+	"mpq/internal/workload"
+)
+
+// poolDonor is a DonorPool over a fixed set of idle goroutine slots —
+// the shape of the serving layer's idle solver-pool workers.
+type poolDonor struct {
+	slots    chan struct{}
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	accepted int
+	declined int
+}
+
+func newPoolDonor(n int) *poolDonor {
+	d := &poolDonor{slots: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		d.slots <- struct{}{}
+	}
+	return d
+}
+
+func (d *poolDonor) Idle() int { return len(d.slots) }
+
+func (d *poolDonor) Offer(task func()) bool {
+	select {
+	case <-d.slots:
+	default:
+		d.mu.Lock()
+		d.declined++
+		d.mu.Unlock()
+		return false
+	}
+	d.mu.Lock()
+	d.accepted++
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer func() { d.slots <- struct{}{} }()
+		task()
+	}()
+	return true
+}
+
+// TestDonatedWorkersPreserveDeterminism: a Workers=1 run with donated
+// split-job helpers must produce byte-identical plan sets and exactly
+// the sequential run's plan and LP counters — donation may only change
+// wall-clock time.
+func TestDonatedWorkersPreserveDeterminism(t *testing.T) {
+	cfgs := []workload.Config{
+		{Tables: 5, Params: 1, Shape: workload.Chain, Seed: 21},
+		{Tables: 4, Params: 2, Shape: workload.Clique, Seed: 7},
+	}
+	for _, cfg := range cfgs {
+		seq := core.DefaultOptions()
+		seq.Workers = 1
+		resSeq, bytesSeq := optimizeAndSave(t, cfg, seq)
+
+		donor := newPoolDonor(3)
+		don := core.DefaultOptions()
+		don.Workers = 1
+		don.SplitCandidates = 1 // force split jobs so donation has work
+		don.Donor = donor
+		resDon, bytesDon := optimizeAndSave(t, cfg, don)
+		donor.wg.Wait()
+
+		if !bytes.Equal(bytesSeq, bytesDon) {
+			t.Errorf("%v: donated run's plan set differs from the sequential run", cfg)
+		}
+		if resSeq.Stats.CreatedPlans != resDon.Stats.CreatedPlans ||
+			resSeq.Stats.PrunedPlans != resDon.Stats.PrunedPlans ||
+			resSeq.Stats.FinalPlans != resDon.Stats.FinalPlans {
+			t.Errorf("%v: plan counters differ: sequential %+v, donated %+v",
+				cfg, resSeq.Stats, resDon.Stats)
+		}
+		if resSeq.Stats.Geometry != resDon.Stats.Geometry {
+			t.Errorf("%v: geometry counters differ: sequential %+v, donated %+v",
+				cfg, resSeq.Stats.Geometry, resDon.Stats.Geometry)
+		}
+		if resDon.Stats.Scheduler.SplitJobs == 0 {
+			t.Errorf("%v: forced splits did not activate under donation", cfg)
+		}
+		if donor.accepted == 0 {
+			t.Errorf("%v: donor pool was never asked for help", cfg)
+		}
+		if resDon.Stats.Scheduler.DonatedTasks == 0 {
+			t.Errorf("%v: no donated work stints recorded (accepted offers: %d)", cfg, donor.accepted)
+		}
+	}
+}
+
+// TestDonorWithoutSplitsIsHarmless: a donor on a run whose masks never
+// reach the split threshold changes nothing, and a declining donor
+// (zero idle capacity) never blocks the run.
+func TestDonorWithoutSplitsIsHarmless(t *testing.T) {
+	cfg := workload.Config{Tables: 4, Params: 1, Shape: workload.Star, Seed: 3}
+	seq := core.DefaultOptions()
+	seq.Workers = 1
+	_, bytesSeq := optimizeAndSave(t, cfg, seq)
+
+	empty := newPoolDonor(0) // Idle() == 0: splitting never activates
+	don := core.DefaultOptions()
+	don.Workers = 1
+	don.Donor = empty
+	res, bytesDon := optimizeAndSave(t, cfg, don)
+	if !bytes.Equal(bytesSeq, bytesDon) {
+		t.Error("idle-less donor changed the plan set")
+	}
+	if res.Stats.Scheduler.DonatedTasks != 0 {
+		t.Errorf("idle-less donor recorded %d donated tasks", res.Stats.Scheduler.DonatedTasks)
+	}
+}

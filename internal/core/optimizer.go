@@ -46,6 +46,17 @@ type Options struct {
 	// reduction. The CostModel must tolerate concurrent calls when
 	// Workers > 1.
 	Workers int
+	// Donor, when non-nil, lends transient goroutines to this run's
+	// intra-mask split jobs: whenever a wide mask is split, the
+	// scheduler offers chunk work to the donor's idle capacity (the
+	// serving layer donates idle solver-pool workers this way — elastic
+	// intra-query parallelism). Donated workers run on their own solver
+	// and algebra forks, so results and aggregate LP statistics are
+	// identical with or without donation; a Donor also activates the
+	// dependency scheduler (and split jobs) for Workers == 1 runs,
+	// which would otherwise use the sequential drain. Requires a
+	// ForkableAlgebra; ignored otherwise.
+	Donor DonorPool
 	// SplitCandidates is the estimated-work threshold at which a single
 	// wide mask is planned with intra-mask split parallelism (multiple
 	// workers accumulate candidate costs, one reduction prunes them in
@@ -161,6 +172,9 @@ type optimizer struct {
 	store   *planStore
 	stats   Stats
 	workers []*worker
+	// forkable is the algebra's ForkableAlgebra side, kept for forking
+	// donated workers mid-run (nil when the algebra cannot fork).
+	forkable ForkableAlgebra
 }
 
 // worker is the per-goroutine state of the parallel scheduler: a forked
@@ -188,6 +202,8 @@ func (o *optimizer) setupWorkers(algebra Algebra) {
 	forkable, ok := algebra.(ForkableAlgebra)
 	if !ok {
 		n = 1
+	} else {
+		o.forkable = forkable
 	}
 	o.workers = make([]*worker, n)
 	o.workers[0] = &worker{o: o, solver: o.ctx, algebra: algebra}
@@ -239,7 +255,7 @@ func (o *optimizer) run() (*Result, error) {
 	// has. With one worker the scheduler degenerates to the historical
 	// in-order sequential drain.
 	sched := newScheduler(o, masks)
-	if len(o.workers) > 1 {
+	if len(o.workers) > 1 || (o.opts.Donor != nil && o.forkable != nil) {
 		o.stats.Scheduler = sched.run()
 	} else {
 		o.stats.Scheduler = sched.runSequential()
@@ -251,6 +267,14 @@ func (o *optimizer) run() (*Result, error) {
 		if w != w0 {
 			o.ctx.Stats.Add(w.solver.DrainStats())
 		}
+	}
+	// Donated workers (scheduler-offered split-job help from outside
+	// the pool) contribute the same way; sched.run has already waited
+	// for all of them.
+	for _, w := range sched.donated {
+		o.stats.CreatedPlans += w.created
+		o.stats.PrunedPlans += w.pruned
+		o.ctx.Stats.Add(w.solver.DrainStats())
 	}
 
 	final := o.store.get(all)

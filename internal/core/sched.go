@@ -35,10 +35,34 @@ type SchedulerStats struct {
 	// SplitChunks counts parallel accumulation chunks executed across
 	// all split jobs.
 	SplitChunks int
-	// Busy is the summed per-worker time spent inside tasks.
+	// DonatedTasks counts split-job work stints executed by goroutines
+	// lent through Options.Donor (each stint claims chunks until its
+	// job is exhausted). Zero without a donor.
+	DonatedTasks int
+	// Busy is the summed per-worker time spent inside tasks, including
+	// donated workers.
 	Busy time.Duration
 	// Wall is the wall-clock duration of the scheduling phase.
 	Wall time.Duration
+}
+
+// DonorPool lends idle goroutines to an optimizer run — the
+// scheduler-aware serving hook: a serving layer whose request queue is
+// empty donates its idle solver-pool workers to an in-flight Prepare's
+// split jobs instead of letting them sleep. Implementations must be
+// safe for concurrent use.
+type DonorPool interface {
+	// Idle returns a momentary estimate of the goroutines the pool
+	// could lend right now. The scheduler uses it to decide whether
+	// splitting a mask is worthwhile; it may be stale by the time
+	// Offer is called.
+	Idle() int
+	// Offer proposes a transient task. The pool either arranges for
+	// task to run promptly on an idle goroutine and returns true, or
+	// declines with false (no idle capacity). task returns when the
+	// donated work is exhausted; the scheduler waits for every accepted
+	// task before its run completes.
+	Offer(task func()) bool
 }
 
 // Utilization returns the mean fraction of the worker pool kept busy
@@ -296,6 +320,15 @@ type scheduler struct {
 	tasks       atomic.Int64
 	splitJobs   atomic.Int64
 	splitChunks atomic.Int64
+
+	// Donated split-job helpers (Options.Donor): accepted offers are
+	// tracked by donateWG so the run cannot complete (and stats cannot
+	// be read) while a donated worker is still mid-chunk; finished
+	// helpers park their worker state in donated for the stat merge.
+	donateWG     sync.WaitGroup
+	donatedMu    sync.Mutex
+	donated      []*worker
+	donatedTasks atomic.Int64
 }
 
 // newScheduler builds the dependency graph: deps[i] counts the
@@ -345,13 +378,21 @@ func (s *scheduler) run() SchedulerStats {
 		}(w)
 	}
 	wg.Wait()
+	// Accepted donations may still be draining their final chunks;
+	// every donated worker must retire before stats (and the caller's
+	// result) are assembled.
+	s.donateWG.Wait()
 	st := SchedulerStats{
-		Tasks:       int(s.tasks.Load()),
-		SplitJobs:   int(s.splitJobs.Load()),
-		SplitChunks: int(s.splitChunks.Load()),
-		Wall:        time.Since(start),
+		Tasks:        int(s.tasks.Load()),
+		SplitJobs:    int(s.splitJobs.Load()),
+		SplitChunks:  int(s.splitChunks.Load()),
+		DonatedTasks: int(s.donatedTasks.Load()),
+		Wall:         time.Since(start),
 	}
 	for _, w := range s.o.workers {
+		st.Busy += w.busy
+	}
+	for _, w := range s.donated {
 		st.Busy += w.busy
 	}
 	return st
@@ -437,14 +478,67 @@ func (s *scheduler) planMask(w *worker, q catalog.TableSet) {
 	if threshold <= 0 {
 		threshold = defaultSplitWork
 	}
-	if work >= threshold && (force || s.idleWorkers() > 0) {
-		j := newSplitJob(q, groups, total, len(s.o.workers))
+	donorIdle := s.donorIdle()
+	if work >= threshold && (force || s.idleWorkers() > 0 || donorIdle > 0) {
+		// Chunk for the parallelism actually in reach: the pool plus
+		// whatever the donor estimates it could lend (chunking only
+		// shapes scheduling; results are identical for any chunking).
+		j := newSplitJob(q, groups, total, len(s.o.workers)+donorIdle)
 		s.splitJobs.Add(1)
 		s.publishJob(j)
+		s.tryDonate(j, donorIdle)
 		s.runJobChunks(w, j)
 		return
 	}
 	s.complete(q, w.planGroups(groups))
+}
+
+// donorIdle estimates the goroutines Options.Donor could lend right
+// now (0 without a usable donor).
+func (s *scheduler) donorIdle() int {
+	if s.o.opts.Donor == nil || s.o.forkable == nil {
+		return 0
+	}
+	n := s.o.opts.Donor.Idle()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// tryDonate offers split-job help to the donor pool: up to want
+// transient workers, each claiming chunks of j until none remain. Each
+// donated worker runs on its own solver and algebra fork, so donation
+// cannot change results or aggregate counters — only wall-clock time.
+func (s *scheduler) tryDonate(j *splitJob, want int) {
+	donor := s.o.opts.Donor
+	if donor == nil || s.o.forkable == nil {
+		return
+	}
+	if max := j.chunks - 1; want > max {
+		// The publishing worker processes chunks too; more helpers than
+		// remaining chunks would go straight back idle.
+		want = max
+	}
+	for i := 0; i < want; i++ {
+		s.donateWG.Add(1)
+		accepted := donor.Offer(func() {
+			defer s.donateWG.Done()
+			solver := s.o.ctx.Fork()
+			w := &worker{o: s.o, solver: solver, algebra: s.o.forkable.Fork(solver)}
+			start := time.Now()
+			s.runJobChunks(w, j)
+			w.busy = time.Since(start)
+			s.donatedTasks.Add(1)
+			s.donatedMu.Lock()
+			s.donated = append(s.donated, w)
+			s.donatedMu.Unlock()
+		})
+		if !accepted {
+			s.donateWG.Done()
+			return
+		}
+	}
 }
 
 // runJobChunks claims and processes chunks of j until none remain. The

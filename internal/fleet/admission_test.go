@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionCap(t *testing.T) {
+	a := NewAdmission(2)
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release := a.Acquire()
+			defer release()
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeds cap 2", p)
+	}
+	st := a.Stats()
+	if st.Admitted != 16 {
+		t.Errorf("admitted = %d, want 16", st.Admitted)
+	}
+	if st.Waited == 0 || st.WaitTime <= 0 {
+		t.Errorf("no queueing recorded under contention: %+v", st)
+	}
+	if st.Running != 0 || st.Queued != 0 {
+		t.Errorf("controller not quiescent after release: %+v", st)
+	}
+}
+
+func TestAdmissionFIFO(t *testing.T) {
+	a := NewAdmission(1)
+	release := a.Acquire() // occupy the only slot
+
+	const waiters = 5
+	order := make(chan int, waiters)
+	var started sync.WaitGroup
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		started.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Serialize enqueue order: waiter i must be queued before
+			// waiter i+1 starts.
+			for a.Stats().Queued != i {
+				time.Sleep(100 * time.Microsecond)
+			}
+			started.Done()
+			r := a.Acquire()
+			order <- i
+			r()
+		}(i)
+		started.Wait()
+		started = sync.WaitGroup{}
+	}
+	release()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("waiter %d admitted before waiter %d (not FIFO)", got, want)
+		}
+		want++
+	}
+}
+
+func TestAdmissionUnlimited(t *testing.T) {
+	a := NewAdmission(0)
+	var releases []func()
+	for i := 0; i < 8; i++ {
+		releases = append(releases, a.Acquire())
+	}
+	st := a.Stats()
+	if st.Waited != 0 || st.Running != 8 {
+		t.Errorf("unlimited controller queued: %+v", st)
+	}
+	for _, r := range releases {
+		r()
+		r() // release is idempotent
+	}
+	if st := a.Stats(); st.Running != 0 {
+		t.Errorf("running = %d after releases", st.Running)
+	}
+}

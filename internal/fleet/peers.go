@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// PlanSetPath is the HTTP path prefix under which every mpqserve
+// process exposes its prepared plan-set documents (GET
+// <peer>/planset/<key> returns the serialized document bytes, 404 when
+// the peer does not hold the key). PeerClient fetches through it.
+const PlanSetPath = "/planset/"
+
+// maxPeerDoc bounds a fetched document (a corrupt or hostile peer must
+// not balloon memory); real documents are a few MB at most.
+const maxPeerDoc = 1 << 30
+
+// PeerStats counts the peer backend's traffic.
+type PeerStats struct {
+	// Fetches counts Fetch calls; Hits the subset answered by some
+	// peer.
+	Fetches int64
+	Hits    int64
+	// Errors counts per-peer request failures (unreachable peer, non-OK
+	// non-404 status, truncated body). A Fetch that errors on one peer
+	// can still hit on the next.
+	Errors int64
+}
+
+// PeerClient fetches prepared plan-set documents from sibling servers
+// over HTTP, so a fleet member consults its peers' caches before
+// optimizing. Peers are tried in order; the first 200 wins, 404 moves
+// on, and transport errors are counted and skipped — a fleet member
+// must keep serving when its peers are down.
+type PeerClient struct {
+	peers  []string
+	client *http.Client
+
+	fetches, hits, errors atomic.Int64
+}
+
+// NewPeerClient returns a client for the given peer base URLs (e.g.
+// "http://mpq-2:8080"). Zero timeout selects 5s per peer request.
+func NewPeerClient(peers []string, timeout time.Duration) *PeerClient {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	cleaned := make([]string, 0, len(peers))
+	for _, p := range peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		cleaned = append(cleaned, p)
+	}
+	return &PeerClient{
+		peers:  cleaned,
+		client: &http.Client{Timeout: timeout},
+	}
+}
+
+// Peers returns the configured peer base URLs.
+func (p *PeerClient) Peers() []string {
+	return append([]string(nil), p.peers...)
+}
+
+// Fetch asks each peer for the document published under key. ok is
+// false when no peer holds it; err then aggregates any transport
+// failures encountered along the way (all-404 yields a nil error).
+func (p *PeerClient) Fetch(key string) (doc []byte, ok bool, err error) {
+	p.fetches.Add(1)
+	var errs []error
+	for _, peer := range p.peers {
+		doc, found, ferr := p.fetchOne(peer, key)
+		if ferr != nil {
+			p.errors.Add(1)
+			errs = append(errs, ferr)
+			continue
+		}
+		if found {
+			p.hits.Add(1)
+			return doc, true, nil
+		}
+	}
+	return nil, false, errors.Join(errs...)
+}
+
+func (p *PeerClient) fetchOne(peer, key string) ([]byte, bool, error) {
+	resp, err := p.client.Get(peer + PlanSetPath + key)
+	if err != nil {
+		return nil, false, fmt.Errorf("fleet: peer %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		doc, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerDoc))
+		if err != nil {
+			return nil, false, fmt.Errorf("fleet: peer %s: reading %s: %w", peer, key, err)
+		}
+		return doc, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("fleet: peer %s: %s for %s", peer, resp.Status, key)
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (p *PeerClient) Stats() PeerStats {
+	return PeerStats{
+		Fetches: p.fetches.Load(),
+		Hits:    p.hits.Load(),
+		Errors:  p.errors.Load(),
+	}
+}

@@ -1,0 +1,361 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testDoc builds a minimal well-formed document payload with the given
+// parameter dimension and a version marker to tell generations apart.
+func testDoc(dim, generation int) []byte {
+	return []byte(fmt.Sprintf(`{"space":{"dim":%d},"generation":%d}`, dim, generation))
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	d, err := NewDirStore(filepath.Join(t.TempDir(), "shared"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := d.Get("missing"); ok || err != nil {
+		t.Fatalf("empty store Get = ok=%v err=%v", ok, err)
+	}
+	doc := testDoc(2, 1)
+	if err := d.Put("k1", doc); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d.Get("k1")
+	if err != nil || !ok || !bytes.Equal(got, doc) {
+		t.Fatalf("Get after Put = %q ok=%v err=%v", got, ok, err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	hits, misses, puts := d.Stats()
+	if hits != 1 || misses != 1 || puts != 1 {
+		t.Errorf("stats = %d/%d/%d, want 1 hit, 1 miss, 1 put", hits, misses, puts)
+	}
+
+	// The manifest records size, content hash and dimension.
+	m, err := readManifestFile(filepath.Join(d.Dir(), manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, ok := m.Entries["k1"]
+	if !ok {
+		t.Fatal("manifest has no entry for k1")
+	}
+	if ent.Bytes != int64(len(doc)) || ent.Dim != 2 || ent.SHA256 != contentHash(doc) {
+		t.Errorf("manifest entry = %+v", ent)
+	}
+
+	// A second store over the same dir sees the document.
+	d2, err := NewDirStore(d.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := d2.Get("k1"); err != nil || !ok || !bytes.Equal(got, doc) {
+		t.Fatalf("second store Get = %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestDirStoreRejectsNonDocument(t *testing.T) {
+	d, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("bad", []byte("not json")); err == nil {
+		t.Error("Put accepted a non-document")
+	}
+	if err := d.Put("bad", []byte(`{"space":{"dim":0}}`)); err == nil {
+		t.Error("Put accepted a dimension-less document")
+	}
+}
+
+// corruptManifest rewrites one key's manifest entry in place.
+func corruptManifest(t *testing.T, dir, key string, mutate func(*manifestEntry)) {
+	t.Helper()
+	path := filepath.Join(dir, manifestName)
+	m, err := readManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, ok := m.Entries[key]
+	if !ok {
+		t.Fatalf("manifest has no entry for %s", key)
+	}
+	mutate(&ent)
+	m.Entries[key] = ent
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corruptManifestDrop removes one key's manifest entry (simulating a
+// lost cross-process merge; the blob stays on disk).
+func corruptManifestDrop(t *testing.T, dir, key string) {
+	t.Helper()
+	path := filepath.Join(dir, manifestName)
+	m, err := readManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(m.Entries, key)
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirStoreManifestValidation covers the load error paths: a
+// wrong-dimension manifest entry, a wrong-size entry, and a
+// wrong-content-hash entry must each fail Get with a descriptive
+// error, while a document missing from the manifest (a concurrent
+// writer lost the manifest merge) is still served.
+func TestDirStoreManifestValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*manifestEntry)
+		want   string
+	}{
+		{"wrong dim", func(e *manifestEntry) { e.Dim = 7 }, "dimension"},
+		{"wrong size", func(e *manifestEntry) { e.Bytes += 3 }, "bytes"},
+		// Corrupt the hash tail so the blob is still resolvable (the
+		// filename uses the prefix) but the full-hash check fails.
+		{"wrong hash", func(e *manifestEntry) {
+			e.SHA256 = e.SHA256[:blobHashLen] + strings.Repeat("0", 64-blobHashLen)
+		}, "hash"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := NewDirStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Put("k", testDoc(2, 1)); err != nil {
+				t.Fatal(err)
+			}
+			corruptManifest(t, d.Dir(), "k", tc.mutate)
+			_, ok, err := d.Get("k")
+			if err == nil || ok {
+				t.Fatalf("Get with corrupt manifest = ok=%v err=%v", ok, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("lost manifest merge degrades to a miss", func(t *testing.T) {
+		// Simulate a cross-process writer whose manifest merge was lost:
+		// the blob exists, the manifest does not mention the key. The
+		// key reads as a miss (callers recompute and re-publish), never
+		// as wrong data.
+		d, err := NewDirStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Put("kept", testDoc(2, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Put("lost", testDoc(2, 2)); err != nil {
+			t.Fatal(err)
+		}
+		corruptManifestDrop(t, d.Dir(), "lost")
+		if _, ok, err := d.Get("lost"); ok || err != nil {
+			t.Fatalf("lost-merge Get = ok=%v err=%v, want a clean miss", ok, err)
+		}
+		if _, ok, err := d.Get("kept"); !ok || err != nil {
+			t.Fatalf("kept Get = ok=%v err=%v", ok, err)
+		}
+		// Re-publishing heals the key.
+		if err := d.Put("lost", testDoc(2, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := d.Get("lost"); !ok || err != nil {
+			t.Fatalf("healed Get = ok=%v err=%v", ok, err)
+		}
+	})
+
+	t.Run("transient manifest read error fails Put without rebuilding", func(t *testing.T) {
+		// A manifest that cannot be *read* (here: it is a directory, so
+		// ReadFile fails with a non-parse error) must fail the Put —
+		// rebuilding from one entry would orphan every other key over a
+		// passing I/O error.
+		d, err := NewDirStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Put("existing", testDoc(2, 1)); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(d.Dir(), manifestName)
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Mkdir(path, 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Put("k", testDoc(2, 1)); err == nil {
+			t.Fatal("Put with an unreadable (non-corrupt) manifest succeeded")
+		}
+	})
+
+	t.Run("corrupt manifest does not block Put", func(t *testing.T) {
+		d, err := NewDirStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(d.Dir(), manifestName), []byte("garbage"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Put("k", testDoc(1, 1)); err != nil {
+			t.Fatalf("Put with corrupt manifest: %v", err)
+		}
+		if _, ok, err := d.Get("k"); err != nil || !ok {
+			t.Fatalf("Get after manifest rebuild = ok=%v err=%v", ok, err)
+		}
+	})
+}
+
+// TestDirStoreConcurrentLoadDuringSave is the atomic-rename race test
+// (run under -race): readers loading a key while writers re-Put it must
+// always observe a complete, self-consistent document of some
+// generation — never a torn or failed read.
+func TestDirStoreConcurrentLoadDuringSave(t *testing.T) {
+	d, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "hot"
+	if err := d.Put(key, testDoc(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second store handle over the same dir plays the "other process"
+	// writer: its manifest merges go through a different in-process
+	// mutex, exactly like a sibling server would.
+	d2, err := NewDirStore(d.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for w, st := range map[int]*DirStore{0: d, 1: d2} {
+		wg.Add(1)
+		go func(w int, st *DirStore) {
+			defer wg.Done()
+			for g := 1; ; g++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := st.Put(key, testDoc(2, w*1000000+g)); err != nil {
+					errCh <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w, st)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			readers := []*DirStore{d, d2}
+			for i := 0; i < 300; i++ {
+				doc, ok, err := readers[i%2].Get(key)
+				if err != nil || !ok {
+					errCh <- fmt.Errorf("reader %d: ok=%v err=%w", r, ok, err)
+					return
+				}
+				var probe struct {
+					Space struct {
+						Dim int `json:"dim"`
+					} `json:"space"`
+					Generation int `json:"generation"`
+				}
+				if err := json.Unmarshal(doc, &probe); err != nil {
+					errCh <- fmt.Errorf("reader %d: torn document %q: %w", r, doc, err)
+					return
+				}
+				if probe.Space.Dim != 2 {
+					errCh <- fmt.Errorf("reader %d: document of dim %d", r, probe.Space.Dim)
+					return
+				}
+			}
+		}(r)
+	}
+	// Let readers finish, then stop the writers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	<-done
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestPeerClientFetch(t *testing.T) {
+	docs := map[string][]byte{"k1": testDoc(2, 1)}
+	hitsrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, PlanSetPath)
+		doc, ok := docs[key]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(doc)
+	}))
+	defer hitsrv.Close()
+	downsrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer downsrv.Close()
+
+	// A dead peer, a broken peer, then the one that has it: Fetch must
+	// skip past the failures and hit.
+	p := NewPeerClient([]string{"http://127.0.0.1:1", downsrv.URL, hitsrv.URL}, time.Second)
+	doc, ok, err := p.Fetch("k1")
+	if err != nil || !ok || !bytes.Equal(doc, docs["k1"]) {
+		t.Fatalf("Fetch = %q ok=%v err=%v", doc, ok, err)
+	}
+	if _, ok, err := p.Fetch("absent"); ok {
+		t.Errorf("absent key ok=%v err=%v", ok, err)
+	}
+	st := p.Stats()
+	if st.Fetches != 2 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 fetches, 1 hit", st)
+	}
+	if st.Errors < 2 {
+		t.Errorf("errors = %d, want >= 2 (dead + broken peer)", st.Errors)
+	}
+
+	// Peer URLs are normalized: scheme added, trailing slash trimmed.
+	n := NewPeerClient([]string{" example.com/ ", ""}, 0)
+	if got := n.Peers(); len(got) != 1 || got[0] != "http://example.com" {
+		t.Errorf("normalized peers = %v", got)
+	}
+}

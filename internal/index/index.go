@@ -443,6 +443,20 @@ func (ix *Index) Locate(x geometry.Vector) (leaf int32, ids []int32, ok bool) {
 // leaf ids index into [0, NumNodes)).
 func (ix *Index) NumNodes() int { return len(ix.nodes) }
 
+// MemBytes estimates the resident memory of the index structure: the
+// preorder node array, the per-leaf candidate id lists, and the padded
+// box. The serving layer's memory-accounted cache charges each plan
+// set its serialized document size plus this estimate, so eviction
+// decisions track what an indexed entry actually holds live.
+func (ix *Index) MemBytes() int64 {
+	// One node: three int32s plus padding (16), one float64 (8), one
+	// slice header (24) — 48 bytes on 64-bit platforms.
+	const nodeBytes = 48
+	return int64(len(ix.nodes))*nodeBytes +
+		ix.leafCandTotal*4 + // candidate ids (int32)
+		int64(2*ix.dim)*8 // lo/hi box vectors
+}
+
 // LeafCandidates materializes, for every leaf id, the candidate subset
 // to run the selection policies on: the leaf's candidates with their
 // cost functions restricted to the pieces that may contain a point of

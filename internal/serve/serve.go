@@ -8,11 +8,22 @@
 //
 // The server owns a pool of solver-equipped workers (the optimizer is
 // reentrant since the geometry layer was split into a shared immutable
-// Config and per-worker Solvers), a plan-set cache keyed by a hash of
-// schema, cost-model configuration and optimizer configuration, and a
-// bounded request queue providing backpressure: when the queue is full,
-// requests fail fast with ErrQueueFull instead of piling up. See
-// DESIGN.md, "Serving layer".
+// Config and per-worker Solvers), a memory-accounted plan-set cache
+// keyed by a hash of schema, cost-model configuration and optimizer
+// configuration, and a bounded request queue providing backpressure:
+// when the queue is full, requests fail fast with ErrQueueFull instead
+// of piling up. See DESIGN.md, "Serving layer".
+//
+// The fleet subsystem (mpq/internal/fleet) extends one server to a
+// fleet: Options.CacheBytes bounds the cache with size-aware LRU
+// eviction (evicted plan sets reload transparently at pick time),
+// Options.Shared consults and feeds a shared plan-set store so sibling
+// servers never recompute each other's templates, Options.Peers
+// fetches prepared documents from sibling processes over HTTP before
+// optimizing, Options.MaxConcurrentPrepares keeps expensive Prepares
+// from monopolizing the pool, and Options.DonateWorkers lends idle
+// pool workers to in-flight Prepares' split jobs. See DESIGN.md,
+// "Fleet serving".
 package serve
 
 import (
@@ -27,11 +38,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpq/internal/catalog"
 	"mpq/internal/cloud"
 	"mpq/internal/core"
+	"mpq/internal/fleet"
 	"mpq/internal/geometry"
 	"mpq/internal/index"
 	"mpq/internal/pwl"
@@ -90,6 +103,39 @@ type Options struct {
 	// package defaults, except Workers, which defaults to the pool size
 	// (the build parallelizes across the solver pool's width).
 	IndexOptions index.Options
+	// CacheBytes bounds the in-memory plan-set cache: every cached
+	// entry is charged its serialized document size plus its pick
+	// index's footprint, and least-recently-used entries are evicted
+	// when the total exceeds the budget. Evicted plan sets are not
+	// forgotten — a Pick for an evicted key transparently reloads the
+	// document from Dir, the shared store, or a peer. Zero keeps the
+	// historical unbounded cache. Entries in use are pinned, so the
+	// resident total can transiently exceed the budget.
+	CacheBytes int64
+	// Shared, when non-nil, is the fleet's shared plan-set store:
+	// Prepare consults it (after the in-memory cache and Dir) before
+	// optimizing, and publishes every document it computes or fetches
+	// from a peer, so a fleet of servers over one store computes each
+	// template once. Close flushes it.
+	Shared fleet.SharedStore
+	// Peers, when non-nil, is consulted after Shared and before
+	// computing: sibling servers expose their prepared documents under
+	// fleet.PlanSetPath, and a fetched document is re-published to
+	// Shared. The fetch-vs-compute race is covered by the per-key
+	// singleflight: one request fetches or computes, the rest wait.
+	Peers *fleet.PeerClient
+	// MaxConcurrentPrepares caps how many Prepares may occupy pool
+	// workers at once (FIFO beyond the cap). Requests for one template
+	// already collapse onto a single computation via the per-key
+	// singleflight; the cap keeps *distinct* expensive templates from
+	// starving Picks out of the pool. Zero means no cap.
+	MaxConcurrentPrepares int
+	// DonateWorkers lends idle pool workers to in-flight Prepares'
+	// intra-mask split jobs (elastic intra-query parallelism): when the
+	// request queue is empty and workers are idle, an optimizing
+	// Prepare may split wide table sets across them. Results are
+	// byte-identical with or without donation.
+	DonateWorkers bool
 }
 
 // Template describes a query template to prepare: either an explicit
@@ -125,12 +171,19 @@ type PrepareResult struct {
 	Key string
 	// NumPlans is the Pareto-plan-set size.
 	NumPlans int
-	// Cached reports whether the set was already in the cache (or, with
-	// Options.Dir, loaded from its persisted document).
+	// Cached reports whether the set was served without optimizing:
+	// from the in-memory cache, a persisted Options.Dir document, the
+	// shared store, or a peer.
 	Cached bool
 	// Duration is the optimization time spent by this request (zero on
 	// cache hits).
 	Duration time.Duration
+	// Stats is the optimization's work summary (plans created, LPs
+	// solved, scheduler behavior); the zero value on cache, store, and
+	// peer hits. The counts are deterministic for a given template and
+	// configuration, which the fleet benchmark's regression gate relies
+	// on.
+	Stats core.Stats
 }
 
 // Policy selects the run-time preference policy of a Pick request.
@@ -182,8 +235,9 @@ type PickResult struct {
 // Stats is a snapshot of the server's counters.
 type Stats struct {
 	// Prepares counts completed Prepare requests; PrepareHits the
-	// subset served from the cache, PrepareDiskHits the subset served
-	// from Options.Dir documents.
+	// subset served from the cache, PrepareDiskHits the documents
+	// loaded from Options.Dir (Prepare restarts and pick-time reloads
+	// alike).
 	Prepares        int64
 	PrepareHits     int64
 	PrepareDiskHits int64
@@ -196,8 +250,28 @@ type Stats struct {
 	// and how many pick points the index served versus the linear-scan
 	// fallback).
 	Index IndexStats
-	// CachedPlanSets is the current cache size.
+	// CachedPlanSets is the current cache size (resident entries).
 	CachedPlanSets int
+	// Cache is the memory-accounted plan-set cache's accounting:
+	// resident/admitted/evicted bytes and entries, re-admissions, pins.
+	// Admitted − evicted = resident at every quiescent point.
+	Cache fleet.CacheStats
+	// SharedHits counts documents served from Options.Shared (Prepare
+	// hits and pick-time reloads); PeerHits those fetched from
+	// Options.Peers; SharedPuts the documents this server published to
+	// the shared store.
+	SharedHits int64
+	PeerHits   int64
+	SharedPuts int64
+	// Reloads counts evicted plan sets transparently reloaded at pick
+	// time.
+	Reloads int64
+	// Admission reports the Prepare admission controller (running,
+	// queued, waited, wait time) when MaxConcurrentPrepares is set.
+	Admission fleet.AdmissionStats
+	// DonatedTasks counts idle-worker stints donated to in-flight
+	// Prepares' split jobs (Options.DonateWorkers).
+	DonatedTasks int64
 	// Geometry aggregates the solver work of all pool workers.
 	Geometry geometry.Stats
 	// PipelineBusy sums the per-worker busy time inside the optimizer's
@@ -246,28 +320,47 @@ type IndexStats struct {
 // Server is a long-lived optimizer service. Create with New, release
 // with Close. All methods are safe for concurrent use.
 type Server struct {
-	opts  Options
-	queue chan *job
-	wg    sync.WaitGroup
+	opts      Options
+	queue     chan *job
+	wg        sync.WaitGroup
+	cache     *fleet.Cache
+	admission *fleet.Admission
+	busy      atomic.Int64 // pool workers currently inside a job
 
-	mu       sync.RWMutex
-	closed   bool
-	cache    map[string]*entry
-	inflight map[string]*inflightPrepare
-	stats    Stats
+	mu        sync.RWMutex
+	closed    bool
+	inflight  map[string]*inflightPrepare
+	reloading map[string]*inflightReload
+	stats     Stats
 }
 
 // entry is a cached plan set with its precomputed selection
-// candidates. Only the deserialized form is kept: the serialized
-// document it round-tripped through lives in Options.Dir when
-// persistence is on. With the pick index enabled, idx is the
-// point-location index and leafCands the per-leaf candidate subsets
-// (piece-restricted cost views) Picks scan instead of candidates.
+// candidates. On fleet-configured servers (CacheBytes, Shared, or
+// Peers set) doc is the exact serialized document the entry
+// round-tripped through — served verbatim to peers and the basis of
+// the accounted footprint; plain in-memory servers drop it after
+// deserializing, keeping the historical memory profile. With the pick
+// index enabled, idx is the point-location index and leafCands the
+// per-leaf candidate subsets (piece-restricted cost views) Picks scan
+// instead of candidates.
 type entry struct {
 	set        *store.PlanSet
+	doc        []byte
 	candidates []selection.Candidate
 	idx        *index.Index
 	leafCands  [][]selection.Candidate
+}
+
+// footprint is the bytes the memory-accounted cache charges for the
+// entry: the serialized document plus the pick index structure. The
+// deserialized plan set and the leaf views share most of their memory
+// with what these two measure.
+func (e *entry) footprint() int64 {
+	b := int64(len(e.doc))
+	if e.idx != nil {
+		b += e.idx.MemBytes()
+	}
+	return b
 }
 
 // lookup resolves the candidate subset for a pick point: the leaf cell
@@ -282,10 +375,20 @@ func (e *entry) lookup(x geometry.Vector) (cands []selection.Candidate, viaIndex
 }
 
 // inflightPrepare deduplicates concurrent Prepares of one key: the
-// first request optimizes, later ones wait for its outcome.
+// first request optimizes (or fetches), later ones wait for its
+// outcome. It is also the fleet's fetch-vs-compute singleflight: the
+// winner consults the shared store and the peers before optimizing, so
+// one key never has a racing fetch and computation in one process.
 type inflightPrepare struct {
 	done chan struct{}
 	res  PrepareResult
+	err  error
+}
+
+// inflightReload deduplicates pick-time reloads of an evicted key.
+type inflightReload struct {
+	done chan struct{}
+	e    *entry
 	err  error
 }
 
@@ -322,10 +425,12 @@ func New(opts Options) *Server {
 		opts.IndexOptions.Workers = opts.Workers
 	}
 	s := &Server{
-		opts:     opts,
-		queue:    make(chan *job, opts.QueueDepth),
-		cache:    make(map[string]*entry),
-		inflight: make(map[string]*inflightPrepare),
+		opts:      opts,
+		queue:     make(chan *job, opts.QueueDepth),
+		cache:     fleet.NewCache(opts.CacheBytes),
+		admission: fleet.NewAdmission(opts.MaxConcurrentPrepares),
+		inflight:  make(map[string]*inflightPrepare),
+		reloading: make(map[string]*inflightReload),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		w := &worker{solver: geometry.NewSolver(opts.Solver)}
@@ -333,7 +438,9 @@ func New(opts Options) *Server {
 		go func() {
 			defer s.wg.Done()
 			for j := range s.queue {
+				s.busy.Add(1)
 				j.run(w)
+				s.busy.Add(-1)
 				close(j.done)
 			}
 		}()
@@ -341,8 +448,8 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Close drains the queue and stops the workers. Requests submitted
-// after Close fail with ErrServerClosed.
+// Close drains the queue, stops the workers, and flushes the shared
+// store. Requests submitted after Close fail with ErrServerClosed.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -353,6 +460,11 @@ func (s *Server) Close() {
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.opts.Shared != nil {
+		// Every Put is already durable; this is the final best-effort
+		// sync of the store's directory entry on the way out.
+		_ = s.opts.Shared.Flush()
+	}
 }
 
 // submit enqueues a request, enforcing the queue bound. The send
@@ -380,38 +492,79 @@ func (s *Server) submit(j *job) error {
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	st := s.stats
-	st.CachedPlanSets = len(s.cache)
+	s.mu.RUnlock()
+	st.Cache = s.cache.Stats()
+	st.CachedPlanSets = st.Cache.ResidentEntries
+	st.Admission = s.admission.Stats()
 	if st.PipelineCapacity > 0 {
 		st.PipelineUtilization = float64(st.PipelineBusy) / float64(st.PipelineCapacity)
 		if st.PipelineUtilization > 1 {
 			st.PipelineUtilization = 1
 		}
 	}
-	for _, e := range s.cache {
+	s.cache.Range(func(_ string, v any) {
+		e := v.(*entry)
 		if e.idx == nil {
-			continue
+			return
 		}
 		st.Index.IndexedPlanSets++
 		st.Index.Leaves += int64(e.idx.Leaves())
 		st.Index.LeafCandidates += e.idx.LeafCandidateTotal()
-	}
+	})
 	if st.Index.Leaves > 0 {
 		st.Index.AvgLeafCandidates = float64(st.Index.LeafCandidates) / float64(st.Index.Leaves)
 	}
 	return st
 }
 
-// PlanSet returns the cached plan set for a key, for inspection.
+// PlanSet returns the cached plan set for a key, for inspection. It
+// does not reload evicted entries.
 func (s *Server) PlanSet(key string) (*store.PlanSet, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.cache[key]
+	v, ok := s.cache.Get(key, false)
 	if !ok {
 		return nil, false
 	}
-	return e.set, true
+	return v.(*entry).set, true
+}
+
+// retainDocs reports whether cached entries keep their serialized
+// document bytes: required for footprint accounting (CacheBytes), for
+// serving peers and re-publishing (Shared), and on servers that fetch
+// from peers (symmetric fleets list every member in every member's
+// peer set, so a fetcher is usually also a provider). Plain in-memory
+// servers drop the bytes after deserializing.
+func (s *Server) retainDocs() bool {
+	return s.opts.CacheBytes > 0 || s.opts.Shared != nil || s.opts.Peers != nil
+}
+
+// Document returns the serialized plan-set document for a key — the
+// bytes a peer fetching through fleet.PlanSetPath receives. It serves
+// from the in-memory cache, the Options.Dir document, or the shared
+// store, and never computes or consults peers itself (peer chains
+// must not turn one fetch into a fleet-wide cascade). Keys that do
+// not have the planSetKey shape are unknown by construction — in
+// particular, a path-traversal "key" never reaches the filesystem.
+func (s *Server) Document(key string) ([]byte, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPlanSet, key)
+	}
+	if v, ok := s.cache.Get(key, false); ok {
+		if doc := v.(*entry).doc; doc != nil {
+			return doc, nil
+		}
+	}
+	if s.opts.Dir != "" {
+		if doc, err := os.ReadFile(s.docPath(key)); err == nil {
+			return doc, nil
+		}
+	}
+	if s.opts.Shared != nil {
+		if doc, ok, err := s.opts.Shared.Get(key); err == nil && ok {
+			return doc, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownPlanSet, key)
 }
 
 // Key computes the plan-set cache key of a template under this server's
@@ -472,12 +625,23 @@ func (s *Server) Prepare(tpl Template) (PrepareResult, error) {
 		return PrepareResult{}, err
 	}
 
-	s.mu.Lock()
-	if e, ok := s.cache[key]; ok {
+	if v, ok := s.cache.Get(key, false); ok {
+		s.mu.Lock()
 		s.stats.Prepares++
 		s.stats.PrepareHits++
 		s.mu.Unlock()
-		return PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}, nil
+		return PrepareResult{Key: key, NumPlans: len(v.(*entry).set.Plans), Cached: true}, nil
+	}
+	s.mu.Lock()
+	if v, ok := s.cache.Get(key, false); ok {
+		// A concurrent Prepare's winner inserted between our lock-free
+		// cache miss and taking the mutex (insert happens before its
+		// inflight entry is removed, so without this re-check we would
+		// find the inflight table empty and optimize the key again).
+		s.stats.Prepares++
+		s.stats.PrepareHits++
+		s.mu.Unlock()
+		return PrepareResult{Key: key, NumPlans: len(v.(*entry).set.Plans), Cached: true}, nil
 	}
 	if fl, ok := s.inflight[key]; ok {
 		// Another request is already optimizing this template; wait for
@@ -490,6 +654,7 @@ func (s *Server) Prepare(tpl Template) (PrepareResult, error) {
 		res := fl.res
 		res.Cached = true
 		res.Duration = 0
+		res.Stats = core.Stats{}
 		s.mu.Lock()
 		s.stats.Prepares++
 		s.stats.PrepareHits++
@@ -512,9 +677,13 @@ func (s *Server) Prepare(tpl Template) (PrepareResult, error) {
 	return res, err
 }
 
-// runPrepare executes the optimize→persist→reload pipeline on a pool
-// worker.
+// runPrepare executes the load-or-optimize pipeline on a pool worker,
+// under the admission controller: at most MaxConcurrentPrepares
+// Prepares occupy workers at once, FIFO beyond that, so a burst of
+// expensive templates cannot starve Picks out of the pool.
 func (s *Server) runPrepare(key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
+	release := s.admission.Acquire()
+	defer release()
 	var res PrepareResult
 	var jerr error
 	err := s.run(func(w *worker) {
@@ -546,22 +715,92 @@ func (s *Server) run(fn func(w *worker)) error {
 	return nil
 }
 
-// prepareOn runs on a pool worker: optimize, Save through the store
-// format (optionally to Options.Dir), Load the document back, cache the
-// deserialized set. Picks therefore serve exactly what a separate
-// run-time process would load from disk.
-func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
-	// Restart path: reuse the persisted document when present.
+// entrySource labels where a served document came from, for the
+// per-source counters.
+type entrySource int
+
+const (
+	sourceComputed entrySource = iota
+	sourceDisk                 // legacy Options.Dir document
+	sourceShared               // Options.Shared store
+	sourcePeer                 // Options.Peers fetch
+)
+
+// validKey reports whether key has the exact shape planSetKey
+// produces: 32 lowercase hex digits. Every file- or URL-backed lookup
+// refuses other shapes, so a request-supplied key (Pick reloads, the
+// /planset peer endpoint) can never traverse paths under Options.Dir
+// or inject segments into a peer URL.
+func validKey(key string) bool {
+	if len(key) != 32 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// loadFromSources tries every non-compute source in order — the
+// restart Dir, the shared store, then the peers — and returns the
+// first document that deserializes cleanly. A corrupt or unreadable
+// document from any source is not fatal: the next source (ultimately
+// the optimizer) takes over. Documents fetched from a peer are
+// re-published to the shared store so the next sibling finds them one
+// hop closer. Malformed keys resolve nowhere.
+func (s *Server) loadFromSources(w *worker, key string) (*entry, entrySource, bool) {
+	if !validKey(key) {
+		return nil, sourceComputed, false
+	}
 	if s.opts.Dir != "" {
 		if raw, err := os.ReadFile(s.docPath(key)); err == nil {
-			e, err := s.newEntry(raw, w)
-			if err == nil {
-				s.insert(key, e, true)
-				return PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}, nil
+			if e, err := s.newEntry(raw, w); err == nil {
+				return e, sourceDisk, true
 			}
-			// A corrupt document is not fatal: fall through and
-			// re-optimize (the store's validation rejected it).
 		}
+	}
+	if s.opts.Shared != nil {
+		if doc, ok, err := s.opts.Shared.Get(key); err == nil && ok {
+			if e, err := s.newEntry(doc, w); err == nil {
+				return e, sourceShared, true
+			}
+		}
+	}
+	if s.opts.Peers != nil {
+		if doc, ok, _ := s.opts.Peers.Fetch(key); ok {
+			if e, err := s.newEntry(doc, w); err == nil {
+				s.publishShared(key, doc)
+				return e, sourcePeer, true
+			}
+		}
+	}
+	return nil, sourceComputed, false
+}
+
+// publishShared best-effort publishes a document to the shared store.
+func (s *Server) publishShared(key string, doc []byte) {
+	if s.opts.Shared == nil {
+		return
+	}
+	if err := s.opts.Shared.Put(key, doc); err == nil {
+		s.mu.Lock()
+		s.stats.SharedPuts++
+		s.mu.Unlock()
+	}
+}
+
+// prepareOn runs on a pool worker: serve the document from the first
+// source that has it (Dir, shared store, peers), otherwise optimize,
+// Save through the store format, persist (Dir and shared store) and
+// cache the deserialized set. Picks therefore serve exactly the bytes
+// a separate run-time process would load, wherever they came from.
+func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
+	if e, src, ok := s.loadFromSources(w, key); ok {
+		s.insert(key, e, src)
+		return PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}, nil
 	}
 
 	model, err := cloud.NewModel(schema, cloudCfg, w.solver)
@@ -576,6 +815,10 @@ func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudC
 		// stays on its worker unless explicitly configured otherwise.
 		opts.Workers = 1
 	}
+	if s.opts.DonateWorkers {
+		// Idle pool workers may join this Prepare's split jobs.
+		opts.Donor = (*serverDonor)(s)
+	}
 	result, err := core.Optimize(schema, model, opts)
 	if err != nil {
 		return PrepareResult{}, err
@@ -584,7 +827,7 @@ func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudC
 
 	// With the pick index enabled, build it over the optimizer's plan
 	// set now so the persisted document carries it (restarted servers
-	// and shared Options.Dir stores skip the rebuild).
+	// and shared stores skip the rebuild).
 	var ix *index.Index
 	if s.opts.Index {
 		ix = s.buildIndex(w, model.Space(), result.Plans)
@@ -602,16 +845,63 @@ func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudC
 			return PrepareResult{}, fmt.Errorf("%w: persisting plan set: %v", ErrInternal, err)
 		}
 	}
+	s.publishShared(key, buf.Bytes())
 	e, err := s.newEntry(buf.Bytes(), w)
 	if err != nil {
 		return PrepareResult{}, fmt.Errorf("%w: reloading saved plan set: %v", ErrInternal, err)
 	}
-	s.insert(key, e, false)
+	s.insert(key, e, sourceComputed)
 	return PrepareResult{
 		Key:      key,
 		NumPlans: len(e.set.Plans),
 		Duration: result.Stats.Duration,
+		Stats:    result.Stats,
 	}, nil
+}
+
+// serverDonor adapts the server's idle pool capacity to the
+// optimizer's DonorPool: when the request queue is empty and workers
+// are idle, an in-flight Prepare's split jobs may borrow them. Offers
+// are strictly non-blocking — queued client requests always win over
+// donations.
+type serverDonor Server
+
+func (d *serverDonor) Idle() int {
+	s := (*Server)(d)
+	if len(s.queue) > 0 {
+		// Queued requests are about to claim the idle workers.
+		return 0
+	}
+	idle := s.opts.Workers - int(s.busy.Load())
+	if idle < 0 {
+		idle = 0
+	}
+	return idle
+}
+
+func (d *serverDonor) Offer(task func()) bool {
+	s := (*Server)(d)
+	if d.Idle() <= 0 {
+		return false
+	}
+	j := &job{done: make(chan struct{})}
+	j.run = func(w *worker) {
+		task()
+		s.mu.Lock()
+		s.stats.DonatedTasks++
+		s.mu.Unlock()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		return true
+	default:
+		return false
+	}
 }
 
 // buildIndex builds the pick index over a just-optimized plan set,
@@ -664,6 +954,9 @@ func (s *Server) newEntry(doc []byte, w *worker) (*entry, error) {
 		cands[i] = selection.Candidate{Plan: lp.Plan, Cost: lp.Cost, RR: lp.RR}
 	}
 	e := &entry{set: set, candidates: cands}
+	if s.retainDocs() {
+		e.doc = doc
+	}
 	if s.opts.Index {
 		e.idx = set.Index
 		if e.idx == nil {
@@ -685,14 +978,18 @@ func (s *Server) newEntry(doc []byte, w *worker) (*entry, error) {
 	return e, nil
 }
 
-// insert publishes an entry; the first insert of a key wins.
-func (s *Server) insert(key string, e *entry, diskHit bool) {
+// insert publishes an entry into the memory-accounted cache (the
+// first insert of a key wins) and bumps the source counter.
+func (s *Server) insert(key string, e *entry, src entrySource) {
+	s.cache.Add(key, e, e.footprint(), false)
 	s.mu.Lock()
-	if _, ok := s.cache[key]; !ok {
-		s.cache[key] = e
-	}
-	if diskHit {
+	switch src {
+	case sourceDisk:
 		s.stats.PrepareDiskHits++
+	case sourceShared:
+		s.stats.SharedHits++
+	case sourcePeer:
+		s.stats.PeerHits++
 	}
 	s.mu.Unlock()
 }
@@ -701,23 +998,11 @@ func (s *Server) docPath(key string) string {
 	return filepath.Join(s.opts.Dir, key+".json")
 }
 
-// persist writes the document atomically (write to a temp file, then
-// rename).
+// persist writes the document through the fleet package's fsync'd
+// atomic write (temp file + rename + directory sync) — the same
+// durability the shared store gives the same bytes.
 func (s *Server) persist(key string, doc []byte) error {
-	tmp, err := os.CreateTemp(s.opts.Dir, key+".tmp*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(doc); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), s.docPath(key))
+	return fleet.WriteFileAtomic(s.opts.Dir, s.docPath(key), doc)
 }
 
 // Pick evaluates a selection policy at a parameter point against a
@@ -726,7 +1011,7 @@ func (s *Server) Pick(req PickRequest) (PickResult, error) {
 	var res PickResult
 	var jerr error
 	err := s.run(func(w *worker) {
-		res, jerr = s.pickOn(req)
+		res, jerr = s.pickOn(w, req)
 	})
 	if err != nil {
 		return PickResult{}, err
@@ -774,7 +1059,7 @@ func (s *Server) PickBatch(req PickBatchRequest) (PickBatchResult, error) {
 	var res PickBatchResult
 	var jerr error
 	err := s.run(func(w *worker) {
-		res, jerr = s.pickBatchOn(req)
+		res, jerr = s.pickBatchOn(w, req)
 	})
 	if err != nil {
 		return PickBatchResult{}, err
@@ -783,11 +1068,12 @@ func (s *Server) PickBatch(req PickBatchRequest) (PickBatchResult, error) {
 }
 
 // pickBatchOn executes a batch on a pool worker.
-func (s *Server) pickBatchOn(req PickBatchRequest) (PickBatchResult, error) {
-	e, err := s.entryFor(req.Key)
+func (s *Server) pickBatchOn(w *worker, req PickBatchRequest) (PickBatchResult, error) {
+	e, release, err := s.entryFor(req.Key, w)
 	if err != nil {
 		return PickBatchResult{}, err
 	}
+	defer release()
 	if !validPolicy(req.Policy) {
 		// Request-shape problems are reported as such, before any
 		// per-point validation, and even for empty batches.
@@ -856,11 +1142,12 @@ func (s *Server) pickBatchOn(req PickBatchRequest) (PickBatchResult, error) {
 // is routed to its cell and only the cell's candidate subset is
 // scanned — byte-identical to the linear fallback by the index's
 // conservative construction.
-func (s *Server) pickOn(req PickRequest) (PickResult, error) {
-	e, err := s.entryFor(req.Key)
+func (s *Server) pickOn(w *worker, req PickRequest) (PickResult, error) {
+	e, release, err := s.entryFor(req.Key, w)
 	if err != nil {
 		return PickResult{}, err
 	}
+	defer release()
 	if err := e.validatePoint(req.Point); err != nil {
 		return PickResult{}, err
 	}
@@ -880,15 +1167,55 @@ func (s *Server) pickOn(req PickRequest) (PickResult, error) {
 	return PickResult{Metrics: e.set.Metrics, Choices: choices}, nil
 }
 
-// entryFor resolves a plan-set key.
-func (s *Server) entryFor(key string) (*entry, error) {
-	s.mu.RLock()
-	e, ok := s.cache[key]
-	s.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownPlanSet, key)
+// entryFor resolves a plan-set key, transparently reloading evicted
+// entries from the non-compute sources (Dir, shared store, peers). The
+// resident entry is pinned against eviction for the duration of the
+// request; callers must call the returned release exactly once.
+func (s *Server) entryFor(key string, w *worker) (*entry, func(), error) {
+	if v, ok := s.cache.Get(key, true); ok {
+		return v.(*entry), func() { s.cache.Unpin(key) }, nil
 	}
-	return e, nil
+	e, err := s.reload(key, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	if v, ok := s.cache.Get(key, true); ok {
+		return v.(*entry), func() { s.cache.Unpin(key) }, nil
+	}
+	// The re-admitted entry was already evicted again (budget pressure):
+	// serve the loaded object unpinned — it stays alive for this
+	// request regardless of cache membership.
+	return e, func() {}, nil
+}
+
+// reload loads an evicted (or never-seen) key's document from Dir, the
+// shared store, or a peer — never by computing — deduplicating
+// concurrent reloads of one key.
+func (s *Server) reload(key string, w *worker) (*entry, error) {
+	s.mu.Lock()
+	if fl, ok := s.reloading[key]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		return fl.e, fl.err
+	}
+	fl := &inflightReload{done: make(chan struct{})}
+	s.reloading[key] = fl
+	s.mu.Unlock()
+
+	if e, src, ok := s.loadFromSources(w, key); ok {
+		fl.e = e
+		s.insert(key, e, src)
+		s.mu.Lock()
+		s.stats.Reloads++
+		s.mu.Unlock()
+	} else {
+		fl.err = fmt.Errorf("%w: %q", ErrUnknownPlanSet, key)
+	}
+	s.mu.Lock()
+	delete(s.reloading, key)
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.e, fl.err
 }
 
 // validatePoint rejects points the stored plan set cannot price.

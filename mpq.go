@@ -2,6 +2,7 @@ package mpq
 
 import (
 	"io"
+	"time"
 
 	"mpq/internal/baseline"
 	"mpq/internal/bench"
@@ -9,6 +10,7 @@ import (
 	"mpq/internal/cloud"
 	"mpq/internal/core"
 	"mpq/internal/diagram"
+	"mpq/internal/fleet"
 	"mpq/internal/geometry"
 	"mpq/internal/index"
 	"mpq/internal/plan"
@@ -345,6 +347,48 @@ var (
 // All methods are safe for concurrent use; see DESIGN.md, "Serving
 // layer" and "Pick index".
 func NewServer(opts ServeOptions) *Server { return serve.New(opts) }
+
+// Fleet-serving types: the subsystem that lets a fleet of servers
+// share preparations and survive real traffic — a memory-bounded
+// cache, a shared plan-set store, HTTP peer fetches, and per-template
+// admission control. See DESIGN.md, "Fleet serving".
+type (
+	// SharedPlanSetStore is the shared plan-set document store a fleet
+	// of servers publishes to and consults before optimizing
+	// (ServeOptions.Shared).
+	SharedPlanSetStore = fleet.SharedStore
+	// DirPlanSetStore is the concurrency-safe on-disk SharedPlanSetStore:
+	// immutable content-addressed blobs behind an fsync'd manifest.
+	DirPlanSetStore = fleet.DirStore
+	// PlanSetPeers fetches prepared plan-set documents from sibling
+	// servers over HTTP (ServeOptions.Peers).
+	PlanSetPeers = fleet.PeerClient
+	// ServeCacheStats is the memory-accounted plan-set cache's
+	// accounting (admitted − evicted = resident).
+	ServeCacheStats = fleet.CacheStats
+	// ServeAdmissionStats reports the Prepare admission controller.
+	ServeAdmissionStats = fleet.AdmissionStats
+	// PeerStats counts peer-fetch traffic.
+	PeerStats = fleet.PeerStats
+	// DonorPool lends idle goroutines to an optimizer run's split jobs
+	// (Options.Donor; the serving layer implements it over its own
+	// pool when ServeOptions.DonateWorkers is set).
+	DonorPool = core.DonorPool
+)
+
+// PlanSetPath is the HTTP path prefix under which servers expose
+// prepared plan-set documents to peers (GET <peer>/planset/<key>).
+const PlanSetPath = fleet.PlanSetPath
+
+// NewSharedDirStore opens (creating if needed) an on-disk shared
+// plan-set store rooted at dir, for ServeOptions.Shared.
+func NewSharedDirStore(dir string) (*DirPlanSetStore, error) { return fleet.NewDirStore(dir) }
+
+// NewPlanSetPeers returns a peer client over the given base URLs, for
+// ServeOptions.Peers. Zero timeout selects 5s per peer request.
+func NewPlanSetPeers(peers []string, timeout time.Duration) *PlanSetPeers {
+	return fleet.NewPeerClient(peers, timeout)
+}
 
 // BuildPickIndex builds a point-location pick index over a loaded plan
 // set, for embedding the run-time half without a Server: pass the
