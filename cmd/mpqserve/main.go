@@ -78,6 +78,8 @@ func main() {
 		donate     = flag.Bool("donate", true, "donate idle pool workers to in-flight Prepares' split jobs")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
 	)
+	flag.DurationVar(&prepareDeadline, "prepare-deadline", 0, "default deadline per Prepare request (0 = none; per-request deadline_ms overrides)")
+	flag.IntVar(&stdinMaxLine, "max-line", stdinMaxLine, "stdin protocol line-length cap in bytes")
 	flag.Parse()
 
 	opts := serve.Options{
@@ -153,6 +155,9 @@ type workloadJS struct {
 
 type prepareReqJS struct {
 	Workload *workloadJS `json:"workload"`
+	// DeadlineMs bounds this request (0 = the -prepare-deadline
+	// default); an expired deadline answers 504 / an in-band error.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 type prepareRespJS struct {
@@ -168,23 +173,25 @@ type boundJS struct {
 }
 
 type pickReqJS struct {
-	Key      string    `json:"key"`
-	Point    []float64 `json:"point"`
-	Policy   string    `json:"policy"`
-	Weights  []float64 `json:"weights,omitempty"`
-	Minimize int       `json:"minimize,omitempty"`
-	Bounds   []boundJS `json:"bounds,omitempty"`
-	Order    []int     `json:"order,omitempty"`
+	Key        string    `json:"key"`
+	Point      []float64 `json:"point"`
+	Policy     string    `json:"policy"`
+	Weights    []float64 `json:"weights,omitempty"`
+	Minimize   int       `json:"minimize,omitempty"`
+	Bounds     []boundJS `json:"bounds,omitempty"`
+	Order      []int     `json:"order,omitempty"`
+	DeadlineMs int64     `json:"deadline_ms,omitempty"`
 }
 
 type pickBatchReqJS struct {
-	Key      string      `json:"key"`
-	Points   [][]float64 `json:"points"`
-	Policy   string      `json:"policy"`
-	Weights  []float64   `json:"weights,omitempty"`
-	Minimize int         `json:"minimize,omitempty"`
-	Bounds   []boundJS   `json:"bounds,omitempty"`
-	Order    []int       `json:"order,omitempty"`
+	Key        string      `json:"key"`
+	Points     [][]float64 `json:"points"`
+	Policy     string      `json:"policy"`
+	Weights    []float64   `json:"weights,omitempty"`
+	Minimize   int         `json:"minimize,omitempty"`
+	Bounds     []boundJS   `json:"bounds,omitempty"`
+	Order      []int       `json:"order,omitempty"`
+	DeadlineMs int64       `json:"deadline_ms,omitempty"`
 }
 
 type choiceJS struct {
@@ -239,12 +246,35 @@ func (r pickReqJS) request() serve.PickRequest {
 	return req
 }
 
-func doPrepare(s *serve.Server, body prepareReqJS) (prepareRespJS, error) {
+// prepareDeadline and stdinMaxLine are the -prepare-deadline and
+// -max-line flag values (package-level so both transports and their
+// tests share them).
+var (
+	prepareDeadline time.Duration
+	stdinMaxLine    = 1 << 20
+)
+
+// reqContext derives one request's context: an explicit deadline_ms
+// wins, then the def fallback (the -prepare-deadline flag for
+// Prepares); zero for both leaves the parent untouched.
+func reqContext(parent context.Context, deadlineMs int64, def time.Duration) (context.Context, context.CancelFunc) {
+	switch {
+	case deadlineMs > 0:
+		return context.WithTimeout(parent, time.Duration(deadlineMs)*time.Millisecond)
+	case def > 0:
+		return context.WithTimeout(parent, def)
+	}
+	return parent, func() {}
+}
+
+func doPrepare(ctx context.Context, s *serve.Server, body prepareReqJS) (prepareRespJS, error) {
 	tpl, err := body.template()
 	if err != nil {
 		return prepareRespJS{}, err
 	}
-	res, err := s.Prepare(tpl)
+	ctx, cancel := reqContext(ctx, body.DeadlineMs, prepareDeadline)
+	defer cancel()
+	res, err := s.Prepare(ctx, tpl)
 	if err != nil {
 		return prepareRespJS{}, err
 	}
@@ -256,8 +286,10 @@ func doPrepare(s *serve.Server, body prepareReqJS) (prepareRespJS, error) {
 	}, nil
 }
 
-func doPick(s *serve.Server, body pickReqJS) (pickRespJS, error) {
-	res, err := s.Pick(body.request())
+func doPick(ctx context.Context, s *serve.Server, body pickReqJS) (pickRespJS, error) {
+	ctx, cancel := reqContext(ctx, body.DeadlineMs, 0)
+	defer cancel()
+	res, err := s.Pick(ctx, body.request())
 	if err != nil {
 		return pickRespJS{}, err
 	}
@@ -283,8 +315,10 @@ func (r pickBatchReqJS) request() serve.PickBatchRequest {
 	return req
 }
 
-func doPickBatch(s *serve.Server, body pickBatchReqJS) (pickBatchRespJS, error) {
-	res, err := s.PickBatch(body.request())
+func doPickBatch(ctx context.Context, s *serve.Server, body pickBatchReqJS) (pickBatchRespJS, error) {
+	ctx, cancel := reqContext(ctx, body.DeadlineMs, 0)
+	defer cancel()
+	res, err := s.PickBatch(ctx, body.request())
 	if err != nil {
 		return pickBatchRespJS{}, err
 	}
@@ -314,7 +348,7 @@ func newHandler(s *serve.Server) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		resp, err := doPrepare(s, body)
+		resp, err := doPrepare(r.Context(), s, body)
 		if err != nil {
 			writeError(w, statusOf(err), err)
 			return
@@ -327,7 +361,7 @@ func newHandler(s *serve.Server) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		resp, err := doPick(s, body)
+		resp, err := doPick(r.Context(), s, body)
 		if err != nil {
 			writeError(w, statusOf(err), err)
 			return
@@ -340,7 +374,7 @@ func newHandler(s *serve.Server) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		resp, err := doPickBatch(s, body)
+		resp, err := doPickBatch(r.Context(), s, body)
 		if err != nil {
 			writeError(w, statusOf(err), err)
 			return
@@ -358,6 +392,9 @@ func newHandler(s *serve.Server) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		// The content hash lets a fetching peer reject a response
+		// corrupted in flight (fleet.PeerClient validates it).
+		w.Header().Set(fleet.DocHashHeader, fleet.ContentHash(doc))
 		w.WriteHeader(http.StatusOK)
 		w.Write(doc)
 	})
@@ -379,6 +416,10 @@ func statusOf(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, serve.ErrInternal):
 		return http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
 	}
 	return http.StatusBadRequest
 }
@@ -393,34 +434,81 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorJS{Error: err.Error()})
 }
 
+// stdinLine is one unit of stdin input: a complete line, or the
+// marker of one that exceeded the cap (its content already drained).
+type stdinLine struct {
+	data    []byte
+	tooLong bool
+}
+
+// readLine reads one newline-terminated line of at most max bytes. A
+// longer line is drained to its newline and reported with tooLong —
+// the protocol answers a structured error and keeps serving, instead
+// of tearing the whole loop on one oversized request.
+func readLine(br *bufio.Reader, max int) (stdinLine, error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if err == bufio.ErrBufferFull {
+			if len(buf) > max {
+				// Over the cap: discard the rest of the line.
+				for err == bufio.ErrBufferFull {
+					_, err = br.ReadSlice('\n')
+				}
+				if err != nil && err != io.EOF {
+					return stdinLine{tooLong: true}, err
+				}
+				return stdinLine{tooLong: true}, nil
+			}
+			continue
+		}
+		if n := len(buf); n > 0 && buf[n-1] == '\n' {
+			buf = buf[:n-1]
+		}
+		if len(buf) > max {
+			return stdinLine{tooLong: true}, err
+		}
+		return stdinLine{data: buf}, err
+	}
+}
+
 // runStdin serves the line protocol: one JSON request per input line,
 // one JSON response per output line, until EOF or ctx cancellation
 // (SIGINT/SIGTERM) — whichever comes first. Requests already read are
 // answered before returning; the caller's Server.Close drains the
-// queue and flushes the shared store.
+// queue and flushes the shared store. Malformed JSON and lines over
+// the -max-line cap are answered with a structured error object
+// in-band; the loop keeps serving.
 func runStdin(ctx context.Context, s *serve.Server, in io.Reader, out io.Writer) error {
 	enc := json.NewEncoder(out)
-	lines := make(chan []byte)
+	lines := make(chan stdinLine)
 	scanErr := make(chan error, 1)
 	go func() {
 		defer close(lines)
-		sc := bufio.NewScanner(in)
-		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-		for sc.Scan() {
-			line := append([]byte(nil), sc.Bytes()...)
-			select {
-			case lines <- line:
-			case <-ctx.Done():
+		br := bufio.NewReader(in)
+		for {
+			line, err := readLine(br, stdinMaxLine)
+			if len(line.data) > 0 || line.tooLong {
+				select {
+				case lines <- line:
+				case <-ctx.Done():
+					return
+				}
+			}
+			if err != nil {
+				if err != io.EOF {
+					scanErr <- err
+				}
 				return
 			}
 		}
-		scanErr <- sc.Err()
 	}()
 	for {
 		select {
 		case <-ctx.Done():
 			log.Printf("mpqserve: shutting down stdin protocol")
-			// Answer anything the scanner already read but has not yet
+			// Answer anything the reader already read but has not yet
 			// handed over: the unbuffered send may be parked an instant
 			// behind the signal, so give each pending line a short
 			// grace window, bounded overall so a firehose client cannot
@@ -432,10 +520,11 @@ func runStdin(ctx context.Context, s *serve.Server, in io.Reader, out io.Writer)
 					if !ok {
 						return nil
 					}
-					if len(line) > 0 {
-						if err := handleLine(s, enc, line); err != nil {
-							return err
-						}
+					// The session context is already done; answer the
+					// pending line on its own context so the grace
+					// window actually serves it.
+					if err := handleLine(context.Background(), s, enc, line); err != nil {
+						return err
 					}
 				case <-time.After(50 * time.Millisecond):
 					return nil
@@ -452,10 +541,7 @@ func runStdin(ctx context.Context, s *serve.Server, in io.Reader, out io.Writer)
 					return nil
 				}
 			}
-			if len(line) == 0 {
-				continue
-			}
-			if err := handleLine(s, enc, line); err != nil {
+			if err := handleLine(ctx, s, enc, line); err != nil {
 				return err
 			}
 		}
@@ -463,12 +549,16 @@ func runStdin(ctx context.Context, s *serve.Server, in io.Reader, out io.Writer)
 }
 
 // handleLine answers one stdin-protocol request; the returned error is
-// an output-encoding failure (request errors are answered in-band).
-func handleLine(s *serve.Server, enc *json.Encoder, line []byte) error {
+// an output-encoding failure (request errors, including oversized and
+// malformed lines, are answered in-band).
+func handleLine(ctx context.Context, s *serve.Server, enc *json.Encoder, line stdinLine) error {
+	if line.tooLong {
+		return enc.Encode(errorJS{Error: fmt.Sprintf("line exceeds %d bytes", stdinMaxLine)})
+	}
 	var op struct {
 		Op string `json:"op"`
 	}
-	if err := json.Unmarshal(line, &op); err != nil {
+	if err := json.Unmarshal(line.data, &op); err != nil {
 		return enc.Encode(errorJS{Error: err.Error()})
 	}
 	var resp any
@@ -476,18 +566,18 @@ func handleLine(s *serve.Server, enc *json.Encoder, line []byte) error {
 	switch op.Op {
 	case "prepare":
 		var body prepareReqJS
-		if err = json.Unmarshal(line, &body); err == nil {
-			resp, err = doPrepare(s, body)
+		if err = json.Unmarshal(line.data, &body); err == nil {
+			resp, err = doPrepare(ctx, s, body)
 		}
 	case "pick":
 		var body pickReqJS
-		if err = json.Unmarshal(line, &body); err == nil {
-			resp, err = doPick(s, body)
+		if err = json.Unmarshal(line.data, &body); err == nil {
+			resp, err = doPick(ctx, s, body)
 		}
 	case "pickbatch":
 		var body pickBatchReqJS
-		if err = json.Unmarshal(line, &body); err == nil {
-			resp, err = doPickBatch(s, body)
+		if err = json.Unmarshal(line.data, &body); err == nil {
+			resp, err = doPickBatch(ctx, s, body)
 		}
 	case "stats":
 		resp = s.Stats()

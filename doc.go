@@ -70,10 +70,11 @@
 //
 //	srv := mpq.NewServer(mpq.ServeOptions{Workers: 4, Index: true})
 //	defer srv.Close()
-//	prep, _ := srv.Prepare(mpq.ServeTemplate{Workload: mpq.WorkloadConfig{
-//		Tables: 6, Params: 2, Shape: mpq.Clique, Seed: 7,
-//	}})
-//	res, _ := srv.PickBatch(mpq.PickBatchRequest{
+//	prep, _ := srv.Prepare(context.Background(), mpq.ServeTemplate{
+//		Workload: mpq.WorkloadConfig{
+//			Tables: 6, Params: 2, Shape: mpq.Clique, Seed: 7,
+//		}})
+//	res, _ := srv.PickBatch(context.Background(), mpq.PickBatchRequest{
 //		Key:     prep.Key,
 //		Points:  []mpq.Vector{{0.2, 0.4}, {0.5, 0.5}, {0.8, 0.1}},
 //		Policy:  mpq.PolicyWeightedSum,
@@ -109,8 +110,8 @@
 //	tpl := mpq.ServeTemplate{Workload: mpq.WorkloadConfig{
 //		Tables: 6, Params: 2, Shape: mpq.Clique, Seed: 7,
 //	}}
-//	prepA, _ := a.Prepare(tpl) // optimizes and publishes to the store
-//	prepB, _ := b.Prepare(tpl) // served from the store: no optimization
+//	prepA, _ := a.Prepare(context.Background(), tpl) // optimizes, publishes
+//	prepB, _ := b.Prepare(context.Background(), tpl) // from the store
 //	fmt.Println(prepA.Key == prepB.Key, prepB.Cached,
 //		b.Stats().SharedHits) // true true 1
 //
@@ -120,6 +121,40 @@
 // counters: Cache (admitted − evicted = resident), SharedHits,
 // PeerHits, SharedPuts, Reloads, Admission and DonatedTasks. See
 // DESIGN.md, "Fleet serving".
+//
+// # Failure domains
+//
+// Every serving entry point takes a context: a cancelled or expired
+// request is abandoned at the next cooperative checkpoint — before its
+// job runs, between scheduler tasks mid-optimization — releasing its
+// worker, admission slot, and singleflight key without disturbing
+// concurrent requests for the same template (they retry the flight).
+// Cancellation is passive, so a run that is never cancelled stays
+// byte-identical to an unbounded one. A deadline-bounded Prepare
+// composes with the fleet sources: bound the expensive first
+// optimization, and fall back to whatever a peer has already
+// published —
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+//	defer cancel()
+//	prep, err := b.Prepare(ctx, tpl)
+//	if errors.Is(err, context.DeadlineExceeded) {
+//		// Too expensive to compute in time. A sibling may have finished
+//		// it meanwhile: this retry is admitted to the shared-store and
+//		// peer-fetch sources (cheap) and only recomputes if all miss.
+//		prep, err = b.Prepare(context.Background(), tpl)
+//	}
+//
+// Peer fetches retry transient failures with jittered exponential
+// backoff behind a per-peer circuit breaker (PeerOptions), and every
+// response is validated — size limit, content hash, document probe —
+// so a corrupt peer response degrades to a counted miss, never a
+// poisoned cache entry. The on-disk stores write through fsync'd
+// temp-file-plus-rename; a blob that disagrees with its manifest is
+// quarantined and recomputed, and ServeStats counts every failure
+// kind (Cancellations, DeadlineExpiries, PeerRetries,
+// PeerBreakerTrips, QuarantinedBlobs). See DESIGN.md, "Failure
+// domains".
 //
 // The subpackages under internal implement the machinery: geometry
 // (polytopes, simplex LP solver, region difference, convexity

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -26,7 +27,7 @@ func main() {
 	}
 	keys := make([]string, len(templates))
 	for i, tpl := range templates {
-		prep, err := server.Prepare(tpl)
+		prep, err := server.Prepare(context.Background(), tpl)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -34,7 +35,7 @@ func main() {
 		fmt.Printf("prepared %s: %d plans in %v (cached=%v)\n",
 			prep.Key[:8], prep.NumPlans, prep.Duration, prep.Cached)
 	}
-	again, err := server.Prepare(templates[0])
+	again, err := server.Prepare(context.Background(), templates[0])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			x := mpq.Vector{0.2 + 0.3*float64(c)}
-			res, err := server.Pick(mpq.PickRequest{
+			res, err := server.Pick(context.Background(), mpq.PickRequest{
 				Key:     keys[c%len(keys)],
 				Point:   x,
 				Policy:  mpq.PolicyWeightedSum,
@@ -65,7 +66,7 @@ func main() {
 	wg.Wait()
 
 	// The tradeoff frontier a user would be shown (Scenario 1).
-	front, err := server.Pick(mpq.PickRequest{Key: keys[0], Point: mpq.Vector{0.6}})
+	front, err := server.Pick(context.Background(), mpq.PickRequest{Key: keys[0], Point: mpq.Vector{0.6}})
 	if err != nil {
 		log.Fatal(err)
 	}

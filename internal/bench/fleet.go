@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -120,7 +121,7 @@ func runFleetSpec(cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement
 
 	// Server 0 computes and publishes; every sibling must be served
 	// from the shared store.
-	prep0, err := servers[0].Prepare(tpl)
+	prep0, err := servers[0].Prepare(context.Background(), tpl)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +130,7 @@ func runFleetSpec(cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement
 	}
 	key := prep0.Key
 	for i := 1; i < len(servers); i++ {
-		prep, err := servers[i].Prepare(tpl)
+		prep, err := servers[i].Prepare(context.Background(), tpl)
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +185,7 @@ func runFleetSpec(cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement
 		for si, s := range servers {
 			var lines []string
 			for p := 0; p < numPickPolicies; p++ {
-				res, err := s.Pick(params.pickRequest(key, x, p))
+				res, err := s.Pick(context.Background(), params.pickRequest(key, x, p))
 				lines = append(lines, fmt.Sprintf("%v|%v", res.Choices, err))
 			}
 			if si == 0 {
@@ -216,7 +217,7 @@ func runFleetSpec(cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement
 			wg.Add(1)
 			go func(s *serve.Server) {
 				defer wg.Done()
-				if _, err := s.PickBatch(batch); err != nil {
+				if _, err := s.PickBatch(context.Background(), batch); err != nil {
 					errCh <- err
 				}
 			}(s)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -143,8 +144,24 @@ type Result struct {
 // with operator costs from model, and returns a Pareto plan set for the
 // full query. With the default PWL algebra this is PWL-RRPA.
 func Optimize(schema *catalog.Schema, model CostModel, opts Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), schema, model, opts)
+}
+
+// OptimizeCtx is Optimize with cooperative cancellation: the run
+// checks runCtx between scheduler tasks (masks, split chunks) and
+// stops promptly — workers, donated goroutines, and the caller all
+// unwind — returning runCtx's error. Cancellation is strictly
+// cooperative and checkpoint-based, so any run that completes without
+// observing a done context is byte-identical to an uncancelled run.
+func OptimizeCtx(runCtx context.Context, schema *catalog.Schema, model CostModel, opts Options) (*Result, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
+	}
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
+	if err := runCtx.Err(); err != nil {
+		return nil, fmt.Errorf("core: optimize: %w", err)
 	}
 	ctx := opts.Context
 	if ctx == nil {
@@ -159,6 +176,7 @@ func Optimize(schema *catalog.Schema, model CostModel, opts Options) (*Result, e
 		model:  model,
 		ctx:    ctx,
 		opts:   opts,
+		runCtx: runCtx,
 	}
 	o.setupWorkers(algebra)
 	return o.run()
@@ -169,6 +187,7 @@ type optimizer struct {
 	model   CostModel
 	ctx     *geometry.Context
 	opts    Options
+	runCtx  context.Context // cancellation signal; never nil
 	store   *planStore
 	stats   Stats
 	workers []*worker
@@ -237,6 +256,9 @@ func (o *optimizer) run() (*Result, error) {
 	// space memos before any parallel task starts.
 	w0 := o.workers[0]
 	for i := range o.schema.Tables {
+		if err := o.runCtx.Err(); err != nil {
+			return nil, fmt.Errorf("core: optimize: %w", err)
+		}
 		t := catalog.TableID(i)
 		q := catalog.SetOf(t)
 		var cur []*PlanInfo
@@ -259,6 +281,15 @@ func (o *optimizer) run() (*Result, error) {
 		o.stats.Scheduler = sched.run()
 	} else {
 		o.stats.Scheduler = sched.runSequential()
+	}
+	// A run cancelled mid-schedule left masks unplanned; report the
+	// context error rather than a misleading "no plan". A cancellation
+	// that arrived after the last mask completed changes nothing — the
+	// finished result is returned as usual.
+	if sched.incomplete() {
+		if err := o.runCtx.Err(); err != nil {
+			return nil, fmt.Errorf("core: optimize: %w", err)
+		}
 	}
 
 	for _, w := range o.workers {

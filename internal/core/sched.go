@@ -321,6 +321,13 @@ type scheduler struct {
 	splitJobs   atomic.Int64
 	splitChunks atomic.Int64
 
+	// aborted flips when the run's context is done: workers stop
+	// claiming tasks at the next checkpoint (between masks and between
+	// split chunks) and unwind. Checkpoints are passive reads, so a run
+	// that never observes the flag executes exactly like one without a
+	// cancellable context — the byte-identity contract is untouched.
+	aborted atomic.Bool
+
 	// Donated split-job helpers (Options.Donor): accepted offers are
 	// tracked by donateWG so the run cannot complete (and stats cannot
 	// be read) while a donated worker is still mid-chunk; finished
@@ -369,6 +376,19 @@ func newScheduler(o *optimizer, masks []catalog.TableSet) *scheduler {
 // scheduler metrics.
 func (s *scheduler) run() SchedulerStats {
 	start := time.Now()
+	// Watch the run context: on cancellation, set the abort flag and
+	// wake every worker parked in next()'s cond.Wait so the pool drains
+	// promptly instead of on its next natural wakeup.
+	stopWatch := make(chan struct{})
+	if done := s.o.runCtx.Done(); done != nil {
+		go func() {
+			select {
+			case <-done:
+				s.abort()
+			case <-stopWatch:
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for _, w := range s.o.workers {
 		wg.Add(1)
@@ -382,6 +402,7 @@ func (s *scheduler) run() SchedulerStats {
 	// every donated worker must retire before stats (and the caller's
 	// result) are assembled.
 	s.donateWG.Wait()
+	close(stopWatch)
 	st := SchedulerStats{
 		Tasks:        int(s.tasks.Load()),
 		SplitJobs:    int(s.splitJobs.Load()),
@@ -400,14 +421,39 @@ func (s *scheduler) run() SchedulerStats {
 
 // runSequential drains the masks in deterministic cardinality order on
 // the single worker — bit-for-bit the historical sequential execution.
+// The run context is checked between masks, the same checkpoint
+// granularity as the parallel path.
 func (s *scheduler) runSequential() SchedulerStats {
 	start := time.Now()
 	w := s.o.workers[0]
+	done := 0
 	for _, q := range s.masks {
+		if s.o.runCtx.Err() != nil {
+			break
+		}
 		s.o.store.complete(q, w.planGroups(s.o.enumerateSplits(q)))
+		done++
 	}
+	s.mu.Lock()
+	s.remaining -= done
+	s.mu.Unlock()
 	wall := time.Since(start)
-	return SchedulerStats{Tasks: len(s.masks), Busy: wall, Wall: wall}
+	return SchedulerStats{Tasks: done, Busy: wall, Wall: wall}
+}
+
+// abort flips the abort flag and wakes every parked worker.
+func (s *scheduler) abort() {
+	s.aborted.Store(true)
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// incomplete reports whether any scheduled mask has not completed.
+func (s *scheduler) incomplete() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remaining > 0
 }
 
 // workerLoop pulls tasks until every mask has completed.
@@ -434,6 +480,9 @@ func (s *scheduler) next() (*splitJob, int32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		if s.aborted.Load() {
+			return nil, -1
+		}
 		for len(s.jobs) > 0 {
 			j := s.jobs[len(s.jobs)-1]
 			if j.exhausted() {
@@ -546,6 +595,9 @@ func (s *scheduler) tryDonate(j *splitJob, want int) {
 // and completes the mask.
 func (s *scheduler) runJobChunks(w *worker, j *splitJob) {
 	for {
+		if s.aborted.Load() {
+			return
+		}
 		c := int(j.next.Add(1)) - 1
 		if c >= j.chunks {
 			return

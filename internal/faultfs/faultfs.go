@@ -1,0 +1,327 @@
+// Package faultfs is an injectable filesystem seam for the fleet
+// store and the serving layer's persistence: production code performs
+// every filesystem operation through an FS value, which defaults to a
+// zero-overhead passthrough to the os package, and tests swap in an
+// Injector that deterministically injects errors, latency, torn
+// writes, and partial renames from a seeded schedule. The crash-safety
+// claims of DirStore (fsync'd temp+rename, atomic manifest replace)
+// are proven by killing the store at every mutation cut point and
+// checking what a fresh reader observes.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// FS is the set of filesystem operations the plan-set stores perform.
+// Implementations must be safe for concurrent use.
+type FS interface {
+	ReadFile(path string) ([]byte, error)
+	Stat(path string) (fs.FileInfo, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	// SyncDir fsyncs a directory so completed renames survive a crash.
+	// Some platforms refuse to fsync directories; implementations may
+	// ignore that refusal, matching os.File.Sync callers in the tree.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle CreateTemp returns — the subset of
+// *os.File the atomic-write path uses.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// OS is the production FS: a direct passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) ReadFile(path string) ([]byte, error)  { return os.ReadFile(path) }
+func (osFS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+func (osFS) Rename(oldpath, newpath string) error  { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error              { return os.Remove(path) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) SyncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_ = f.Sync()
+	return nil
+}
+
+// Sentinel errors the Injector produces. Both unwrap to fs.ErrIO-style
+// descriptive failures, never to fs.ErrNotExist — an injected fault
+// must read as an I/O problem, not a missing file.
+var (
+	// ErrInjected marks a fault from the seeded error schedule.
+	ErrInjected = errors.New("faultfs: injected I/O error")
+	// ErrCrashed marks every operation at or after the crash point: the
+	// process is considered dead, and the partially-applied state on
+	// disk is what a post-crash reader will see.
+	ErrCrashed = errors.New("faultfs: crashed")
+)
+
+// Config parameterizes an Injector. The schedule is deterministic: one
+// seed produces one exact sequence of faults for a fixed sequence of
+// operations.
+type Config struct {
+	// Seed drives the fault schedule (0 picks an arbitrary seed).
+	Seed int64
+	// ErrorRate is the probability in [0,1) that a mutating or reading
+	// operation fails with ErrInjected.
+	ErrorRate float64
+	// Latency, when nonzero, is the sleep injected before an operation
+	// with probability LatencyRate.
+	Latency     time.Duration
+	LatencyRate float64
+}
+
+// Injector wraps a base FS with deterministic fault injection. The
+// zero-value schedule (no error rate, no crash point) is a pure
+// passthrough.
+//
+// Crash semantics: CrashAfterMutations(n) arms a countdown over
+// mutating operations (temp-file writes, syncs, closes, renames,
+// removes). The n-th mutation is performed *partially* — a torn write
+// persists a prefix of the data, a partial rename leaves a prefix copy
+// of the source at the destination instead of an atomic switch — and
+// fails with ErrCrashed; every subsequent operation fails with
+// ErrCrashed outright. That emulates powering off mid-operation on a
+// filesystem without atomicity guarantees, which is strictly harsher
+// than POSIX rename; store code that survives it survives a real
+// crash.
+type Injector struct {
+	base FS
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	cfg       Config
+	crashIn   int // mutations until crash; -1 = disarmed
+	crashed   bool
+	mutations int
+	injected  int
+}
+
+// NewInjector wraps base (nil selects OS) with the given schedule.
+func NewInjector(base FS, cfg Config) *Injector {
+	if base == nil {
+		base = OS
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Injector{
+		base:    base,
+		rng:     rand.New(rand.NewSource(seed)),
+		cfg:     cfg,
+		crashIn: -1,
+	}
+}
+
+// CrashAfterMutations arms the crash countdown: the n-th mutating
+// operation from now (1-based) is torn mid-flight and everything after
+// it fails with ErrCrashed. n <= 0 disarms.
+func (in *Injector) CrashAfterMutations(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n <= 0 {
+		in.crashIn = -1
+		return
+	}
+	in.crashIn = n
+	in.crashed = false
+}
+
+// Mutations returns the number of mutating operations performed so
+// far — tests run one clean pass to count the cut points, then replay
+// with CrashAfterMutations(i) for each i.
+func (in *Injector) Mutations() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.mutations
+}
+
+// Injected returns how many faults the error schedule has fired.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// step injects latency/error for one operation; mutating operations
+// additionally advance the crash countdown. Returns (crashNow, err):
+// crashNow means this very operation must be performed partially and
+// then reported as ErrCrashed.
+func (in *Injector) step(mutating bool) (bool, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return false, ErrCrashed
+	}
+	if in.cfg.Latency > 0 && in.rng.Float64() < in.cfg.LatencyRate {
+		d := in.cfg.Latency
+		in.mu.Unlock()
+		time.Sleep(d)
+		in.mu.Lock()
+		if in.crashed {
+			return false, ErrCrashed
+		}
+	}
+	if mutating {
+		in.mutations++
+		if in.crashIn > 0 {
+			in.crashIn--
+			if in.crashIn == 0 {
+				in.crashed = true
+				return true, nil
+			}
+		}
+	}
+	if in.cfg.ErrorRate > 0 && in.rng.Float64() < in.cfg.ErrorRate {
+		in.injected++
+		return false, ErrInjected
+	}
+	return false, nil
+}
+
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	if _, err := in.step(false); err != nil {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	return in.base.ReadFile(path)
+}
+
+func (in *Injector) Stat(path string) (fs.FileInfo, error) {
+	if _, err := in.step(false); err != nil {
+		return nil, fmt.Errorf("stat %s: %w", path, err)
+	}
+	return in.base.Stat(path)
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	crash, err := in.step(true)
+	if err != nil {
+		return nil, fmt.Errorf("create temp in %s: %w", dir, err)
+	}
+	f, ferr := in.base.CreateTemp(dir, pattern)
+	if ferr != nil {
+		return nil, ferr
+	}
+	if crash {
+		f.Close()
+		return nil, fmt.Errorf("create temp in %s: %w", dir, ErrCrashed)
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	crash, err := in.step(true)
+	if err != nil {
+		return fmt.Errorf("rename %s: %w", oldpath, err)
+	}
+	if crash {
+		// Partial rename: the destination ends up with a prefix of the
+		// source — the non-atomic worst case a store must tolerate.
+		if data, rerr := in.base.ReadFile(oldpath); rerr == nil && len(data) > 0 {
+			in.tearInto(newpath, data[:(len(data)+1)/2])
+		}
+		return fmt.Errorf("rename %s: %w", oldpath, ErrCrashed)
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+// tearInto force-writes torn bytes at path through the base FS,
+// bypassing the (now crashed) schedule.
+func (in *Injector) tearInto(path string, data []byte) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Write(data)
+	f.Close()
+}
+
+func (in *Injector) Remove(path string) error {
+	crash, err := in.step(true)
+	if err != nil {
+		return fmt.Errorf("remove %s: %w", path, err)
+	}
+	if crash {
+		return fmt.Errorf("remove %s: %w", path, ErrCrashed)
+	}
+	return in.base.Remove(path)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	crash, err := in.step(true)
+	if err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	if crash {
+		return fmt.Errorf("sync dir %s: %w", dir, ErrCrashed)
+	}
+	return in.base.SyncDir(dir)
+}
+
+// injFile wraps a File with the injector's schedule: writes, syncs and
+// closes are mutations; a torn write persists half the buffer.
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+func (w *injFile) Name() string { return w.f.Name() }
+
+func (w *injFile) Write(p []byte) (int, error) {
+	crash, err := w.in.step(true)
+	if err != nil {
+		return 0, fmt.Errorf("write %s: %w", w.f.Name(), err)
+	}
+	if crash {
+		n, _ := w.f.Write(p[:(len(p)+1)/2])
+		w.f.Close()
+		return n, fmt.Errorf("write %s: %w", w.f.Name(), ErrCrashed)
+	}
+	return w.f.Write(p)
+}
+
+func (w *injFile) Sync() error {
+	crash, err := w.in.step(true)
+	if err != nil {
+		return fmt.Errorf("sync %s: %w", w.f.Name(), err)
+	}
+	if crash {
+		w.f.Close()
+		return fmt.Errorf("sync %s: %w", w.f.Name(), ErrCrashed)
+	}
+	return w.f.Sync()
+}
+
+func (w *injFile) Close() error {
+	crash, err := w.in.step(true)
+	if err != nil {
+		w.f.Close()
+		return fmt.Errorf("close %s: %w", w.f.Name(), err)
+	}
+	if crash {
+		w.f.Close()
+		return fmt.Errorf("close %s: %w", w.f.Name(), ErrCrashed)
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,166 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OS.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "final")
+	if err := OS.Rename(f.Name(), path); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if fi, err := OS.Stat(path); err != nil || fi.Size() != 5 {
+		t.Fatalf("Stat = %v, %v", fi, err)
+	}
+	if err := OS.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorZeroConfigIsPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, Config{Seed: 1})
+	f, err := in.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(f.Name(), filepath.Join(dir, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := in.ReadFile(filepath.Join(dir, "x")); err != nil || string(got) != "x" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if in.Injected() != 0 {
+		t.Errorf("zero-config injector fired %d faults", in.Injected())
+	}
+	// CreateTemp + Write + Close + Rename = 4 mutations counted.
+	if in.Mutations() != 4 {
+		t.Errorf("mutations = %d, want 4", in.Mutations())
+	}
+}
+
+func TestInjectorErrorScheduleDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("data"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	run := func() []bool {
+		in := NewInjector(nil, Config{Seed: 42, ErrorRate: 0.5})
+		var fired []bool
+		for i := 0; i < 64; i++ {
+			_, err := in.ReadFile(path)
+			fired = append(fired, errors.Is(err, ErrInjected))
+		}
+		return fired
+	}
+	a, b := run(), run()
+	var any bool
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d", i)
+		}
+		any = any || a[i]
+	}
+	if !any {
+		t.Error("error rate 0.5 fired nothing in 64 ops")
+	}
+}
+
+func TestInjectorCrashTearsWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, Config{Seed: 1})
+	// CreateTemp is mutation 1, Write is mutation 2: crash on the write.
+	in.CrashAfterMutations(2)
+	f, err := in.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcdefgh")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write error = %v, want ErrCrashed", err)
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcd" {
+		t.Errorf("torn write persisted %q, want the half prefix", got)
+	}
+	// Everything after the crash fails outright.
+	if _, err := in.ReadFile(f.Name()); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash ReadFile = %v, want ErrCrashed", err)
+	}
+	if err := in.Rename(f.Name(), filepath.Join(dir, "x")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash Rename = %v, want ErrCrashed", err)
+	}
+}
+
+func TestInjectorCrashPartialRename(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, []byte("abcdefgh"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(nil, Config{Seed: 1})
+	in.CrashAfterMutations(1)
+	if err := in.Rename(src, dst); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("partial rename error = %v, want ErrCrashed", err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcd" {
+		t.Errorf("partial rename left %q at destination, want the half prefix", got)
+	}
+}
+
+func TestInjectorLatency(t *testing.T) {
+	in := NewInjector(nil, Config{Seed: 7, Latency: 2 * time.Millisecond, LatencyRate: 1})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := in.ReadFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("5 ops at 2ms forced latency took %v", d)
+	}
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -11,6 +12,9 @@ type AdmissionStats struct {
 	// that had to queue first.
 	Admitted int64
 	Waited   int64
+	// Cancelled counts acquisitions that gave up (context done) while
+	// still queued — they never held a slot and never owe a release.
+	Cancelled int64
 	// WaitTime sums the queueing time of all Waited acquisitions.
 	WaitTime time.Duration
 	// Running and Queued describe the current moment.
@@ -48,15 +52,26 @@ func NewAdmission(cap int) *Admission {
 	return &Admission{cap: cap}
 }
 
-// Acquire blocks until a slot is free (FIFO among waiters) and returns
-// the release function, which must be called exactly once.
-func (a *Admission) Acquire() (release func()) {
+// Acquire blocks until a slot is free (FIFO among waiters) or ctx is
+// done. On success it returns the release function, which must be
+// called exactly once; on cancellation it returns (nil, ctx.Err()) and
+// the caller owes nothing — a queued waiter that gives up removes
+// itself from the FIFO without consuming a slot, and if its slot
+// transfer races the cancellation, the slot is handed straight onward
+// so the running counter never leaks.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if err := ctx.Err(); err != nil {
+		a.mu.Lock()
+		a.stats.Cancelled++
+		a.mu.Unlock()
+		return nil, err
+	}
 	a.mu.Lock()
 	a.stats.Admitted++
 	if a.cap <= 0 || a.running < a.cap {
 		a.running++
 		a.mu.Unlock()
-		return a.releaseOnce()
+		return a.releaseOnce(), nil
 	}
 	ch := make(chan struct{})
 	a.waiters = append(a.waiters, ch)
@@ -67,11 +82,31 @@ func (a *Admission) Acquire() (release func()) {
 	a.mu.Unlock()
 
 	start := time.Now()
-	<-ch // the releasing holder transferred its slot to us
-	a.mu.Lock()
-	a.stats.WaitTime += time.Since(start)
-	a.mu.Unlock()
-	return a.releaseOnce()
+	select {
+	case <-ch: // the releasing holder transferred its slot to us
+		a.mu.Lock()
+		a.stats.WaitTime += time.Since(start)
+		a.mu.Unlock()
+		return a.releaseOnce(), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, w := range a.waiters {
+			if w == ch {
+				// Still queued: unqueue ourselves; no slot was consumed.
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				a.stats.Admitted-- // never admitted after all
+				a.stats.Cancelled++
+				a.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		a.stats.Cancelled++
+		a.mu.Unlock()
+		// Not in the queue, so a release already closed our channel: we
+		// hold a slot we no longer want. Hand it onward immediately.
+		a.releaseOnce()()
+		return nil, ctx.Err()
+	}
 }
 
 // releaseOnce returns a release function that hands the slot to the

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -15,7 +16,7 @@ func TestAdmissionCap(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			release := a.Acquire()
+			release := mustAcquire(a)
 			defer release()
 			n := running.Add(1)
 			for {
@@ -46,7 +47,7 @@ func TestAdmissionCap(t *testing.T) {
 
 func TestAdmissionFIFO(t *testing.T) {
 	a := NewAdmission(1)
-	release := a.Acquire() // occupy the only slot
+	release := mustAcquire(a) // occupy the only slot
 
 	const waiters = 5
 	order := make(chan int, waiters)
@@ -63,7 +64,7 @@ func TestAdmissionFIFO(t *testing.T) {
 				time.Sleep(100 * time.Microsecond)
 			}
 			started.Done()
-			r := a.Acquire()
+			r := mustAcquire(a)
 			order <- i
 			r()
 		}(i)
@@ -86,7 +87,7 @@ func TestAdmissionUnlimited(t *testing.T) {
 	a := NewAdmission(0)
 	var releases []func()
 	for i := 0; i < 8; i++ {
-		releases = append(releases, a.Acquire())
+		releases = append(releases, mustAcquire(a))
 	}
 	st := a.Stats()
 	if st.Waited != 0 || st.Running != 8 {
@@ -98,5 +99,118 @@ func TestAdmissionUnlimited(t *testing.T) {
 	}
 	if st := a.Stats(); st.Running != 0 {
 		t.Errorf("running = %d after releases", st.Running)
+	}
+}
+
+// mustAcquire is Acquire with a background context, for tests that
+// never cancel; it panics rather than returning an error so it can be
+// called from helper goroutines.
+func mustAcquire(a *Admission) func() {
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return release
+}
+
+// TestAdmissionCancelWhileQueued is the slot-leak regression test: a
+// queued Acquire that gives up must vacate its FIFO slot and leave the
+// accounting balanced — it is not admitted, it does not hold a slot,
+// and the next waiter still gets through.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(1)
+	release := mustAcquire(a) // occupy the only slot
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		rel, err := a.Acquire(ctx)
+		if rel != nil {
+			rel()
+		}
+		errc <- err
+	}()
+	for a.Stats().Queued != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Acquire = %v, want context.Canceled", err)
+	}
+
+	st := a.Stats()
+	if st.Queued != 0 {
+		t.Errorf("cancelled waiter still queued: %+v", st)
+	}
+	if st.Cancelled != 1 {
+		t.Errorf("cancelled = %d, want 1", st.Cancelled)
+	}
+	if st.Admitted != 1 {
+		t.Errorf("admitted = %d, want only the slot holder", st.Admitted)
+	}
+
+	// The slot still works: release it and a fresh Acquire sails through.
+	release()
+	done := make(chan struct{})
+	go func() {
+		mustAcquire(a)()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire blocked after a cancelled waiter — leaked slot")
+	}
+	if st := a.Stats(); st.Running != 0 || st.Queued != 0 {
+		t.Errorf("controller not quiescent: %+v", st)
+	}
+}
+
+// TestAdmissionCancelRaceBalance hammers Acquire with a mix of live
+// and instantly-cancelled contexts; whatever interleaving happens, the
+// controller must end quiescent with Admitted = successful acquires
+// and no leaked running count — the balance analogue of
+// TestServeStatsAccountingBalance for the admission layer.
+func TestAdmissionCancelRaceBalance(t *testing.T) {
+	a := NewAdmission(2)
+	var wg sync.WaitGroup
+	var succeeded atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%3 == 0 {
+				c, cancel := context.WithCancel(ctx)
+				cancel()
+				ctx = c
+			} else if i%3 == 1 {
+				c, cancel := context.WithTimeout(ctx, time.Duration(i)*100*time.Microsecond)
+				defer cancel()
+				ctx = c
+			}
+			rel, err := a.Acquire(ctx)
+			if err != nil {
+				if rel != nil {
+					t.Error("Acquire returned both a release and an error")
+				}
+				return
+			}
+			succeeded.Add(1)
+			time.Sleep(200 * time.Microsecond)
+			rel()
+		}(i)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("controller not quiescent after the race: %+v", st)
+	}
+	if st.Admitted != succeeded.Load() {
+		t.Errorf("admitted = %d, successful acquires = %d — accounting drifted",
+			st.Admitted, succeeded.Load())
+	}
+	if st.Admitted+st.Cancelled < 64 {
+		t.Errorf("admitted %d + cancelled %d < 64 attempts", st.Admitted, st.Cancelled)
 	}
 }

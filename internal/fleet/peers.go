@@ -1,12 +1,14 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
-	"sync/atomic"
+	"sync"
 	"time"
 )
 
@@ -16,9 +18,25 @@ import (
 // the peer does not hold the key). PeerClient fetches through it.
 const PlanSetPath = "/planset/"
 
-// maxPeerDoc bounds a fetched document (a corrupt or hostile peer must
-// not balloon memory); real documents are a few MB at most.
-const maxPeerDoc = 1 << 30
+// DocHashHeader carries the hex SHA-256 of the served document bytes.
+// mpqserve's /planset handler sets it; PeerClient validates it when
+// present, so a response corrupted in flight degrades to a counted
+// miss instead of poisoning the fetcher's cache.
+const DocHashHeader = "X-Mpq-Doc-Sha256"
+
+// PeerState labels a peer's circuit-breaker state.
+type PeerState string
+
+const (
+	// PeerClosed: requests flow normally.
+	PeerClosed PeerState = "closed"
+	// PeerOpen: the breaker tripped; requests are skipped until the
+	// cooldown elapses.
+	PeerOpen PeerState = "open"
+	// PeerHalfOpen: the cooldown elapsed; a single probe request is in
+	// flight to decide between closing and reopening.
+	PeerHalfOpen PeerState = "half-open"
+)
 
 // PeerStats counts the peer backend's traffic.
 type PeerStats struct {
@@ -27,31 +45,146 @@ type PeerStats struct {
 	Fetches int64
 	Hits    int64
 	// Errors counts per-peer request failures (unreachable peer, non-OK
-	// non-404 status, truncated body). A Fetch that errors on one peer
-	// can still hit on the next.
+	// non-404 status, truncated or corrupt body) after retries. A Fetch
+	// that errors on one peer can still hit on the next.
 	Errors int64
+	// Retries counts re-attempts of failed peer requests.
+	Retries int64
+	// BreakerTrips counts closed→open transitions across all peers;
+	// BreakerSkips counts requests not sent because a breaker was open.
+	BreakerTrips int64
+	BreakerSkips int64
+	// Corrupt counts responses rejected by integrity validation (size
+	// limit, content-hash mismatch, non-document body).
+	Corrupt int64
+	// Peers describes each configured peer's current breaker state.
+	Peers []PeerInfo
+}
+
+// PeerInfo is one peer's slice of PeerStats.
+type PeerInfo struct {
+	URL      string
+	State    PeerState
+	Failures int // consecutive failures since the last success
+	Trips    int64
+	Hits     int64
+	Errors   int64
+}
+
+// PeerOptions parameterizes a PeerClient. The zero value selects
+// production defaults.
+type PeerOptions struct {
+	// Timeout bounds one peer request (0 = 5s). Fetch's context caps it
+	// further.
+	Timeout time.Duration
+	// Retries is how many times a failed request to one peer is retried
+	// before moving to the next peer (0 = 2; negative = none). Only
+	// transport errors and 5xx responses are retried — a 404 or a
+	// corrupt-but-delivered body will not improve on retry.
+	Retries int
+	// BackoffBase and BackoffMax bound the jittered exponential backoff
+	// between retries (0 = 25ms base, 500ms max).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker (0 = 5; negative = never).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before
+	// allowing a half-open probe (0 = 10s).
+	BreakerCooldown time.Duration
+	// MaxDoc bounds a fetched document's size (0 = 1 GiB); real
+	// documents are a few MB at most.
+	MaxDoc int64
+	// Seed makes the backoff jitter deterministic for tests (0 = from
+	// the clock).
+	Seed int64
+}
+
+func (o PeerOptions) withDefaults() PeerOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 25 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 500 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 10 * time.Second
+	}
+	if o.MaxDoc <= 0 {
+		o.MaxDoc = 1 << 30
+	}
+	return o
+}
+
+// peer is one configured peer's breaker + counters, guarded by the
+// client's mu.
+type peer struct {
+	url      string
+	state    PeerState
+	failures int       // consecutive failures since last success
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	trips    int64
+	hits     int64
+	errors   int64
 }
 
 // PeerClient fetches prepared plan-set documents from sibling servers
 // over HTTP, so a fleet member consults its peers' caches before
-// optimizing. Peers are tried in order; the first 200 wins, 404 moves
-// on, and transport errors are counted and skipped — a fleet member
-// must keep serving when its peers are down.
+// optimizing. Peers are tried in order; the first valid 200 wins, 404
+// moves on, and failures are retried with jittered exponential backoff,
+// counted, and skipped — a fleet member must keep serving when its
+// peers are down. A peer that fails BreakerThreshold times in a row is
+// circuit-broken: skipped outright until BreakerCooldown elapses, then
+// probed by a single half-open request that decides between closing
+// and reopening. Responses are validated (size limit, optional
+// content-hash header, document probe) so a corrupt peer response
+// degrades to a miss, never a poisoned cache entry.
 type PeerClient struct {
-	peers  []string
+	opts   PeerOptions
 	client *http.Client
 
-	fetches, hits, errors atomic.Int64
+	mu      sync.Mutex
+	peers   []*peer
+	rng     *rand.Rand
+	fetches int64
+	hits    int64
+	errors  int64
+	retries int64
+	trips   int64
+	skips   int64
+	corrupt int64
 }
 
 // NewPeerClient returns a client for the given peer base URLs (e.g.
-// "http://mpq-2:8080"). Zero timeout selects 5s per peer request.
+// "http://mpq-2:8080") with default resilience options. Zero timeout
+// selects 5s per peer request.
 func NewPeerClient(peers []string, timeout time.Duration) *PeerClient {
-	if timeout <= 0 {
-		timeout = 5 * time.Second
+	return NewPeerClientOptions(peers, PeerOptions{Timeout: timeout})
+}
+
+// NewPeerClientOptions is NewPeerClient with explicit retry/breaker
+// parameters.
+func NewPeerClientOptions(urls []string, opts PeerOptions) *PeerClient {
+	opts = opts.withDefaults()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
 	}
-	cleaned := make([]string, 0, len(peers))
-	for _, p := range peers {
+	var peers []*peer
+	for _, p := range urls {
 		p = strings.TrimRight(strings.TrimSpace(p), "/")
 		if p == "" {
 			continue
@@ -59,65 +192,231 @@ func NewPeerClient(peers []string, timeout time.Duration) *PeerClient {
 		if !strings.Contains(p, "://") {
 			p = "http://" + p
 		}
-		cleaned = append(cleaned, p)
+		peers = append(peers, &peer{url: p, state: PeerClosed})
 	}
 	return &PeerClient{
-		peers:  cleaned,
-		client: &http.Client{Timeout: timeout},
+		opts:   opts,
+		client: &http.Client{Timeout: opts.Timeout},
+		peers:  peers,
+		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
 
 // Peers returns the configured peer base URLs.
 func (p *PeerClient) Peers() []string {
-	return append([]string(nil), p.peers...)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	urls := make([]string, len(p.peers))
+	for i, pr := range p.peers {
+		urls[i] = pr.url
+	}
+	return urls
 }
 
-// Fetch asks each peer for the document published under key. ok is
-// false when no peer holds it; err then aggregates any transport
-// failures encountered along the way (all-404 yields a nil error).
-func (p *PeerClient) Fetch(key string) (doc []byte, ok bool, err error) {
-	p.fetches.Add(1)
+// admit decides whether a request to pr may be sent now, advancing the
+// breaker open→half-open when the cooldown has elapsed.
+func (p *PeerClient) admit(pr *peer) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch pr.state {
+	case PeerClosed:
+		return true
+	case PeerOpen:
+		if time.Since(pr.openedAt) < p.opts.BreakerCooldown {
+			p.skips++
+			return false
+		}
+		pr.state = PeerHalfOpen
+		pr.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if pr.probing {
+			p.skips++
+			return false
+		}
+		pr.probing = true
+		return true
+	}
+}
+
+// settle records a request outcome on pr's breaker.
+func (p *PeerClient) settle(pr *peer, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pr.probing = false
+	if ok {
+		pr.state = PeerClosed
+		pr.failures = 0
+		return
+	}
+	pr.failures++
+	if pr.state == PeerHalfOpen ||
+		(p.opts.BreakerThreshold > 0 && pr.failures >= p.opts.BreakerThreshold && pr.state == PeerClosed) {
+		pr.state = PeerOpen
+		pr.openedAt = time.Now()
+		pr.trips++
+		p.trips++
+	}
+}
+
+// backoff returns the jittered exponential delay before retry attempt
+// (attempt 1 = first retry).
+func (p *PeerClient) backoff(attempt int) time.Duration {
+	d := p.opts.BackoffBase << (attempt - 1)
+	if d > p.opts.BackoffMax || d <= 0 {
+		d = p.opts.BackoffMax
+	}
+	p.mu.Lock()
+	jitter := time.Duration(p.rng.Int63n(int64(d) + 1))
+	p.mu.Unlock()
+	return d/2 + jitter/2
+}
+
+// Fetch asks each peer for the document published under key,
+// respecting ctx. ok is false when no peer holds it; err then
+// aggregates any failures encountered along the way (all-404 yields a
+// nil error).
+func (p *PeerClient) Fetch(ctx context.Context, key string) (doc []byte, ok bool, err error) {
+	p.mu.Lock()
+	p.fetches++
+	peers := p.peers
+	p.mu.Unlock()
 	var errs []error
-	for _, peer := range p.peers {
-		doc, found, ferr := p.fetchOne(peer, key)
+	for _, pr := range peers {
+		if ctx.Err() != nil {
+			errs = append(errs, ctx.Err())
+			break
+		}
+		if !p.admit(pr) {
+			continue
+		}
+		doc, found, ferr := p.fetchRetrying(ctx, pr, key)
+		p.settle(pr, ferr == nil)
 		if ferr != nil {
-			p.errors.Add(1)
+			p.mu.Lock()
+			p.errors++
+			pr.errors++
+			p.mu.Unlock()
 			errs = append(errs, ferr)
 			continue
 		}
 		if found {
-			p.hits.Add(1)
+			p.mu.Lock()
+			p.hits++
+			pr.hits++
+			p.mu.Unlock()
 			return doc, true, nil
 		}
 	}
 	return nil, false, errors.Join(errs...)
 }
 
-func (p *PeerClient) fetchOne(peer, key string) ([]byte, bool, error) {
-	resp, err := p.client.Get(peer + PlanSetPath + key)
-	if err != nil {
-		return nil, false, fmt.Errorf("fleet: peer %s: %w", peer, err)
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		doc, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerDoc))
-		if err != nil {
-			return nil, false, fmt.Errorf("fleet: peer %s: reading %s: %w", peer, key, err)
+// fetchRetrying is fetchOne plus bounded, backed-off retries of
+// retryable failures (transport errors, 5xx). Non-retryable failures
+// (corrupt body, unexpected 4xx) return immediately.
+func (p *PeerClient) fetchRetrying(ctx context.Context, pr *peer, key string) ([]byte, bool, error) {
+	var last error
+	for attempt := 0; ; attempt++ {
+		doc, found, retryable, err := p.fetchOne(ctx, pr.url, key)
+		if err == nil {
+			return doc, found, nil
 		}
-		return doc, true, nil
-	case http.StatusNotFound:
-		return nil, false, nil
-	default:
-		return nil, false, fmt.Errorf("fleet: peer %s: %s for %s", peer, resp.Status, key)
+		last = err
+		if !retryable || attempt >= p.opts.Retries || ctx.Err() != nil {
+			return nil, false, last
+		}
+		p.mu.Lock()
+		p.retries++
+		p.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, false, errors.Join(last, ctx.Err())
+		case <-time.After(p.backoff(attempt + 1)):
+		}
 	}
 }
 
-// Stats returns a snapshot of the traffic counters.
-func (p *PeerClient) Stats() PeerStats {
-	return PeerStats{
-		Fetches: p.fetches.Load(),
-		Hits:    p.hits.Load(),
-		Errors:  p.errors.Load(),
+func (p *PeerClient) fetchOne(ctx context.Context, peerURL, key string) (doc []byte, found, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peerURL+PlanSetPath+key, nil)
+	if err != nil {
+		return nil, false, false, fmt.Errorf("fleet: peer %s: %w", peerURL, err)
 	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, false, true, fmt.Errorf("fleet: peer %s: %w", peerURL, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if resp.ContentLength > p.opts.MaxDoc {
+			p.countCorrupt()
+			return nil, false, false, fmt.Errorf("fleet: peer %s: document %s is %d bytes, limit %d", peerURL, key, resp.ContentLength, p.opts.MaxDoc)
+		}
+		doc, err := io.ReadAll(io.LimitReader(resp.Body, p.opts.MaxDoc+1))
+		if err != nil {
+			return nil, false, true, fmt.Errorf("fleet: peer %s: reading %s: %w", peerURL, key, err)
+		}
+		if err := p.validateDoc(peerURL, key, resp.Header.Get(DocHashHeader), doc); err != nil {
+			p.countCorrupt()
+			return nil, false, false, err
+		}
+		return doc, true, false, nil
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, false, false, nil
+	case resp.StatusCode >= 500:
+		return nil, false, true, fmt.Errorf("fleet: peer %s: %s for %s", peerURL, resp.Status, key)
+	default:
+		return nil, false, false, fmt.Errorf("fleet: peer %s: %s for %s", peerURL, resp.Status, key)
+	}
+}
+
+// validateDoc rejects oversized, hash-mismatched, or structurally
+// invalid documents before they can reach a cache.
+func (p *PeerClient) validateDoc(peerURL, key, wantHash string, doc []byte) error {
+	if int64(len(doc)) > p.opts.MaxDoc {
+		return fmt.Errorf("fleet: peer %s: document %s exceeds %d bytes", peerURL, key, p.opts.MaxDoc)
+	}
+	if wantHash != "" {
+		if sum := contentHash(doc); sum != wantHash {
+			return fmt.Errorf("fleet: peer %s: document %s content hash %s, header says %s", peerURL, key, sum, wantHash)
+		}
+	}
+	if _, err := docDim(doc); err != nil {
+		return fmt.Errorf("fleet: peer %s: document %s: %w", peerURL, key, err)
+	}
+	return nil
+}
+
+func (p *PeerClient) countCorrupt() {
+	p.mu.Lock()
+	p.corrupt++
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the traffic counters and per-peer
+// breaker states.
+func (p *PeerClient) Stats() PeerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PeerStats{
+		Fetches:      p.fetches,
+		Hits:         p.hits,
+		Errors:       p.errors,
+		Retries:      p.retries,
+		BreakerTrips: p.trips,
+		BreakerSkips: p.skips,
+		Corrupt:      p.corrupt,
+		Peers:        make([]PeerInfo, len(p.peers)),
+	}
+	for i, pr := range p.peers {
+		st.Peers[i] = PeerInfo{
+			URL:      pr.url,
+			State:    pr.state,
+			Failures: pr.failures,
+			Trips:    pr.trips,
+			Hits:     pr.hits,
+			Errors:   pr.errors,
+		}
+	}
+	return st
 }

@@ -1,0 +1,259 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastOpts keeps retry/backoff delays negligible in tests.
+func fastOpts(o PeerOptions) PeerOptions {
+	if o.BackoffBase == 0 {
+		o.BackoffBase = time.Millisecond
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = 2 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func TestPeerRetriesRecoverFromTransient5xx(t *testing.T) {
+	doc := testDoc(2, 1)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set(DocHashHeader, contentHash(doc))
+		w.Write(doc)
+	}))
+	defer ts.Close()
+
+	p := NewPeerClientOptions([]string{ts.URL}, fastOpts(PeerOptions{Retries: 2}))
+	got, ok, err := p.Fetch(context.Background(), "k")
+	if err != nil || !ok || !bytes.Equal(got, doc) {
+		t.Fatalf("Fetch = ok=%v err=%v", ok, err)
+	}
+	st := p.Stats()
+	if st.Retries != 2 {
+		t.Errorf("retries = %d, want 2", st.Retries)
+	}
+	if st.Hits != 1 || st.Errors != 0 {
+		t.Errorf("hits=%d errors=%d, want 1/0", st.Hits, st.Errors)
+	}
+	if st.Peers[0].State != PeerClosed || st.Peers[0].Failures != 0 {
+		t.Errorf("peer after recovery: %+v", st.Peers[0])
+	}
+}
+
+func TestPeerRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	p := NewPeerClientOptions([]string{ts.URL}, fastOpts(PeerOptions{Retries: 2}))
+	if _, ok, err := p.Fetch(context.Background(), "k"); ok || err == nil {
+		t.Fatalf("Fetch against an all-500 peer = ok=%v err=%v", ok, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("peer saw %d requests, want 1 + 2 retries", got)
+	}
+	st := p.Stats()
+	if st.Errors != 1 || st.Retries != 2 {
+		t.Errorf("errors=%d retries=%d, want 1/2", st.Errors, st.Retries)
+	}
+}
+
+func TestPeerNoRetryOn404(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	p := NewPeerClientOptions([]string{ts.URL}, fastOpts(PeerOptions{Retries: 3}))
+	if _, ok, err := p.Fetch(context.Background(), "k"); ok || err != nil {
+		t.Fatalf("miss = ok=%v err=%v", ok, err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("a 404 was retried: %d requests", got)
+	}
+}
+
+func TestPeerBreakerTripsAndRecovers(t *testing.T) {
+	doc := testDoc(2, 1)
+	var healthy atomic.Bool
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set(DocHashHeader, contentHash(doc))
+		w.Write(doc)
+	}))
+	defer ts.Close()
+
+	p := NewPeerClientOptions([]string{ts.URL}, fastOpts(PeerOptions{
+		Retries:          -1, // isolate the breaker from retry effects
+		BreakerThreshold: 3,
+		BreakerCooldown:  30 * time.Millisecond,
+	}))
+
+	// Three consecutive failures trip the breaker.
+	for i := 0; i < 3; i++ {
+		if _, ok, err := p.Fetch(context.Background(), "k"); ok || err == nil {
+			t.Fatalf("fetch %d against a down peer = ok=%v err=%v", i, ok, err)
+		}
+	}
+	st := p.Stats()
+	if st.BreakerTrips != 1 || st.Peers[0].State != PeerOpen {
+		t.Fatalf("after 3 failures: trips=%d state=%s", st.BreakerTrips, st.Peers[0].State)
+	}
+
+	// While open, requests are skipped — the peer sees no traffic.
+	before := calls.Load()
+	for i := 0; i < 4; i++ {
+		p.Fetch(context.Background(), "k")
+	}
+	if calls.Load() != before {
+		t.Errorf("open breaker let %d requests through", calls.Load()-before)
+	}
+	if st := p.Stats(); st.BreakerSkips < 4 {
+		t.Errorf("skips = %d, want >= 4", st.BreakerSkips)
+	}
+
+	// After the cooldown, a half-open probe against a recovered peer
+	// closes the breaker again.
+	healthy.Store(true)
+	time.Sleep(40 * time.Millisecond)
+	got, ok, err := p.Fetch(context.Background(), "k")
+	if err != nil || !ok || !bytes.Equal(got, doc) {
+		t.Fatalf("probe fetch = ok=%v err=%v", ok, err)
+	}
+	if st := p.Stats(); st.Peers[0].State != PeerClosed {
+		t.Errorf("peer state after successful probe = %s", st.Peers[0].State)
+	}
+}
+
+func TestPeerBreakerReopensOnFailedProbe(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "still down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	p := NewPeerClientOptions([]string{ts.URL}, fastOpts(PeerOptions{
+		Retries:          -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Millisecond,
+	}))
+	for i := 0; i < 2; i++ {
+		p.Fetch(context.Background(), "k")
+	}
+	if st := p.Stats(); st.Peers[0].State != PeerOpen {
+		t.Fatalf("state after threshold failures = %s", st.Peers[0].State)
+	}
+	time.Sleep(15 * time.Millisecond)
+	p.Fetch(context.Background(), "k") // half-open probe fails
+	st := p.Stats()
+	if st.Peers[0].State != PeerOpen {
+		t.Errorf("state after failed probe = %s, want reopened", st.Peers[0].State)
+	}
+	if st.BreakerTrips != 2 {
+		t.Errorf("trips = %d, want 2 (initial + failed probe)", st.BreakerTrips)
+	}
+}
+
+func TestPeerHashMismatchIsCorruptMiss(t *testing.T) {
+	doc := testDoc(2, 1)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set(DocHashHeader, contentHash([]byte("different bytes")))
+		w.Write(doc)
+	}))
+	defer ts.Close()
+	p := NewPeerClientOptions([]string{ts.URL}, fastOpts(PeerOptions{Retries: 3}))
+	if _, ok, err := p.Fetch(context.Background(), "k"); ok || err == nil {
+		t.Fatalf("hash-mismatched fetch = ok=%v err=%v", ok, err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("a corrupt body was retried: %d requests", got)
+	}
+	if st := p.Stats(); st.Corrupt != 1 || st.Hits != 0 {
+		t.Errorf("corrupt=%d hits=%d, want 1/0", st.Corrupt, st.Hits)
+	}
+}
+
+func TestPeerNonDocumentBodyIsCorruptMiss(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<html>sorry</html>"))
+	}))
+	defer ts.Close()
+	p := NewPeerClientOptions([]string{ts.URL}, fastOpts(PeerOptions{}))
+	if _, ok, err := p.Fetch(context.Background(), "k"); ok || err == nil {
+		t.Fatalf("non-document fetch = ok=%v err=%v", ok, err)
+	}
+	if st := p.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt = %d, want 1", st.Corrupt)
+	}
+}
+
+func TestPeerOversizedDocRejected(t *testing.T) {
+	big := append([]byte(`{"space":{"dim":2},"pad":"`), bytes.Repeat([]byte("x"), 1024)...)
+	big = append(big, []byte(`"}`)...)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(big)
+	}))
+	defer ts.Close()
+	p := NewPeerClientOptions([]string{ts.URL}, fastOpts(PeerOptions{MaxDoc: 64}))
+	if _, ok, err := p.Fetch(context.Background(), "k"); ok || err == nil {
+		t.Fatalf("oversized fetch = ok=%v err=%v", ok, err)
+	}
+	if st := p.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt = %d, want 1", st.Corrupt)
+	}
+}
+
+func TestPeerFetchRespectsContext(t *testing.T) {
+	doc := testDoc(2, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(doc)
+	}))
+	defer ts.Close()
+	p := NewPeerClientOptions([]string{ts.URL}, fastOpts(PeerOptions{}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok, err := p.Fetch(ctx, "k"); ok || err == nil {
+		t.Fatalf("cancelled Fetch = ok=%v err=%v", ok, err)
+	}
+
+	// Cancellation also cuts the retry backoff short.
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer slow.Close()
+	p2 := NewPeerClientOptions([]string{slow.URL}, PeerOptions{
+		Retries: 5, BackoffBase: time.Hour, BackoffMax: time.Hour, Seed: 1,
+	})
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	if _, ok, err := p2.Fetch(ctx2, "k"); ok || err == nil {
+		t.Fatalf("deadline Fetch = ok=%v err=%v", ok, err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("Fetch slept through an hour-long backoff for %v despite the deadline", d)
+	}
+}

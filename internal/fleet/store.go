@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"mpq/internal/faultfs"
 )
 
 // SharedStore is a shared plan-set document store: a fleet of servers
@@ -85,6 +87,7 @@ var errManifestCorrupt = errors.New("fleet: manifest corrupt")
 // per key and never serves wrong data.
 type DirStore struct {
 	dir string
+	fs  faultfs.FS
 
 	// mu guards the parsed-manifest cache and serializes Put's
 	// read-modify-write. The cache is invalidated by stat (size +
@@ -98,20 +101,30 @@ type DirStore struct {
 	manSize int64
 	manMod  time.Time
 
-	statsMu            sync.Mutex
-	hits, misses, puts int64
+	statsMu                         sync.Mutex
+	hits, misses, puts, quarantined int64
 }
 
 // NewDirStore opens (creating if needed) an on-disk shared store rooted
 // at dir.
 func NewDirStore(dir string) (*DirStore, error) {
+	return NewDirStoreFS(dir, nil)
+}
+
+// NewDirStoreFS is NewDirStore with an explicit filesystem (nil selects
+// the real one) — the fault-injection seam for crash and I/O-error
+// tests.
+func NewDirStoreFS(dir string, fsys faultfs.FS) (*DirStore, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("fleet: shared dir must not be empty")
+	}
+	if fsys == nil {
+		fsys = faultfs.OS
 	}
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("fleet: shared dir: %w", err)
 	}
-	return &DirStore{dir: dir}, nil
+	return &DirStore{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the store's root directory.
@@ -131,9 +144,10 @@ func (d *DirStore) blobPath(key, sha string) string {
 // Get implements SharedStore: resolve the key through the manifest,
 // read the immutable blob it points to, verify size, content hash and
 // dimension. A blob that disagrees with its manifest entry is reported
-// as an error, not silently served; a manifest entry whose blob is
-// gone degrades to a miss (the blob generation was superseded and the
-// caller recomputes).
+// as an error, not silently served — and quarantined (renamed to
+// <blob>.quarantine), so the very next Get degrades to a plain miss
+// and the key heals through recompute-and-republish instead of staying
+// permanently wedged on one corrupt file.
 func (d *DirStore) Get(key string) ([]byte, bool, error) {
 	m, err := d.readManifest()
 	if err != nil {
@@ -144,7 +158,8 @@ func (d *DirStore) Get(key string) ([]byte, bool, error) {
 		d.count(&d.misses)
 		return nil, false, nil
 	}
-	doc, err := os.ReadFile(d.blobPath(key, ent.SHA256))
+	path := d.blobPath(key, ent.SHA256)
+	doc, err := d.fs.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			d.count(&d.misses)
@@ -153,10 +168,22 @@ func (d *DirStore) Get(key string) ([]byte, bool, error) {
 		return nil, false, fmt.Errorf("fleet: reading shared document %s: %w", key, err)
 	}
 	if err := validateEntry(key, ent, doc); err != nil {
+		d.quarantine(path)
 		return nil, false, err
 	}
 	d.count(&d.hits)
 	return doc, true, nil
+}
+
+// quarantine moves a blob that failed integrity validation out of the
+// way (best-effort — on failure the next Get re-detects the mismatch)
+// and counts it. The manifest entry is left in place: with the blob
+// gone, it degrades to a miss, and the key's next Put re-points it.
+func (d *DirStore) quarantine(path string) {
+	if err := d.fs.Rename(path, path+".quarantine"); err != nil {
+		return
+	}
+	d.count(&d.quarantined)
 }
 
 func (d *DirStore) count(c *int64) {
@@ -193,7 +220,7 @@ func (d *DirStore) Put(key string, doc []byte) error {
 		return fmt.Errorf("fleet: refusing to publish %s: %w", key, err)
 	}
 	sha := contentHash(doc)
-	if err := WriteFileAtomic(d.dir, d.blobPath(key, sha), doc); err != nil {
+	if err := writeFileAtomicFS(d.fs, d.dir, d.blobPath(key, sha), doc); err != nil {
 		return fmt.Errorf("fleet: publishing %s: %w", key, err)
 	}
 	d.count(&d.puts)
@@ -228,7 +255,7 @@ func (d *DirStore) Put(key string, doc []byte) error {
 		return err
 	}
 	// Cache what was just written so the next Get skips the re-parse.
-	if fi, err := os.Stat(filepath.Join(d.dir, manifestName)); err == nil {
+	if fi, err := d.fs.Stat(filepath.Join(d.dir, manifestName)); err == nil {
 		d.man, d.manSize, d.manMod = m, fi.Size(), fi.ModTime()
 	}
 	return nil
@@ -237,7 +264,7 @@ func (d *DirStore) Put(key string, doc []byte) error {
 // Flush implements SharedStore: every Put is already fsync'd (document
 // and manifest), so Flush only re-syncs the directory entry.
 func (d *DirStore) Flush() error {
-	return syncDir(d.dir)
+	return d.fs.SyncDir(d.dir)
 }
 
 // Stats returns the store's hit/miss/put counters.
@@ -245,6 +272,13 @@ func (d *DirStore) Stats() (hits, misses, puts int64) {
 	d.statsMu.Lock()
 	defer d.statsMu.Unlock()
 	return d.hits, d.misses, d.puts
+}
+
+// Quarantined returns how many corrupt blobs Get has moved aside.
+func (d *DirStore) Quarantined() int64 {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	return d.quarantined
 }
 
 // readManifest returns the parsed manifest (an absent manifest is an
@@ -262,7 +296,7 @@ func (d *DirStore) readManifest() (*manifest, error) {
 // returned manifest's Entries. Parse errors are never cached.
 func (d *DirStore) cachedManifestLocked() (*manifest, error) {
 	path := filepath.Join(d.dir, manifestName)
-	fi, err := os.Stat(path)
+	fi, err := d.fs.Stat(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return &manifest{Version: 1, Entries: map[string]manifestEntry{}}, nil
@@ -272,7 +306,7 @@ func (d *DirStore) cachedManifestLocked() (*manifest, error) {
 	if d.man != nil && fi.Size() == d.manSize && fi.ModTime().Equal(d.manMod) {
 		return d.man, nil
 	}
-	m, err := readManifestFile(path)
+	m, err := readManifestFile(d.fs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -280,8 +314,8 @@ func (d *DirStore) cachedManifestLocked() (*manifest, error) {
 	return m, nil
 }
 
-func readManifestFile(path string) (*manifest, error) {
-	raw, err := os.ReadFile(path)
+func readManifestFile(fsys faultfs.FS, path string) (*manifest, error) {
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return &manifest{Version: 1, Entries: map[string]manifestEntry{}}, nil
@@ -303,7 +337,7 @@ func (d *DirStore) writeManifestLocked(m *manifest) error {
 	if err != nil {
 		return fmt.Errorf("fleet: encoding manifest: %w", err)
 	}
-	if err := WriteFileAtomic(d.dir, filepath.Join(d.dir, manifestName), raw); err != nil {
+	if err := writeFileAtomicFS(d.fs, d.dir, filepath.Join(d.dir, manifestName), raw); err != nil {
 		return fmt.Errorf("fleet: writing manifest: %w", err)
 	}
 	return nil
@@ -316,13 +350,27 @@ func (d *DirStore) writeManifestLocked(m *manifest) error {
 // persistence both use it, so the same bytes get the same durability
 // wherever they land.
 func WriteFileAtomic(dir, path string, data []byte) error {
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	return writeFileAtomicFS(faultfs.OS, dir, path, data)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic through an explicit filesystem
+// (nil selects the real one) — the injection seam the serving layer's
+// Options.Dir persistence uses.
+func WriteFileAtomicFS(fsys faultfs.FS, dir, path string, data []byte) error {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	return writeFileAtomicFS(fsys, dir, path, data)
+}
+
+func writeFileAtomicFS(fsys faultfs.FS, dir, path string, data []byte) error {
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	cleanup := func() {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 	}
 	if _, err := tmp.Write(data); err != nil {
 		cleanup()
@@ -333,28 +381,14 @@ func WriteFileAtomic(dir, path string, data []byte) error {
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so completed renames survive a crash.
-func syncDir(dir string) error {
-	f, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	// Some platforms refuse to fsync directories; the rename is then
-	// only as durable as the filesystem makes it, which matches every
-	// other os.Rename caller in the tree.
-	_ = f.Sync()
-	return nil
+	return fsys.SyncDir(dir)
 }
 
 // contentHash is the hex SHA-256 of a document's bytes.
@@ -362,6 +396,10 @@ func contentHash(doc []byte) string {
 	sum := sha256.Sum256(doc)
 	return hex.EncodeToString(sum[:])
 }
+
+// ContentHash is the hex SHA-256 of a document's bytes — the value the
+// /planset endpoint carries in DocHashHeader and PeerClient validates.
+func ContentHash(doc []byte) string { return contentHash(doc) }
 
 // docDim extracts the parameter-space dimension from a serialized
 // plan-set document without deserializing the plans.

@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"mpq/internal/faultfs"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -45,7 +47,7 @@ func TestDirStoreRoundTrip(t *testing.T) {
 	}
 
 	// The manifest records size, content hash and dimension.
-	m, err := readManifestFile(filepath.Join(d.Dir(), manifestName))
+	m, err := readManifestFile(faultfs.OS, filepath.Join(d.Dir(), manifestName))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func TestDirStoreRejectsNonDocument(t *testing.T) {
 func corruptManifest(t *testing.T, dir, key string, mutate func(*manifestEntry)) {
 	t.Helper()
 	path := filepath.Join(dir, manifestName)
-	m, err := readManifestFile(path)
+	m, err := readManifestFile(faultfs.OS, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func corruptManifest(t *testing.T, dir, key string, mutate func(*manifestEntry))
 func corruptManifestDrop(t *testing.T, dir, key string) {
 	t.Helper()
 	path := filepath.Join(dir, manifestName)
-	m, err := readManifestFile(path)
+	m, err := readManifestFile(faultfs.OS, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,11 +340,11 @@ func TestPeerClientFetch(t *testing.T) {
 	// A dead peer, a broken peer, then the one that has it: Fetch must
 	// skip past the failures and hit.
 	p := NewPeerClient([]string{"http://127.0.0.1:1", downsrv.URL, hitsrv.URL}, time.Second)
-	doc, ok, err := p.Fetch("k1")
+	doc, ok, err := p.Fetch(context.Background(), "k1")
 	if err != nil || !ok || !bytes.Equal(doc, docs["k1"]) {
 		t.Fatalf("Fetch = %q ok=%v err=%v", doc, ok, err)
 	}
-	if _, ok, err := p.Fetch("absent"); ok {
+	if _, ok, err := p.Fetch(context.Background(), "absent"); ok {
 		t.Errorf("absent key ok=%v err=%v", ok, err)
 	}
 	st := p.Stats()

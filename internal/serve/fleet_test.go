@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -58,6 +59,7 @@ func planSetServer(s *Server) *httptest.Server {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(fleet.DocHashHeader, fleet.ContentHash(doc))
 		w.Write(doc)
 	}))
 }
@@ -96,7 +98,7 @@ func TestFleetPickEquivalence(t *testing.T) {
 			// Server A computes and publishes to the shared store.
 			a := New(Options{Workers: 2, Index: true, Shared: sharedA})
 			defer a.Close()
-			prepA, err := a.Prepare(tpl)
+			prepA, err := a.Prepare(context.Background(), tpl)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,7 +112,7 @@ func TestFleetPickEquivalence(t *testing.T) {
 			// Server B loads from the shared store (no optimization).
 			b := New(Options{Workers: 2, Index: true, Shared: sharedA})
 			defer b.Close()
-			prepB, err := b.Prepare(tpl)
+			prepB, err := b.Prepare(context.Background(), tpl)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -135,7 +137,7 @@ func TestFleetPickEquivalence(t *testing.T) {
 				Peers:  fleet.NewPeerClient([]string{peerSrv.URL}, 0),
 			})
 			defer c.Close()
-			prepC, err := c.Prepare(tpl)
+			prepC, err := c.Prepare(context.Background(), tpl)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -202,7 +204,7 @@ func TestServeStatsAccountingBalance(t *testing.T) {
 	defer s.Close()
 	var keys []string
 	for seed := int64(21); seed < 24; seed++ {
-		prep, err := s.Prepare(testTemplate(seed))
+		prep, err := s.Prepare(context.Background(), testTemplate(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +218,7 @@ func TestServeStatsAccountingBalance(t *testing.T) {
 
 	// Every key — evicted or resident — still picks, via reload.
 	for _, key := range keys {
-		if _, err := s.Pick(PickRequest{Key: key, Point: testPoints[2]}); err != nil {
+		if _, err := s.Pick(context.Background(), PickRequest{Key: key, Point: testPoints[2]}); err != nil {
 			t.Fatalf("pick on key %s after evictions: %v", key, err)
 		}
 	}
@@ -236,14 +238,14 @@ func TestServeStatsAccountingBalance(t *testing.T) {
 	// ErrUnknownPlanSet (no silent recompute at pick time).
 	lone := New(Options{Workers: 1, CacheBytes: 1})
 	defer lone.Close()
-	prepA, err := lone.Prepare(testTemplate(21))
+	prepA, err := lone.Prepare(context.Background(), testTemplate(21))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := lone.Prepare(testTemplate(33)); err != nil {
+	if _, err := lone.Prepare(context.Background(), testTemplate(33)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := lone.Pick(PickRequest{Key: prepA.Key, Point: testPoints[0]}); !errors.Is(err, ErrUnknownPlanSet) {
+	if _, err := lone.Pick(context.Background(), PickRequest{Key: prepA.Key, Point: testPoints[0]}); !errors.Is(err, ErrUnknownPlanSet) {
 		t.Errorf("pick on evicted key without sources = %v, want ErrUnknownPlanSet", err)
 	}
 	checkBalance(lone.Stats())
@@ -309,7 +311,7 @@ func TestFleetStress(t *testing.T) {
 							si, x, renderAll(res.Choices), want)
 						return
 					}
-					bres, err := s.PickBatch(PickBatchRequest{
+					bres, err := s.PickBatch(context.Background(), PickBatchRequest{
 						Key: prep.Key, Points: testPoints,
 						Policy: PolicyWeightedSum, Weights: []float64{1, 10000},
 					})
@@ -388,7 +390,7 @@ func TestMalformedKeysNeverReachSources(t *testing.T) {
 		if _, err := s.Document(key); !errors.Is(err, ErrUnknownPlanSet) {
 			t.Errorf("Document(%q) = %v, want ErrUnknownPlanSet", key, err)
 		}
-		if _, err := s.Pick(PickRequest{Key: key, Point: geometry.Vector{0.5}}); !errors.Is(err, ErrUnknownPlanSet) {
+		if _, err := s.Pick(context.Background(), PickRequest{Key: key, Point: geometry.Vector{0.5}}); !errors.Is(err, ErrUnknownPlanSet) {
 			t.Errorf("Pick(%q) = %v, want ErrUnknownPlanSet", key, err)
 		}
 	}
@@ -406,7 +408,7 @@ func TestServerDonatesIdleWorkers(t *testing.T) {
 	opts.Optimizer.SplitCandidates = 1 // force split jobs
 	s := New(opts)
 	defer s.Close()
-	prep, err := s.Prepare(tpl)
+	prep, err := s.Prepare(context.Background(), tpl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +437,7 @@ func TestMaxConcurrentPrepares(t *testing.T) {
 	defer s.Close()
 	// Occupy the only admission slot so the Prepares demonstrably queue
 	// behind the cap, deterministically.
-	release := s.admission.Acquire()
+	release, _ := s.admission.Acquire(context.Background())
 	seeds := []int64{21, 33, 47}
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(seeds))

@@ -28,12 +28,12 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -44,6 +44,7 @@ import (
 	"mpq/internal/catalog"
 	"mpq/internal/cloud"
 	"mpq/internal/core"
+	"mpq/internal/faultfs"
 	"mpq/internal/fleet"
 	"mpq/internal/geometry"
 	"mpq/internal/index"
@@ -136,6 +137,11 @@ type Options struct {
 	// Prepare may split wide table sets across them. Results are
 	// byte-identical with or without donation.
 	DonateWorkers bool
+	// FS is the filesystem the Dir persistence reads and writes through
+	// (nil = the real one) — the fault-injection seam for crash and
+	// I/O-error tests. The shared store carries its own (see
+	// fleet.NewDirStoreFS).
+	FS faultfs.FS
 }
 
 // Template describes a query template to prepare: either an explicit
@@ -266,6 +272,19 @@ type Stats struct {
 	// Reloads counts evicted plan sets transparently reloaded at pick
 	// time.
 	Reloads int64
+	// Cancellations counts requests that ended with context.Canceled
+	// (the caller gave up); DeadlineExpiries those that ended with
+	// context.DeadlineExceeded. Both are counted once per failed
+	// Prepare/Pick/PickBatch call, at the API boundary.
+	Cancellations    int64
+	DeadlineExpiries int64
+	// PeerRetries and PeerBreakerTrips mirror the peer client's
+	// resilience counters (fleet.PeerStats); QuarantinedBlobs mirrors
+	// the shared store's corrupt-blob quarantine counter. All zero when
+	// the corresponding backend is not configured.
+	PeerRetries      int64
+	PeerBreakerTrips int64
+	QuarantinedBlobs int64
 	// Admission reports the Prepare admission controller (running,
 	// queued, waited, wait time) when MaxConcurrentPrepares is set.
 	Admission fleet.AdmissionStats
@@ -321,6 +340,7 @@ type IndexStats struct {
 // with Close. All methods are safe for concurrent use.
 type Server struct {
 	opts      Options
+	fs        faultfs.FS
 	queue     chan *job
 	wg        sync.WaitGroup
 	cache     *fleet.Cache
@@ -392,11 +412,23 @@ type inflightReload struct {
 	err  error
 }
 
-// job is one queued request; run executes on a pool worker.
+// job is one queued request; run executes on a pool worker. state
+// resolves the abandonment race: a waiter whose context fires while
+// the job is still queued flips pending→abandoned and leaves without
+// the work ever starting; the worker flips pending→running before
+// executing, and a waiter that loses that race waits for completion
+// (the work is already burning a worker — its result is kept).
 type job struct {
-	run  func(w *worker)
-	done chan struct{}
+	run   func(w *worker)
+	done  chan struct{}
+	state atomic.Int32 // 0 pending, 1 running, 2 abandoned
 }
+
+const (
+	jobPending   = 0
+	jobRunning   = 1
+	jobAbandoned = 2
+)
 
 // worker is one pool goroutine with its forked solver.
 type worker struct {
@@ -424,8 +456,13 @@ func New(opts Options) *Server {
 		// worker's siblings are idle while its Prepare holds them off).
 		opts.IndexOptions.Workers = opts.Workers
 	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
 	s := &Server{
 		opts:      opts,
+		fs:        fsys,
 		queue:     make(chan *job, opts.QueueDepth),
 		cache:     fleet.NewCache(opts.CacheBytes),
 		admission: fleet.NewAdmission(opts.MaxConcurrentPrepares),
@@ -438,6 +475,12 @@ func New(opts Options) *Server {
 		go func() {
 			defer s.wg.Done()
 			for j := range s.queue {
+				if !j.state.CompareAndSwap(jobPending, jobRunning) {
+					// Abandoned while queued: the waiter is gone, skip
+					// the work and retire the job.
+					close(j.done)
+					continue
+				}
 				s.busy.Add(1)
 				j.run(w)
 				s.busy.Add(-1)
@@ -497,6 +540,14 @@ func (s *Server) Stats() Stats {
 	st.Cache = s.cache.Stats()
 	st.CachedPlanSets = st.Cache.ResidentEntries
 	st.Admission = s.admission.Stats()
+	if q, ok := s.opts.Shared.(interface{ Quarantined() int64 }); ok {
+		st.QuarantinedBlobs = q.Quarantined()
+	}
+	if s.opts.Peers != nil {
+		ps := s.opts.Peers.Stats()
+		st.PeerRetries = ps.Retries
+		st.PeerBreakerTrips = ps.BreakerTrips
+	}
 	if st.PipelineCapacity > 0 {
 		st.PipelineUtilization = float64(st.PipelineBusy) / float64(st.PipelineCapacity)
 		if st.PipelineUtilization > 1 {
@@ -555,7 +606,7 @@ func (s *Server) Document(key string) ([]byte, error) {
 		}
 	}
 	if s.opts.Dir != "" {
-		if doc, err := os.ReadFile(s.docPath(key)); err == nil {
+		if doc, err := s.fs.ReadFile(s.docPath(key)); err == nil {
 			return doc, nil
 		}
 	}
@@ -614,8 +665,16 @@ func planSetKey(schema *catalog.Schema, cloudCfg cloud.Config, opts core.Options
 // Prepare optimizes a template (unless its plan set is already cached),
 // persists the plan set through the store format, and caches the
 // deserialized set for Picks. Concurrent Prepares of the same template
-// are deduplicated: one optimizes, the rest wait for its result.
-func (s *Server) Prepare(tpl Template) (PrepareResult, error) {
+// are deduplicated: one optimizes, the rest wait for its result. ctx
+// cancels or deadline-bounds the request: a Prepare abandoned while
+// queued never starts, and one abandoned mid-optimization stops at the
+// scheduler's next checkpoint, releasing its worker, admission slot,
+// and singleflight key promptly — without poisoning concurrent
+// requests for the same key, which simply retry the flight.
+func (s *Server) Prepare(ctx context.Context, tpl Template) (PrepareResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	schema, cloudCfg, err := tpl.resolve()
 	if err != nil {
 		return PrepareResult{}, err
@@ -624,70 +683,122 @@ func (s *Server) Prepare(tpl Template) (PrepareResult, error) {
 	if err != nil {
 		return PrepareResult{}, err
 	}
-
-	if v, ok := s.cache.Get(key, false); ok {
-		s.mu.Lock()
-		s.stats.Prepares++
-		s.stats.PrepareHits++
-		s.mu.Unlock()
-		return PrepareResult{Key: key, NumPlans: len(v.(*entry).set.Plans), Cached: true}, nil
+	res, err := s.prepareKey(ctx, key, schema, cloudCfg)
+	if err != nil {
+		s.noteCtxFailure(err)
 	}
-	s.mu.Lock()
-	if v, ok := s.cache.Get(key, false); ok {
-		// A concurrent Prepare's winner inserted between our lock-free
-		// cache miss and taking the mutex (insert happens before its
-		// inflight entry is removed, so without this re-check we would
-		// find the inflight table empty and optimize the key again).
-		s.stats.Prepares++
-		s.stats.PrepareHits++
-		s.mu.Unlock()
-		return PrepareResult{Key: key, NumPlans: len(v.(*entry).set.Plans), Cached: true}, nil
-	}
-	if fl, ok := s.inflight[key]; ok {
-		// Another request is already optimizing this template; wait for
-		// it instead of duplicating the work.
-		s.mu.Unlock()
-		<-fl.done
-		if fl.err != nil {
-			return PrepareResult{}, fl.err
-		}
-		res := fl.res
-		res.Cached = true
-		res.Duration = 0
-		res.Stats = core.Stats{}
-		s.mu.Lock()
-		s.stats.Prepares++
-		s.stats.PrepareHits++
-		s.mu.Unlock()
-		return res, nil
-	}
-	fl := &inflightPrepare{done: make(chan struct{})}
-	s.inflight[key] = fl
-	s.mu.Unlock()
-
-	res, err := s.runPrepare(key, schema, cloudCfg)
-	fl.res, fl.err = res, err
-	s.mu.Lock()
-	delete(s.inflight, key)
-	if err == nil {
-		s.stats.Prepares++
-	}
-	s.mu.Unlock()
-	close(fl.done)
 	return res, err
+}
+
+// prepareKey is the cache/singleflight front of Prepare. It loops:
+// when the flight this request waited on was cancelled by *its* owner,
+// a waiter whose own context is still live must not inherit that
+// failure — it retries and may become the new flight's winner.
+func (s *Server) prepareKey(ctx context.Context, key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return PrepareResult{}, err
+		}
+		if v, ok := s.cache.Get(key, false); ok {
+			s.mu.Lock()
+			s.stats.Prepares++
+			s.stats.PrepareHits++
+			s.mu.Unlock()
+			return PrepareResult{Key: key, NumPlans: len(v.(*entry).set.Plans), Cached: true}, nil
+		}
+		s.mu.Lock()
+		if v, ok := s.cache.Get(key, false); ok {
+			// A concurrent Prepare's winner inserted between our lock-free
+			// cache miss and taking the mutex (insert happens before its
+			// inflight entry is removed, so without this re-check we would
+			// find the inflight table empty and optimize the key again).
+			s.stats.Prepares++
+			s.stats.PrepareHits++
+			s.mu.Unlock()
+			return PrepareResult{Key: key, NumPlans: len(v.(*entry).set.Plans), Cached: true}, nil
+		}
+		if fl, ok := s.inflight[key]; ok {
+			// Another request is already optimizing this template; wait
+			// for it instead of duplicating the work — but not past our
+			// own context.
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return PrepareResult{}, ctx.Err()
+			}
+			if fl.err != nil {
+				if isCtxErr(fl.err) {
+					// The winner's caller gave up, not the computation:
+					// our context is still live, so run our own flight.
+					continue
+				}
+				return PrepareResult{}, fl.err
+			}
+			res := fl.res
+			res.Cached = true
+			res.Duration = 0
+			res.Stats = core.Stats{}
+			s.mu.Lock()
+			s.stats.Prepares++
+			s.stats.PrepareHits++
+			s.mu.Unlock()
+			return res, nil
+		}
+		fl := &inflightPrepare{done: make(chan struct{})}
+		s.inflight[key] = fl
+		s.mu.Unlock()
+
+		res, err := s.runPrepare(ctx, key, schema, cloudCfg)
+		fl.res, fl.err = res, err
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if err == nil {
+			s.stats.Prepares++
+		}
+		s.mu.Unlock()
+		close(fl.done)
+		return res, err
+	}
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline expiry.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// noteCtxFailure counts a request that failed on its context, once, at
+// the API boundary.
+func (s *Server) noteCtxFailure(err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.mu.Lock()
+		s.stats.DeadlineExpiries++
+		s.mu.Unlock()
+	case errors.Is(err, context.Canceled):
+		s.mu.Lock()
+		s.stats.Cancellations++
+		s.mu.Unlock()
+	}
 }
 
 // runPrepare executes the load-or-optimize pipeline on a pool worker,
 // under the admission controller: at most MaxConcurrentPrepares
 // Prepares occupy workers at once, FIFO beyond that, so a burst of
-// expensive templates cannot starve Picks out of the pool.
-func (s *Server) runPrepare(key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
-	release := s.admission.Acquire()
+// expensive templates cannot starve Picks out of the pool. A request
+// whose context fires while queued (admission FIFO or request queue)
+// gives up its place without leaking the slot.
+func (s *Server) runPrepare(ctx context.Context, key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
+	release, err := s.admission.Acquire(ctx)
+	if err != nil {
+		return PrepareResult{}, err
+	}
 	defer release()
 	var res PrepareResult
 	var jerr error
-	err := s.run(func(w *worker) {
-		res, jerr = s.prepareOn(w, key, schema, cloudCfg)
+	err = s.run(ctx, func(w *worker) {
+		res, jerr = s.prepareOn(ctx, w, key, schema, cloudCfg)
 	})
 	if err != nil {
 		return PrepareResult{}, err
@@ -696,8 +807,12 @@ func (s *Server) runPrepare(key string, schema *catalog.Schema, cloudCfg cloud.C
 }
 
 // run submits fn to the pool and waits for it, merging the worker's
-// solver counters into the server stats afterwards.
-func (s *Server) run(fn func(w *worker)) error {
+// solver counters into the server stats afterwards. When ctx fires
+// while the job is still queued, the job is abandoned (the pool skips
+// it) and ctx's error returned; once fn is running, run waits it out —
+// fn observes ctx itself where it matters (the optimizer's
+// checkpoints) and its completed result is kept.
+func (s *Server) run(ctx context.Context, fn func(w *worker)) error {
 	j := &job{done: make(chan struct{})}
 	j.run = func(w *worker) {
 		before := w.solver.Stats
@@ -711,8 +826,18 @@ func (s *Server) run(fn func(w *worker)) error {
 	if err := s.submit(j); err != nil {
 		return err
 	}
-	<-j.done
-	return nil
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		if j.state.CompareAndSwap(jobPending, jobAbandoned) {
+			return ctx.Err()
+		}
+		// Already running; the worker finishes (promptly, if fn watches
+		// ctx) and the result stands.
+		<-j.done
+		return nil
+	}
 }
 
 // entrySource labels where a served document came from, for the
@@ -751,12 +876,12 @@ func validKey(key string) bool {
 // the optimizer) takes over. Documents fetched from a peer are
 // re-published to the shared store so the next sibling finds them one
 // hop closer. Malformed keys resolve nowhere.
-func (s *Server) loadFromSources(w *worker, key string) (*entry, entrySource, bool) {
+func (s *Server) loadFromSources(ctx context.Context, w *worker, key string) (*entry, entrySource, bool) {
 	if !validKey(key) {
 		return nil, sourceComputed, false
 	}
 	if s.opts.Dir != "" {
-		if raw, err := os.ReadFile(s.docPath(key)); err == nil {
+		if raw, err := s.fs.ReadFile(s.docPath(key)); err == nil {
 			if e, err := s.newEntry(raw, w); err == nil {
 				return e, sourceDisk, true
 			}
@@ -769,8 +894,8 @@ func (s *Server) loadFromSources(w *worker, key string) (*entry, entrySource, bo
 			}
 		}
 	}
-	if s.opts.Peers != nil {
-		if doc, ok, _ := s.opts.Peers.Fetch(key); ok {
+	if s.opts.Peers != nil && ctx.Err() == nil {
+		if doc, ok, _ := s.opts.Peers.Fetch(ctx, key); ok {
 			if e, err := s.newEntry(doc, w); err == nil {
 				s.publishShared(key, doc)
 				return e, sourcePeer, true
@@ -797,8 +922,8 @@ func (s *Server) publishShared(key string, doc []byte) {
 // Save through the store format, persist (Dir and shared store) and
 // cache the deserialized set. Picks therefore serve exactly the bytes
 // a separate run-time process would load, wherever they came from.
-func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
-	if e, src, ok := s.loadFromSources(w, key); ok {
+func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
+	if e, src, ok := s.loadFromSources(ctx, w, key); ok {
 		s.insert(key, e, src)
 		return PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}, nil
 	}
@@ -819,7 +944,7 @@ func (s *Server) prepareOn(w *worker, key string, schema *catalog.Schema, cloudC
 		// Idle pool workers may join this Prepare's split jobs.
 		opts.Donor = (*serverDonor)(s)
 	}
-	result, err := core.Optimize(schema, model, opts)
+	result, err := core.OptimizeCtx(ctx, schema, model, opts)
 	if err != nil {
 		return PrepareResult{}, err
 	}
@@ -1002,21 +1127,31 @@ func (s *Server) docPath(key string) string {
 // atomic write (temp file + rename + directory sync) — the same
 // durability the shared store gives the same bytes.
 func (s *Server) persist(key string, doc []byte) error {
-	return fleet.WriteFileAtomic(s.opts.Dir, s.docPath(key), doc)
+	return fleet.WriteFileAtomicFS(s.fs, s.opts.Dir, s.docPath(key), doc)
 }
 
 // Pick evaluates a selection policy at a parameter point against a
-// prepared plan set.
-func (s *Server) Pick(req PickRequest) (PickResult, error) {
+// prepared plan set. ctx cancels or deadline-bounds the request (a
+// Pick abandoned while queued never starts).
+func (s *Server) Pick(ctx context.Context, req PickRequest) (PickResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var res PickResult
 	var jerr error
-	err := s.run(func(w *worker) {
-		res, jerr = s.pickOn(w, req)
+	err := s.run(ctx, func(w *worker) {
+		res, jerr = s.pickOn(ctx, w, req)
 	})
+	if err == nil {
+		err = jerr
+	} else {
+		res = PickResult{}
+	}
 	if err != nil {
+		s.noteCtxFailure(err)
 		return PickResult{}, err
 	}
-	return res, jerr
+	return res, nil
 }
 
 // PickBatchRequest evaluates one selection policy at many parameter
@@ -1055,21 +1190,30 @@ type PickBatchResult struct {
 // its candidate subset; answers come back in request order and are
 // byte-identical to issuing the Picks one by one. Any invalid point or
 // selection failure fails the whole batch (the error names the point).
-func (s *Server) PickBatch(req PickBatchRequest) (PickBatchResult, error) {
+func (s *Server) PickBatch(ctx context.Context, req PickBatchRequest) (PickBatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var res PickBatchResult
 	var jerr error
-	err := s.run(func(w *worker) {
-		res, jerr = s.pickBatchOn(w, req)
+	err := s.run(ctx, func(w *worker) {
+		res, jerr = s.pickBatchOn(ctx, w, req)
 	})
+	if err == nil {
+		err = jerr
+	} else {
+		res = PickBatchResult{}
+	}
 	if err != nil {
+		s.noteCtxFailure(err)
 		return PickBatchResult{}, err
 	}
-	return res, jerr
+	return res, nil
 }
 
 // pickBatchOn executes a batch on a pool worker.
-func (s *Server) pickBatchOn(w *worker, req PickBatchRequest) (PickBatchResult, error) {
-	e, release, err := s.entryFor(req.Key, w)
+func (s *Server) pickBatchOn(ctx context.Context, w *worker, req PickBatchRequest) (PickBatchResult, error) {
+	e, release, err := s.entryFor(ctx, req.Key, w)
 	if err != nil {
 		return PickBatchResult{}, err
 	}
@@ -1142,8 +1286,8 @@ func (s *Server) pickBatchOn(w *worker, req PickBatchRequest) (PickBatchResult, 
 // is routed to its cell and only the cell's candidate subset is
 // scanned — byte-identical to the linear fallback by the index's
 // conservative construction.
-func (s *Server) pickOn(w *worker, req PickRequest) (PickResult, error) {
-	e, release, err := s.entryFor(req.Key, w)
+func (s *Server) pickOn(ctx context.Context, w *worker, req PickRequest) (PickResult, error) {
+	e, release, err := s.entryFor(ctx, req.Key, w)
 	if err != nil {
 		return PickResult{}, err
 	}
@@ -1171,11 +1315,11 @@ func (s *Server) pickOn(w *worker, req PickRequest) (PickResult, error) {
 // entries from the non-compute sources (Dir, shared store, peers). The
 // resident entry is pinned against eviction for the duration of the
 // request; callers must call the returned release exactly once.
-func (s *Server) entryFor(key string, w *worker) (*entry, func(), error) {
+func (s *Server) entryFor(ctx context.Context, key string, w *worker) (*entry, func(), error) {
 	if v, ok := s.cache.Get(key, true); ok {
 		return v.(*entry), func() { s.cache.Unpin(key) }, nil
 	}
-	e, err := s.reload(key, w)
+	e, err := s.reload(ctx, key, w)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -1190,32 +1334,50 @@ func (s *Server) entryFor(key string, w *worker) (*entry, func(), error) {
 
 // reload loads an evicted (or never-seen) key's document from Dir, the
 // shared store, or a peer — never by computing — deduplicating
-// concurrent reloads of one key.
-func (s *Server) reload(key string, w *worker) (*entry, error) {
-	s.mu.Lock()
-	if fl, ok := s.reloading[key]; ok {
+// concurrent reloads of one key. As with Prepare's singleflight, a
+// flight whose winner was cancelled does not poison waiters with live
+// contexts: they retry the reload themselves.
+func (s *Server) reload(ctx context.Context, key string, w *worker) (*entry, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		if fl, ok := s.reloading[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if fl.err != nil && isCtxErr(fl.err) {
+				continue
+			}
+			return fl.e, fl.err
+		}
+		fl := &inflightReload{done: make(chan struct{})}
+		s.reloading[key] = fl
 		s.mu.Unlock()
-		<-fl.done
+
+		if e, src, ok := s.loadFromSources(ctx, w, key); ok {
+			fl.e = e
+			s.insert(key, e, src)
+			s.mu.Lock()
+			s.stats.Reloads++
+			s.mu.Unlock()
+		} else if cerr := ctx.Err(); cerr != nil {
+			// The lookup may have been cut short (peer fetch aborted);
+			// report the cancellation, not a misleading unknown-key.
+			fl.err = cerr
+		} else {
+			fl.err = fmt.Errorf("%w: %q", ErrUnknownPlanSet, key)
+		}
+		s.mu.Lock()
+		delete(s.reloading, key)
+		s.mu.Unlock()
+		close(fl.done)
 		return fl.e, fl.err
 	}
-	fl := &inflightReload{done: make(chan struct{})}
-	s.reloading[key] = fl
-	s.mu.Unlock()
-
-	if e, src, ok := s.loadFromSources(w, key); ok {
-		fl.e = e
-		s.insert(key, e, src)
-		s.mu.Lock()
-		s.stats.Reloads++
-		s.mu.Unlock()
-	} else {
-		fl.err = fmt.Errorf("%w: %q", ErrUnknownPlanSet, key)
-	}
-	s.mu.Lock()
-	delete(s.reloading, key)
-	s.mu.Unlock()
-	close(fl.done)
-	return fl.e, fl.err
 }
 
 // validatePoint rejects points the stored plan set cannot price.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -116,7 +117,7 @@ func serverPicks(t *testing.T, s *Server, key string, x geometry.Vector) map[str
 // pickRetrying retries on queue backpressure, as a client would.
 func pickRetrying(s *Server, req PickRequest) (PickResult, error) {
 	for {
-		res, err := s.Pick(req)
+		res, err := s.Pick(context.Background(), req)
 		if errors.Is(err, ErrQueueFull) {
 			continue
 		}
@@ -126,7 +127,7 @@ func pickRetrying(s *Server, req PickRequest) (PickResult, error) {
 
 func prepareRetrying(s *Server, tpl Template) (PrepareResult, error) {
 	for {
-		res, err := s.Prepare(tpl)
+		res, err := s.Prepare(context.Background(), tpl)
 		if errors.Is(err, ErrQueueFull) {
 			continue
 		}
@@ -143,7 +144,7 @@ func TestServerMatchesSequentialPath(t *testing.T) {
 	for _, seed := range []int64{21, 33} {
 		tpl := testTemplate(seed)
 		expected := sequentialPicks(t, tpl)
-		prep, err := s.Prepare(tpl)
+		prep, err := s.Prepare(context.Background(), tpl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +165,7 @@ func TestServerMatchesSequentialPath(t *testing.T) {
 		}
 		// Second Prepare of the same template is a cache hit with the
 		// same key.
-		prep2, err := s.Prepare(tpl)
+		prep2, err := s.Prepare(context.Background(), tpl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +200,7 @@ func TestServerPipelineUtilizationParallelPrepare(t *testing.T) {
 	opts.Optimizer.SplitCandidates = 1 // force intra-mask split jobs
 	s := New(opts)
 	defer s.Close()
-	if _, err := s.Prepare(testTemplate(5)); err != nil {
+	if _, err := s.Prepare(context.Background(), testTemplate(5)); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -301,7 +302,7 @@ func TestServerIndexedPicksMatchSequentialPath(t *testing.T) {
 	for _, seed := range []int64{21, 33} {
 		tpl := testTemplate(seed)
 		expected := sequentialPicks(t, tpl)
-		prep, err := s.Prepare(tpl)
+		prep, err := s.Prepare(context.Background(), tpl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -321,7 +322,7 @@ func TestServerIndexedPicksMatchSequentialPath(t *testing.T) {
 		}
 		names := []string{"frontier", "weighted", "lex"}
 		for bi, breq := range batchPolicies {
-			bres, err := s.PickBatch(breq)
+			bres, err := s.PickBatch(context.Background(), breq)
 			if err != nil {
 				t.Fatalf("seed %d batch %s: %v", seed, names[bi], err)
 			}
@@ -361,14 +362,14 @@ func TestServerIndexedPicksMatchSequentialPath(t *testing.T) {
 func TestPickStatsAccounting(t *testing.T) {
 	check := func(t *testing.T, s *Server, wantIndexed bool) {
 		t.Helper()
-		prep, err := s.Prepare(testTemplate(21))
+		prep, err := s.Prepare(context.Background(), testTemplate(21))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Pick(PickRequest{Key: prep.Key, Point: testPoints[0]}); err != nil {
+		if _, err := s.Pick(context.Background(), PickRequest{Key: prep.Key, Point: testPoints[0]}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.PickBatch(PickBatchRequest{Key: prep.Key, Points: testPoints}); err != nil {
+		if _, err := s.PickBatch(context.Background(), PickBatchRequest{Key: prep.Key, Points: testPoints}); err != nil {
 			t.Fatal(err)
 		}
 		st := s.Stats()
@@ -408,31 +409,31 @@ func TestPickStatsAccounting(t *testing.T) {
 func TestPickBatchErrors(t *testing.T) {
 	s := New(Options{Workers: 1, Index: true})
 	defer s.Close()
-	if _, err := s.PickBatch(PickBatchRequest{Key: "missing"}); !errors.Is(err, ErrUnknownPlanSet) {
+	if _, err := s.PickBatch(context.Background(), PickBatchRequest{Key: "missing"}); !errors.Is(err, ErrUnknownPlanSet) {
 		t.Errorf("unknown key error = %v", err)
 	}
-	prep, err := s.Prepare(testTemplate(21))
+	prep, err := s.Prepare(context.Background(), testTemplate(21))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = s.PickBatch(PickBatchRequest{
+	_, err = s.PickBatch(context.Background(), PickBatchRequest{
 		Key:    prep.Key,
 		Points: []geometry.Vector{{0.5}, {7}},
 	})
 	if err == nil || !strings.Contains(err.Error(), "point 1") {
 		t.Errorf("out-of-space batch point error = %v", err)
 	}
-	_, err = s.PickBatch(PickBatchRequest{
+	_, err = s.PickBatch(context.Background(), PickBatchRequest{
 		Key: prep.Key, Points: []geometry.Vector{{0.5}}, Policy: "nonsense",
 	})
 	if err == nil || strings.Contains(err.Error(), "point") {
 		t.Errorf("unknown policy in batch = %v, want a request-level (not per-point) error", err)
 	}
 	// Policy validation happens up front, even for empty batches.
-	if _, err := s.PickBatch(PickBatchRequest{Key: prep.Key, Policy: "nonsense"}); err == nil {
+	if _, err := s.PickBatch(context.Background(), PickBatchRequest{Key: prep.Key, Policy: "nonsense"}); err == nil {
 		t.Error("unknown policy accepted in empty batch")
 	}
-	if _, err := s.PickBatch(PickBatchRequest{Key: prep.Key}); err != nil {
+	if _, err := s.PickBatch(context.Background(), PickBatchRequest{Key: prep.Key}); err != nil {
 		t.Errorf("empty batch with valid policy failed: %v", err)
 	}
 }
@@ -445,14 +446,14 @@ func TestIndexedPersistenceAcrossServers(t *testing.T) {
 	tpl := testTemplate(21)
 
 	s1 := New(Options{Workers: 1, Dir: dir, Index: true})
-	prep1, err := s1.Prepare(tpl)
+	prep1, err := s1.Prepare(context.Background(), tpl)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st := s1.Stats(); st.Index.Builds != 1 {
 		t.Errorf("first server builds = %d, want 1", st.Index.Builds)
 	}
-	res1, err := s1.Pick(PickRequest{Key: prep1.Key, Point: geometry.Vector{0.5}})
+	res1, err := s1.Pick(context.Background(), PickRequest{Key: prep1.Key, Point: geometry.Vector{0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -461,7 +462,7 @@ func TestIndexedPersistenceAcrossServers(t *testing.T) {
 	// Restart with the persisted stanza: no rebuild, identical picks,
 	// index-served.
 	s2 := New(Options{Workers: 1, Dir: dir, Index: true})
-	prep2, err := s2.Prepare(tpl)
+	prep2, err := s2.Prepare(context.Background(), tpl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +472,7 @@ func TestIndexedPersistenceAcrossServers(t *testing.T) {
 	if st := s2.Stats(); st.Index.Builds != 0 {
 		t.Errorf("restarted server rebuilt the index %d times despite the persisted stanza", st.Index.Builds)
 	}
-	res2, err := s2.Pick(PickRequest{Key: prep2.Key, Point: geometry.Vector{0.5}})
+	res2, err := s2.Pick(context.Background(), PickRequest{Key: prep2.Key, Point: geometry.Vector{0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -487,13 +488,13 @@ func TestIndexedPersistenceAcrossServers(t *testing.T) {
 	// index-enabled server.
 	dir2 := t.TempDir()
 	plain := New(Options{Workers: 1, Dir: dir2})
-	if _, err := plain.Prepare(tpl); err != nil {
+	if _, err := plain.Prepare(context.Background(), tpl); err != nil {
 		t.Fatal(err)
 	}
 	plain.Close()
 	s3 := New(Options{Workers: 1, Dir: dir2, Index: true})
 	defer s3.Close()
-	prep3, err := s3.Prepare(tpl)
+	prep3, err := s3.Prepare(context.Background(), tpl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -503,7 +504,7 @@ func TestIndexedPersistenceAcrossServers(t *testing.T) {
 	if st := s3.Stats(); st.Index.Builds != 1 {
 		t.Errorf("rebuild-on-load builds = %d, want 1", st.Index.Builds)
 	}
-	res3, err := s3.Pick(PickRequest{Key: prep3.Key, Point: geometry.Vector{0.5}})
+	res3, err := s3.Pick(context.Background(), PickRequest{Key: prep3.Key, Point: geometry.Vector{0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -538,7 +539,7 @@ func TestQueueBackpressure(t *testing.T) {
 		t.Fatalf("submit beyond depth = %v, want ErrQueueFull", err)
 	}
 	// The public API surfaces the same backpressure.
-	if _, err := s.Pick(PickRequest{Key: "nope"}); !errors.Is(err, ErrQueueFull) {
+	if _, err := s.Pick(context.Background(), PickRequest{Key: "nope"}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("Pick under full queue = %v, want ErrQueueFull", err)
 	}
 	close(release)
@@ -551,27 +552,27 @@ func TestQueueBackpressure(t *testing.T) {
 func TestPickErrors(t *testing.T) {
 	s := New(Options{Workers: 2})
 	defer s.Close()
-	if _, err := s.Pick(PickRequest{Key: "missing", Point: geometry.Vector{0.5}}); !errors.Is(err, ErrUnknownPlanSet) {
+	if _, err := s.Pick(context.Background(), PickRequest{Key: "missing", Point: geometry.Vector{0.5}}); !errors.Is(err, ErrUnknownPlanSet) {
 		t.Errorf("unknown key error = %v", err)
 	}
-	prep, err := s.Prepare(testTemplate(21))
+	prep, err := s.Prepare(context.Background(), testTemplate(21))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Pick(PickRequest{Key: prep.Key, Point: geometry.Vector{0.5, 0.5}}); err == nil {
+	if _, err := s.Pick(context.Background(), PickRequest{Key: prep.Key, Point: geometry.Vector{0.5, 0.5}}); err == nil {
 		t.Error("dimension mismatch accepted")
 	}
 	// A point outside the parameter space must be rejected, not priced
 	// by extrapolating the stored cost pieces.
-	if _, err := s.Pick(PickRequest{Key: prep.Key, Point: geometry.Vector{5}}); err == nil ||
+	if _, err := s.Pick(context.Background(), PickRequest{Key: prep.Key, Point: geometry.Vector{5}}); err == nil ||
 		!strings.Contains(err.Error(), "outside") {
 		t.Errorf("out-of-space point error = %v", err)
 	}
-	if _, err := s.Pick(PickRequest{Key: prep.Key, Point: geometry.Vector{0.5}, Policy: "nonsense"}); err == nil {
+	if _, err := s.Pick(context.Background(), PickRequest{Key: prep.Key, Point: geometry.Vector{0.5}, Policy: "nonsense"}); err == nil {
 		t.Error("unknown policy accepted")
 	}
 	// Weighted sum with invalid weights surfaces the selection error.
-	if _, err := s.Pick(PickRequest{
+	if _, err := s.Pick(context.Background(), PickRequest{
 		Key: prep.Key, Point: geometry.Vector{0.5}, Policy: PolicyWeightedSum, Weights: []float64{0, 0},
 	}); err == nil {
 		t.Error("zero weights accepted")
@@ -582,10 +583,10 @@ func TestServerClosed(t *testing.T) {
 	s := New(Options{Workers: 1})
 	s.Close()
 	s.Close() // idempotent
-	if _, err := s.Prepare(testTemplate(21)); !errors.Is(err, ErrServerClosed) {
+	if _, err := s.Prepare(context.Background(), testTemplate(21)); !errors.Is(err, ErrServerClosed) {
 		t.Errorf("Prepare after Close = %v, want ErrServerClosed", err)
 	}
-	if _, err := s.Pick(PickRequest{Key: "k"}); !errors.Is(err, ErrServerClosed) {
+	if _, err := s.Pick(context.Background(), PickRequest{Key: "k"}); !errors.Is(err, ErrServerClosed) {
 		t.Errorf("Pick after Close = %v, want ErrServerClosed", err)
 	}
 }
@@ -598,12 +599,12 @@ func TestPersistenceAcrossServers(t *testing.T) {
 	tpl := testTemplate(21)
 
 	s1 := New(Options{Workers: 2, Dir: dir})
-	prep1, err := s1.Prepare(tpl)
+	prep1, err := s1.Prepare(context.Background(), tpl)
 	if err != nil {
 		t.Fatal(err)
 	}
 	x := geometry.Vector{0.5}
-	res1, err := s1.Pick(PickRequest{Key: prep1.Key, Point: x, Policy: PolicyFrontier})
+	res1, err := s1.Pick(context.Background(), PickRequest{Key: prep1.Key, Point: x, Policy: PolicyFrontier})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -615,7 +616,7 @@ func TestPersistenceAcrossServers(t *testing.T) {
 
 	s2 := New(Options{Workers: 2, Dir: dir})
 	defer s2.Close()
-	prep2, err := s2.Prepare(tpl)
+	prep2, err := s2.Prepare(context.Background(), tpl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -625,7 +626,7 @@ func TestPersistenceAcrossServers(t *testing.T) {
 	if st := s2.Stats(); st.PrepareDiskHits != 1 {
 		t.Errorf("disk hits = %d, want 1", st.PrepareDiskHits)
 	}
-	res2, err := s2.Pick(PickRequest{Key: prep2.Key, Point: x, Policy: PolicyFrontier})
+	res2, err := s2.Pick(context.Background(), PickRequest{Key: prep2.Key, Point: x, Policy: PolicyFrontier})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -710,7 +711,7 @@ func TestKeySensitivity(t *testing.T) {
 func TestPrepareInternalFailure(t *testing.T) {
 	s := New(Options{Workers: 1, Dir: filepath.Join(t.TempDir(), "does", "not", "exist")})
 	defer s.Close()
-	if _, err := s.Prepare(testTemplate(21)); !errors.Is(err, ErrInternal) {
+	if _, err := s.Prepare(context.Background(), testTemplate(21)); !errors.Is(err, ErrInternal) {
 		t.Errorf("Prepare into a missing dir = %v, want ErrInternal", err)
 	}
 }

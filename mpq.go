@@ -368,8 +368,15 @@ type (
 	ServeCacheStats = fleet.CacheStats
 	// ServeAdmissionStats reports the Prepare admission controller.
 	ServeAdmissionStats = fleet.AdmissionStats
-	// PeerStats counts peer-fetch traffic.
+	// PeerStats counts peer-fetch traffic, including the resilience
+	// counters (retries, breaker trips and skips, corrupt responses)
+	// and each peer's circuit-breaker state.
 	PeerStats = fleet.PeerStats
+	// PeerOptions parameterizes a PlanSetPeers client: per-request
+	// timeout, bounded retries with jittered exponential backoff, the
+	// per-peer circuit breaker, and the response size limit. The zero
+	// value selects production defaults.
+	PeerOptions = fleet.PeerOptions
 	// DonorPool lends idle goroutines to an optimizer run's split jobs
 	// (Options.Donor; the serving layer implements it over its own
 	// pool when ServeOptions.DonateWorkers is set).
@@ -385,9 +392,21 @@ const PlanSetPath = fleet.PlanSetPath
 func NewSharedDirStore(dir string) (*DirPlanSetStore, error) { return fleet.NewDirStore(dir) }
 
 // NewPlanSetPeers returns a peer client over the given base URLs, for
-// ServeOptions.Peers. Zero timeout selects 5s per peer request.
+// ServeOptions.Peers. Zero timeout selects 5s per peer request; the
+// default retry and circuit-breaker parameters apply (see PeerOptions
+// and NewPlanSetPeersOptions to tune them).
 func NewPlanSetPeers(peers []string, timeout time.Duration) *PlanSetPeers {
 	return fleet.NewPeerClient(peers, timeout)
+}
+
+// NewPlanSetPeersOptions is NewPlanSetPeers with explicit resilience
+// parameters: bounded retries with jittered exponential backoff, a
+// per-peer circuit breaker (open after BreakerThreshold consecutive
+// failures, half-open probe after BreakerCooldown), and a response
+// size limit. A corrupt or oversized peer response degrades to a
+// counted miss, never a poisoned cache entry.
+func NewPlanSetPeersOptions(peers []string, opts PeerOptions) *PlanSetPeers {
+	return fleet.NewPeerClientOptions(peers, opts)
 }
 
 // BuildPickIndex builds a point-location pick index over a loaded plan
