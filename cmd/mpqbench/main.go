@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -333,7 +334,7 @@ func runFleetSpecs(cfg figure12Config, specs []curve) []bench.JSONCase {
 	for _, c := range specs {
 		fcfg.Specs = append(fcfg.Specs, bench.PickSpec{Shape: c.shape, Params: c.params, Tables: c.max})
 	}
-	ms, err := bench.RunFleet(fcfg)
+	ms, err := bench.RunFleet(context.Background(), fcfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)

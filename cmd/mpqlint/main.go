@@ -1,0 +1,78 @@
+// Command mpqlint runs the repo's invariant analyzers (determinism,
+// context flow, atomic discipline, float-epsilon) over package
+// patterns:
+//
+//	go run ./cmd/mpqlint ./...
+//
+// It is a go/analysis unitchecker: invoked with package patterns it
+// re-executes itself through `go vet -vettool`, which drives the
+// analyzers package-by-package with full type information and
+// cross-package fact propagation, entirely offline. Invoked by the go
+// tool (with a *.cfg file or a -flags/-V query) it acts as the vet
+// tool directly.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"mpq/internal/analysis/atomicfield"
+	"mpq/internal/analysis/ctxflow"
+	"mpq/internal/analysis/determinism"
+	"mpq/internal/analysis/floateq"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetToolMode(args) {
+		unitchecker.Main( // never returns
+			determinism.Analyzer,
+			ctxflow.Analyzer,
+			atomicfield.Analyzer,
+			floateq.Analyzer,
+		)
+	}
+
+	// Wrapper mode: re-exec through go vet with ourselves as the tool.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpqlint:", err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "mpqlint:", err)
+		os.Exit(1)
+	}
+}
+
+// vetToolMode reports whether the go tool is driving us as a vet tool:
+// it passes -flags / -V=full queries or per-package *.cfg files, never
+// bare package patterns.
+func vetToolMode(args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	if strings.HasPrefix(args[0], "-") {
+		return true
+	}
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

@@ -156,6 +156,15 @@
 // PeerBreakerTrips, QuarantinedBlobs). See DESIGN.md, "Failure
 // domains".
 //
+// # Enforced invariants
+//
+// The determinism, context-flow, atomic-discipline, and float-epsilon
+// contracts above are enforced at compile time by the repo's own
+// go/analysis suite: `go run ./cmd/mpqlint ./...` must exit clean, and
+// CI keeps it that way. Deliberate waivers are annotated in place with
+// `//mpq:<kind> <reason>` directives. See DESIGN.md, "Static analysis
+// & enforced invariants", and the analyzers under internal/analysis.
+//
 // The subpackages under internal implement the machinery: geometry
 // (polytopes, simplex LP solver, region difference, convexity
 // recognition), pwl (piecewise-linear cost functions), region

@@ -1,0 +1,200 @@
+// Package analysistest is a minimal offline stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer
+// over a fixture package under testdata/src/<importpath> and checks
+// its diagnostics against `// want "regexp"` comments.
+//
+// Fixtures are parsed and type-checked with the standard library's
+// source importer, so they may import any std package but nothing
+// else. Object and package facts are backed by an in-memory store,
+// which is all a single-package fixture needs. The driver-level fact
+// propagation across packages is exercised by the real runs of
+// cmd/mpqlint in CI, not here.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// One shared FileSet + source importer: the importer memoizes
+// type-checked std packages, so successive Run calls in one test
+// binary pay the source-import cost once.
+var (
+	mu   sync.Mutex
+	fset = token.NewFileSet()
+	imp  = importer.ForCompiler(fset, "source", nil)
+)
+
+// Run analyzes the fixture package with import path pkgpath rooted at
+// dir/testdata/src/pkgpath and reports mismatches between the
+// analyzer's diagnostics and the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	mu.Lock()
+	defer mu.Unlock()
+
+	src := filepath.Join(dir, "testdata", "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(src, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files under %s", src)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	objFacts := make(map[factKey]analysis.Fact)
+	pkgFacts := make(map[reflect.Type]analysis.Fact)
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:   os.ReadFile,
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			f, ok := objFacts[factKey{obj, reflect.TypeOf(fact)}]
+			if ok {
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+			}
+			return ok
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			objFacts[factKey{obj, reflect.TypeOf(fact)}] = fact
+		},
+		ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+			f, ok := pkgFacts[reflect.TypeOf(fact)]
+			if ok {
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+			}
+			return ok
+		},
+		ExportPackageFact: func(fact analysis.Fact) { pkgFacts[reflect.TypeOf(fact)] = fact },
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for k, f := range objFacts {
+				out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for _, f := range pkgFacts {
+				out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+			}
+			return out
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	check(t, files, diags)
+}
+
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// check matches diagnostics against want comments one-to-one: every
+// want must be hit by exactly one diagnostic on its line, and every
+// diagnostic must hit a want.
+func check(t *testing.T, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", position(pos), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+func position(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}

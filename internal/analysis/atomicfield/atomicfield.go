@@ -1,0 +1,179 @@
+// Package atomicfield implements the mpqatomicfield analyzer: a
+// variable that is accessed through sync/atomic anywhere must be
+// accessed atomically everywhere. Mixing a plain read or write with
+// atomic operations is a data race the race detector only catches on
+// the interleavings a test happens to execute; this analyzer catches
+// it on every path at compile time.
+//
+// The analyzer marks every struct field and package-level variable
+// whose address is passed to a sync/atomic function
+// (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&ready), ...) and
+// exports the mark as an object fact, so mixed access is detected
+// across package boundaries. Any other mention of a marked variable —
+// a plain read, a plain assignment, or taking its address for a
+// non-atomic callee — is reported unless annotated
+// `//mpq:nonatomic <reason>` (for provably race-free access, e.g. a
+// read after all writers have joined).
+//
+// Struct-literal field initialization is exempt: keyed composite
+// literals run before the value escapes to other goroutines. Prefer
+// the typed atomic.Int64-style API for new code — it makes plain
+// access inexpressible and this analyzer unnecessary.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"mpq/internal/analysis/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "mpqatomicfield",
+	Doc:       "flag plain accesses to variables that are accessed via sync/atomic elsewhere",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*atomicallyAccessed)(nil)},
+}
+
+// atomicallyAccessed marks a struct field or package-level var whose
+// address is passed to a sync/atomic function somewhere.
+type atomicallyAccessed struct{}
+
+func (*atomicallyAccessed) AFact()         {}
+func (*atomicallyAccessed) String() string { return "atomicallyAccessed" }
+
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"AndInt32": true, "AndInt64": true, "AndUint32": true, "AndUint64": true, "AndUintptr": true,
+	"OrInt32": true, "OrInt64": true, "OrUint32": true, "OrUint64": true, "OrUintptr": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapPointer": true,
+	"CompareAndSwapUint32": true, "CompareAndSwapUint64": true, "CompareAndSwapUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadPointer": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true,
+	"StoreInt32": true, "StoreInt64": true, "StorePointer": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapPointer": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.Collect(pass)
+	dirs.ReportUndocumented(pass, directive.NonAtomic)
+
+	marked := make(map[types.Object]bool)    // objects atomically accessed (this package or deps)
+	sanctioned := make(map[ast.Expr]bool)    // the &x operands of atomic calls themselves
+	literalKeys := make(map[*ast.Ident]bool) // keys of keyed composite literals
+
+	// Phase 1: find atomic accesses, mark their targets.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							literalKeys[id] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				fn := callee(pass, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFuncs[fn.Name()] {
+					return true
+				}
+				if len(n.Args) == 0 {
+					return true
+				}
+				addr, ok := ast.Unparen(n.Args[0]).(*ast.UnaryExpr)
+				if !ok {
+					return true
+				}
+				target := ast.Unparen(addr.X)
+				obj := trackedObject(pass, target)
+				if obj == nil {
+					return true
+				}
+				sanctioned[target] = true
+				marked[obj] = true
+				if obj.Pkg() == pass.Pkg {
+					pass.ExportObjectFact(obj, &atomicallyAccessed{})
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: every other mention of a marked object is a report.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var obj types.Object
+			var id *ast.Ident
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj = trackedObject(pass, n)
+				id = n.Sel
+			case *ast.Ident:
+				obj = trackedObject(pass, n)
+				id = n
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			if !marked[obj] && !pass.ImportObjectFact(obj, &atomicallyAccessed{}) {
+				return true
+			}
+			if expr, ok := n.(ast.Expr); ok && sanctioned[expr] {
+				return false // the atomic call's own &x argument
+			}
+			if literalKeys[id] {
+				return true // keyed struct-literal initialization
+			}
+			if dirs.Allowed(directive.NonAtomic, n.Pos()) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s is accessed via sync/atomic elsewhere; this plain access is a data race — use the atomic API, or annotate a provably race-free site //mpq:nonatomic <reason>", obj.Name())
+			return false
+		})
+	}
+	return nil, nil
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// trackedObject resolves expr to a struct field or package-level
+// variable — the only object classes the analyzer tracks (locals
+// cannot be shared without escaping through one of these).
+func trackedObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		// Qualified package-level var (pkg.Var).
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && (v.IsField() || isPackageLevel(v)) {
+			return v
+		}
+	}
+	return nil
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"mpq/internal/analysis/analysistest"
+	"mpq/internal/analysis/atomicfield"
+)
+
+func TestMixedAccess(t *testing.T) {
+	analysistest.Run(t, ".", atomicfield.Analyzer, "mpq/internal/fixture/atomicmix")
+}

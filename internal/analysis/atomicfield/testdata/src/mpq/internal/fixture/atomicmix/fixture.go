@@ -1,0 +1,65 @@
+// Package atomicmix exercises the mpqatomicfield analyzer: every
+// variable touched by sync/atomic must be touched atomically
+// everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to n.
+type Counter struct {
+	n    int64
+	name string
+}
+
+// Inc is the atomic writer that marks Counter.n.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Read is a racy plain read of an atomically-written field.
+func (c *Counter) Read() int64 {
+	return c.n // want "accessed via sync/atomic elsewhere"
+}
+
+// Reset is a racy plain write.
+func (c *Counter) Reset() {
+	c.n = 0 // want "accessed via sync/atomic elsewhere"
+}
+
+// Alias leaks the field's address to non-atomic code.
+func (c *Counter) Alias() *int64 {
+	return &c.n // want "accessed via sync/atomic elsewhere"
+}
+
+// Name touches only the untracked field — no finding.
+func (c *Counter) Name() string {
+	return c.name
+}
+
+// NewCounter initializes through a keyed literal, which runs before
+// the value can be shared — exempt.
+func NewCounter() *Counter {
+	return &Counter{n: 5, name: "fixture"}
+}
+
+// Drain reads after every writer joined; the suppression documents
+// why that is race-free.
+func (c *Counter) Drain() int64 {
+	return c.n //mpq:nonatomic called after Wait(); all writers joined, no concurrent access remains
+}
+
+// Peek carries a suppression with no reason.
+func (c *Counter) Peek() int64 {
+	return c.n //mpq:nonatomic // want "requires a reason"
+}
+
+// hits is a package-level var accessed atomically below.
+var hits int64
+
+// Hit marks the package-level var.
+func Hit() { atomic.AddInt64(&hits, 1) }
+
+// Hits reads it plainly.
+func Hits() int64 {
+	return hits // want "accessed via sync/atomic elsewhere"
+}

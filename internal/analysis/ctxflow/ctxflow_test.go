@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mpq/internal/analysis/analysistest"
+	"mpq/internal/analysis/ctxflow"
+)
+
+func TestServingPackage(t *testing.T) {
+	analysistest.Run(t, ".", ctxflow.Analyzer, "mpq/internal/serve/fixture")
+}
+
+func TestOutOfScopePackage(t *testing.T) {
+	analysistest.Run(t, ".", ctxflow.Analyzer, "mpq/internal/catalog/fixture")
+}

@@ -1,0 +1,16 @@
+// Package fixture exercises the mpqctxflow analyzer outside the
+// serving packages: parameter order is free, context roots are not.
+package fixture
+
+import "context"
+
+// LateCtx is fine here — rule 2 covers only the serving packages.
+func LateCtx(key string, ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// Detached is still flagged module-wide.
+func Detached() context.Context {
+	return context.Background() // want "creates a new context root"
+}

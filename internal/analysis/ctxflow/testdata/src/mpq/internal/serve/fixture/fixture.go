@@ -1,0 +1,51 @@
+// Package fixture exercises the mpqctxflow analyzer inside a serving
+// package (both rules apply).
+package fixture
+
+import "context"
+
+// Prepareish takes ctx first — the convention.
+func Prepareish(ctx context.Context, key string) error {
+	_ = ctx
+	return nil
+}
+
+// Misordered buries its context. // want is on the param below.
+func Misordered(key string, ctx context.Context) error { // want "must take context.Context as its first parameter"
+	_ = ctx
+	return nil
+}
+
+// Picker is an exported interface: its methods carry the convention
+// too.
+type Picker interface {
+	Pick(ctx context.Context, key string) error
+	PickLate(key string, ctx context.Context) error // want "must take context.Context as its first parameter"
+}
+
+// unexported funcs are uninteresting to rule 2.
+func helper(key string, ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// Detached mints a context root without sanction.
+func Detached() error {
+	ctx := context.Background() // want "creates a new context root"
+	return Prepareish(ctx, "k")
+}
+
+// Todo is the same violation via TODO.
+func Todo() context.Context {
+	return context.TODO() // want "creates a new context root"
+}
+
+// Root is a documented, deliberate context root.
+func Root() context.Context {
+	return context.Background() //mpq:ctxroot fixture daemon root: no caller exists to inherit from
+}
+
+// Unjustified carries a suppression with no reason.
+func Unjustified() context.Context {
+	return context.Background() //mpq:ctxroot // want "requires a reason"
+}

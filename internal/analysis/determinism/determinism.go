@@ -1,0 +1,209 @@
+// Package determinism implements the mpqdeterminism analyzer: it
+// defends the repo's bit-for-bit reproducibility contract (identical
+// plans, serialized bytes, and LP stats for any worker count) at
+// compile time.
+//
+// Two rules:
+//
+//  1. In the deterministic-output packages (core, geometry, pwl,
+//     region, selection, index, store, plan), a `range` over a map is
+//     flagged: map iteration order is randomized per run, so any map
+//     order that can reach results or serialized bytes silently breaks
+//     determinism. A range is sanctioned if the enclosing function
+//     sorts after the loop (the collect-then-sort idiom) or if it is
+//     annotated `//mpq:orderinvariant <reason>`.
+//
+//  2. Module-wide (outside package main and _test.go files), calls to
+//     time.Now/time.Since and imports of math/rand are flagged unless
+//     annotated `//mpq:wallclock <reason>` / `//mpq:rand <reason>`.
+//     Timing-stat code is expected to carry the annotation; seeds must
+//     route through the single sanctioned fallback in internal/entropy.
+//
+// The analyzer also validates directive syntax suite-wide: unknown
+// //mpq: kinds are reported here (it is the one analyzer that visits
+// every package), and orderinvariant/wallclock/rand directives without
+// a reason are reported as undocumented suppressions.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"mpq/internal/analysis/directive"
+)
+
+// DeterministicPkgs are the packages whose outputs must be
+// reproducible byte-for-byte; rule 1 applies only here.
+var DeterministicPkgs = []string{
+	"mpq/internal/core",
+	"mpq/internal/geometry",
+	"mpq/internal/pwl",
+	"mpq/internal/region",
+	"mpq/internal/selection",
+	"mpq/internal/index",
+	"mpq/internal/store",
+	"mpq/internal/plan",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mpqdeterminism",
+	Doc:  "flag nondeterministic map iteration in deterministic-output packages and unsanctioned wall-clock/rand use module-wide",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.Collect(pass)
+	dirs.ReportUnknown(pass)
+	dirs.ReportUndocumented(pass, directive.OrderInvariant, directive.Wallclock, directive.Rand)
+
+	path := pass.Pkg.Path()
+	if !directive.InModule(path) {
+		return nil, nil
+	}
+	mapRangeScope := directive.InScope(path, DeterministicPkgs)
+	wallclockScope := pass.Pkg.Name() != "main"
+
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		if mapRangeScope {
+			checkMapRanges(pass, dirs, f)
+		}
+		if wallclockScope {
+			checkWallclock(pass, dirs, f)
+			checkRandImports(pass, dirs, f)
+		}
+	}
+	return nil, nil
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.FileStart).Filename, "_test.go")
+}
+
+// checkMapRanges flags `range` statements over map-typed operands
+// unless the enclosing function sorts after the loop or the loop is
+// annotated.
+func checkMapRanges(pass *analysis.Pass, dirs *directive.Set, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok {
+			checkMapRangesIn(pass, dirs, fd)
+		}
+	}
+}
+
+func checkMapRangesIn(pass *analysis.Pass, dirs *directive.Set, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv := pass.TypesInfo.TypeOf(rs.X)
+		if tv == nil {
+			return true
+		}
+		if _, isMap := tv.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if dirs.Allowed(directive.OrderInvariant, rs.Pos()) {
+			return true
+		}
+		if sortFollows(pass, fd, rs) {
+			return true
+		}
+		pass.Reportf(rs.Pos(), "range over map %s: iteration order is nondeterministic and this package's outputs must be byte-reproducible; sort after collecting, or annotate //mpq:orderinvariant <reason>", types.TypeString(tv, types.RelativeTo(pass.Pkg)))
+		return true
+	})
+}
+
+// sortFollows recognizes the collect-then-sort idiom: a call to a
+// sort.* or slices.Sort* function lexically after the range loop in
+// the same function body sanctions the loop.
+func sortFollows(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort":
+				found = true
+			case "slices":
+				if strings.HasPrefix(fn.Name(), "Sort") {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkWallclock flags calls to time.Now and time.Since without a
+// //mpq:wallclock annotation.
+func checkWallclock(pass *analysis.Pass, dirs *directive.Set, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return true
+		}
+		if name := fn.Name(); name != "Now" && name != "Since" {
+			return true
+		}
+		if dirs.Allowed(directive.Wallclock, call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "time.%s reads the wall clock, which must not influence deterministic outputs; annotate timing/stat code //mpq:wallclock <reason>", fn.Name())
+		return true
+	})
+}
+
+// checkRandImports flags math/rand imports without a //mpq:rand
+// annotation.
+func checkRandImports(pass *analysis.Pass, dirs *directive.Set, f *ast.File) {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if p != "math/rand" && p != "math/rand/v2" {
+			continue
+		}
+		if dirs.Allowed(directive.Rand, imp.Pos()) {
+			continue
+		}
+		pass.Reportf(imp.Pos(), "import of %s: random sources break reproducibility unless explicitly seeded; seed via internal/entropy and annotate //mpq:rand <reason>", p)
+	}
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"mpq/internal/analysis/analysistest"
+	"mpq/internal/analysis/determinism"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, ".", determinism.Analyzer, "mpq/internal/core/fixture")
+}
+
+func TestOutOfScopePackage(t *testing.T) {
+	analysistest.Run(t, ".", determinism.Analyzer, "mpq/internal/bench/fixture")
+}

@@ -1,0 +1,21 @@
+// Package fixture exercises the mpqdeterminism analyzer outside the
+// deterministic-output packages: map ranges are free, the wall clock
+// still is not.
+package fixture
+
+import "time"
+
+// MapOrderElsewhere is fine here — this package's outputs carry no
+// byte-reproducibility contract.
+func MapOrderElsewhere(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Clock is still flagged module-wide.
+func Clock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,65 @@
+// Package fixture exercises the mpqdeterminism analyzer inside a
+// deterministic-output package (both rules apply).
+package fixture
+
+import (
+	"sort"
+	"time"
+)
+
+// MapOrder collects results from map iterations.
+func MapOrder(m map[string]int) []string {
+	var bad []string
+	for k := range m { // want "range over map"
+		bad = append(bad, k)
+	}
+	return bad
+}
+
+// SortedAfter uses the sanctioned collect-then-sort idiom.
+func SortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Annotated carries a documented suppression.
+func Annotated(m map[string]int) int {
+	n := 0
+	//mpq:orderinvariant pure accumulation; addition is commutative
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Undocumented suppressions are themselves findings.
+func Undocumented(m map[string]int) int {
+	n := 0
+	for range m { //mpq:orderinvariant // want "requires a reason"
+		n++
+	}
+	return n
+}
+
+// Clock reads the wall clock without sanction.
+func Clock() int64 {
+	t := time.Now() // want "time.Now reads the wall clock"
+	return t.Unix()
+}
+
+// Elapsed uses time.Since without sanction.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+// Timed is sanctioned stat code.
+func Timed() time.Time {
+	return time.Now() //mpq:wallclock timing stat for the fixture; never reaches outputs
+}
+
+//mpq:bogus not a real directive kind // want "unknown directive"
+var _ = 0

@@ -1,0 +1,8 @@
+package fixture
+
+import (
+	"math/rand" // want "import of math/rand"
+)
+
+// Draw uses an unsanctioned random source.
+func Draw() int { return rand.Int() }

@@ -1,0 +1,10 @@
+package fixture
+
+import (
+	"math/rand" //mpq:rand fixture generator is seeded and reproducible
+)
+
+// DrawSeeded draws from an explicitly seeded generator.
+func DrawSeeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Int()
+}

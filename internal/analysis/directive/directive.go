@@ -1,0 +1,226 @@
+// Package directive is the shared configuration layer of the mpqlint
+// analyzers: it parses `//mpq:<kind> <reason>` suppression directives
+// out of a package's comments and answers, for any diagnostic position,
+// whether a directive of a given kind sanctions it.
+//
+// Directive grammar
+//
+//	//mpq:<kind> <reason>
+//
+// where <kind> is one of the known kinds below and <reason> is free
+// text explaining why the invariant is deliberately waived at this
+// site. A directive with an empty reason still suppresses the
+// underlying diagnostic, but is itself reported by the analyzer that
+// owns the kind — an undocumented suppression is a lint violation.
+//
+// A directive attaches to code at three granularities:
+//
+//   - line: written at the end of the offending line, or alone on the
+//     line immediately above it;
+//   - declaration: written in the doc comment of a func, type, var, or
+//     import declaration, covering the whole declaration;
+//   - file: written above the package clause, covering the whole file.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Kind names one invariant that a directive may waive.
+type Kind string
+
+// The known directive kinds. Each is owned by exactly one analyzer,
+// which validates that its directives carry a reason.
+const (
+	// OrderInvariant sanctions a range over a map in a
+	// deterministic-output package (owner: mpqdeterminism).
+	OrderInvariant Kind = "orderinvariant"
+	// Wallclock sanctions a time.Now/time.Since call — timing and
+	// stats code that never reaches results (owner: mpqdeterminism).
+	Wallclock Kind = "wallclock"
+	// Rand sanctions a math/rand import — seeded, reproducible
+	// generators only (owner: mpqdeterminism).
+	Rand Kind = "rand"
+	// CtxRoot sanctions a context.Background/context.TODO call — a
+	// deliberate root of a new context tree (owner: mpqctxflow).
+	CtxRoot Kind = "ctxroot"
+	// FloatExact sanctions an exact ==/!= on floating-point values
+	// (owner: mpqfloateq).
+	FloatExact Kind = "floatexact"
+	// NonAtomic sanctions a plain access to a field that is accessed
+	// atomically elsewhere — e.g. a read under a mutex after all
+	// writers joined (owner: mpqatomicfield).
+	NonAtomic Kind = "nonatomic"
+)
+
+// Known reports whether k is a recognized directive kind.
+func Known(k Kind) bool {
+	switch k {
+	case OrderInvariant, Wallclock, Rand, CtxRoot, FloatExact, NonAtomic:
+		return true
+	}
+	return false
+}
+
+const prefix = "//mpq:"
+
+// A Directive is one parsed //mpq: comment.
+type Directive struct {
+	Kind   Kind
+	Reason string
+	Pos    token.Pos // position of the comment
+}
+
+type span struct {
+	kind       Kind
+	start, end token.Pos
+}
+
+// A Set holds every directive of one package, indexed for suppression
+// lookups.
+type Set struct {
+	fset   *token.FileSet
+	all    []Directive
+	byLine map[string]map[int][]Kind // filename -> line of directive comment -> kinds
+	spans  []span                    // declaration- and file-level coverage
+}
+
+// Collect parses the directives of every file in the pass.
+func Collect(pass *analysis.Pass) *Set {
+	s := &Set{fset: pass.Fset, byLine: make(map[string]map[int][]Kind)}
+	for _, f := range pass.Files {
+		s.collectFile(f)
+	}
+	return s
+}
+
+func (s *Set) collectFile(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parse(c)
+			if !ok {
+				continue
+			}
+			s.all = append(s.all, d)
+			pos := s.fset.Position(c.Slash)
+			lines := s.byLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int][]Kind)
+				s.byLine[pos.Filename] = lines
+			}
+			lines[pos.Line] = append(lines[pos.Line], d.Kind)
+			// File-level: any directive group before the package
+			// clause covers the whole file.
+			if c.Slash < f.Package {
+				s.spans = append(s.spans, span{d.Kind, f.FileStart, f.FileEnd})
+			}
+		}
+	}
+	// Declaration-level: directives in doc comments cover the
+	// declaration they document.
+	for _, decl := range f.Decls {
+		var doc *ast.CommentGroup
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		}
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if d, ok := parse(c); ok {
+				s.spans = append(s.spans, span{d.Kind, decl.Pos(), decl.End()})
+			}
+		}
+	}
+}
+
+func parse(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, prefix) {
+		return Directive{}, false
+	}
+	rest := c.Text[len(prefix):]
+	// Fixture support: a trailing "// want ..." expectation inside the
+	// directive comment belongs to the analysistest harness, not to the
+	// reason text.
+	if i := strings.Index(rest, "// want "); i >= 0 {
+		rest = rest[:i]
+	}
+	kind, reason, _ := strings.Cut(rest, " ")
+	return Directive{Kind: Kind(kind), Reason: strings.TrimSpace(reason), Pos: c.Slash}, true
+}
+
+// Allowed reports whether a directive of the given kind sanctions a
+// diagnostic at pos: same line, the line above, an enclosing annotated
+// declaration, or an annotated file.
+func (s *Set) Allowed(kind Kind, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	if lines, ok := s.byLine[p.Filename]; ok {
+		for _, k := range lines[p.Line] {
+			if k == kind {
+				return true
+			}
+		}
+		for _, k := range lines[p.Line-1] {
+			if k == kind {
+				return true
+			}
+		}
+	}
+	for _, sp := range s.spans {
+		if sp.kind == kind && sp.start <= pos && pos < sp.end {
+			return true
+		}
+	}
+	return false
+}
+
+// ReportUndocumented reports every directive of the owned kinds that
+// carries no reason text. It is called by the analyzer that owns each
+// kind, so a suppression without a rationale is itself a finding.
+func (s *Set) ReportUndocumented(pass *analysis.Pass, owned ...Kind) {
+	for _, d := range s.all {
+		if d.Reason != "" {
+			continue
+		}
+		for _, k := range owned {
+			if d.Kind == k {
+				pass.Reportf(d.Pos, "mpq:%s directive requires a reason explaining why the invariant is waived here", d.Kind)
+			}
+		}
+	}
+}
+
+// ReportUnknown reports directives whose kind is not recognized. It is
+// called from exactly one analyzer (mpqdeterminism, which runs over
+// every package) to avoid duplicate diagnostics.
+func (s *Set) ReportUnknown(pass *analysis.Pass) {
+	for _, d := range s.all {
+		if !Known(d.Kind) {
+			pass.Reportf(d.Pos, "unknown directive mpq:%s (known: orderinvariant, wallclock, rand, ctxroot, floatexact, nonatomic)", d.Kind)
+		}
+	}
+}
+
+// InModule reports whether path names a package of this module — the
+// analyzers never report on vendored or standard-library code.
+func InModule(path string) bool {
+	return path == "mpq" || strings.HasPrefix(path, "mpq/")
+}
+
+// InScope reports whether path is one of the listed package paths or a
+// subpackage of one.
+func InScope(path string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,159 @@
+// Package floateq implements the mpqfloateq analyzer: in the numeric
+// kernel packages (geometry, pwl, selection), exact ==/!= comparisons
+// of floating-point values are flagged. The repo's geometric
+// predicates are epsilon-disciplined (selection.ContainsEps, the 1e-9
+// pwl comparators); a bare == on a computed cost or coordinate is
+// almost always a latent determinism or correctness bug — two
+// mathematically equal values can differ in the last ulp depending on
+// evaluation order.
+//
+// Sanctioned exact comparisons:
+//
+//   - the self-comparison NaN idiom (x != x);
+//   - bodies of the approved epsilon-comparator helpers, listed in
+//     ApprovedHelpers, which by definition implement the tolerance;
+//   - sites annotated `//mpq:floatexact <reason>` — e.g. exact-zero
+//     pivot tests in the simplex kernel, where skipping an exactly-zero
+//     multiplier is sound and a tolerance would be wrong.
+//
+// switch statements over a floating-point tag are flagged
+// unconditionally (annotate the switch if ever needed).
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"mpq/internal/analysis/directive"
+)
+
+// ScopePkgs are the epsilon-disciplined numeric packages.
+var ScopePkgs = []string{
+	"mpq/internal/geometry",
+	"mpq/internal/pwl",
+	"mpq/internal/selection",
+}
+
+// ApprovedHelpers names functions (per package path) whose whole body
+// may compare floats exactly: they are the epsilon comparators
+// themselves, or wrappers whose exactness is the contract.
+var ApprovedHelpers = map[string][]string{
+	// Halfspace.String renders coefficients: its ==0/==1 tests choose
+	// formatting, never geometry.
+	"mpq/internal/geometry": {"Halfspace.String"},
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mpqfloateq",
+	Doc:  "flag exact ==/!= on floating-point values in the epsilon-disciplined numeric packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.Collect(pass)
+	dirs.ReportUndocumented(pass, directive.FloatExact)
+
+	if !directive.InScope(pass.Pkg.Path(), ScopePkgs) {
+		return nil, nil
+	}
+	approved := make(map[string]bool)
+	for _, name := range ApprovedHelpers[pass.Pkg.Path()] {
+		approved[name] = true
+	}
+
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.FileStart).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if approved[funcKey(fd)] {
+				continue
+			}
+			checkBody(pass, dirs, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// funcKey names a function for the allowlist: "Name" for functions,
+// "Type.Name" for methods.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func checkBody(pass *analysis.Pass, dirs *directive.Set, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if !isFloat(pass, n.X) && !isFloat(pass, n.Y) {
+				return true
+			}
+			if selfCompare(n) {
+				return true // x != x is the NaN test — exact by design
+			}
+			if dirs.Allowed(directive.FloatExact, n.Pos()) {
+				return true
+			}
+			pass.Reportf(n.OpPos, "exact %s on floating-point values: use an epsilon comparator (1e-9 discipline, cf. selection.ContainsEps), or annotate a deliberately exact test //mpq:floatexact <reason>", n.Op)
+		case *ast.SwitchStmt:
+			if n.Tag != nil && isFloat(pass, n.Tag) && !dirs.Allowed(directive.FloatExact, n.Pos()) {
+				pass.Reportf(n.Switch, "switch on a floating-point value compares exactly; use epsilon comparisons, or annotate //mpq:floatexact <reason>")
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// selfCompare recognizes `x op x` for a side-effect-free x.
+func selfCompare(n *ast.BinaryExpr) bool {
+	return exprString(n.X) != "" && exprString(n.X) == exprString(n.Y)
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprString(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		// x[i] != x[i] with simple operands.
+		if x, i := exprString(e.X), exprString(e.Index); x != "" && i != "" {
+			return x + "[" + i + "]"
+		}
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return ""
+}

@@ -1,0 +1,18 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"mpq/internal/analysis/analysistest"
+	"mpq/internal/analysis/floateq"
+)
+
+func TestNumericPackage(t *testing.T) {
+	floateq.ApprovedHelpers["mpq/internal/geometry/fixture"] = []string{"renderCmp"}
+	defer delete(floateq.ApprovedHelpers, "mpq/internal/geometry/fixture")
+	analysistest.Run(t, ".", floateq.Analyzer, "mpq/internal/geometry/fixture")
+}
+
+func TestOutOfScopePackage(t *testing.T) {
+	analysistest.Run(t, ".", floateq.Analyzer, "mpq/internal/core/fixture")
+}

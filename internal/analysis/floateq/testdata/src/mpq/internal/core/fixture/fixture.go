@@ -1,0 +1,8 @@
+// Package fixture exercises the mpqfloateq analyzer outside the
+// numeric packages: exact float comparison is not its concern there.
+package fixture
+
+// EqElsewhere is out of scope — no finding.
+func EqElsewhere(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,56 @@
+// Package fixture exercises the mpqfloateq analyzer inside an
+// epsilon-disciplined numeric package.
+package fixture
+
+// Eq compares costs exactly — the classic latent bug.
+func Eq(a, b float64) bool {
+	return a == b // want "exact == on floating-point values"
+}
+
+// Neq is the same violation negated.
+func Neq(a, b float64) bool {
+	return a != b // want "exact != on floating-point values"
+}
+
+// Ints are not floats.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// IsNaN uses the sanctioned self-comparison idiom.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Scalar is a named float type; the underlying type decides.
+type Scalar float64
+
+// EqScalar is flagged through the named type.
+func EqScalar(a, b Scalar) bool {
+	return a == b // want "exact == on floating-point values"
+}
+
+// Pivot documents a deliberately exact test.
+func Pivot(f float64) bool {
+	return f == 0 //mpq:floatexact exact-zero skip is algebraically a no-op
+}
+
+// Sloppy suppresses without a reason.
+func Sloppy(f float64) bool {
+	return f == 0 //mpq:floatexact // want "requires a reason"
+}
+
+// Classify switches on a float tag.
+func Classify(x float64) int {
+	switch x { // want "switch on a floating-point value"
+	case 0:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// renderCmp is allowlisted by the test as an approved helper.
+func renderCmp(w float64) bool {
+	return w == 1
+}

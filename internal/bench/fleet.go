@@ -66,8 +66,10 @@ type FleetMeasurement struct {
 }
 
 // RunFleet executes the fleet-serving experiment over a fresh
-// temporary shared directory.
-func RunFleet(cfg FleetConfig) ([]FleetMeasurement, error) {
+// temporary shared directory. ctx cancels or deadline-bounds the whole
+// experiment: it flows into every Prepare, Pick, and PickBatch issued
+// against the in-process servers.
+func RunFleet(ctx context.Context, cfg FleetConfig) ([]FleetMeasurement, error) {
 	if cfg.Servers <= 0 {
 		cfg.Servers = 3
 	}
@@ -86,7 +88,7 @@ func RunFleet(cfg FleetConfig) ([]FleetMeasurement, error) {
 	for i, spec := range cfg.Specs {
 		// A fresh subdirectory per spec: a repeated spec must measure a
 		// cold store again, not trip over its predecessor's documents.
-		m, err := runFleetSpec(cfg, spec, filepath.Join(dir, fmt.Sprintf("spec%d", i)))
+		m, err := runFleetSpec(ctx, cfg, spec, filepath.Join(dir, fmt.Sprintf("spec%d", i)))
 		if err != nil {
 			return nil, fmt.Errorf("bench: fleet %s: %w", spec, err)
 		}
@@ -101,7 +103,7 @@ func RunFleet(cfg FleetConfig) ([]FleetMeasurement, error) {
 	return out, nil
 }
 
-func runFleetSpec(cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement, error) {
+func runFleetSpec(ctx context.Context, cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement, error) {
 	shared, err := fleet.NewDirStore(dir)
 	if err != nil {
 		return nil, err
@@ -121,7 +123,7 @@ func runFleetSpec(cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement
 
 	// Server 0 computes and publishes; every sibling must be served
 	// from the shared store.
-	prep0, err := servers[0].Prepare(context.Background(), tpl)
+	prep0, err := servers[0].Prepare(ctx, tpl)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +132,7 @@ func runFleetSpec(cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement
 	}
 	key := prep0.Key
 	for i := 1; i < len(servers); i++ {
-		prep, err := servers[i].Prepare(context.Background(), tpl)
+		prep, err := servers[i].Prepare(ctx, tpl)
 		if err != nil {
 			return nil, err
 		}
@@ -170,8 +172,8 @@ func runFleetSpec(cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement
 	if !ok {
 		return nil, fmt.Errorf("server 0 lost its plan set")
 	}
-	ctx := geometry.NewContext()
-	points, err := pickPoints(ctx, ps.Space, cfg.Points, cfg.Seed+int64(spec.Tables)*7919)
+	solver := geometry.NewContext()
+	points, err := pickPoints(solver, ps.Space, cfg.Points, cfg.Seed+int64(spec.Tables)*7919)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +187,7 @@ func runFleetSpec(cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement
 		for si, s := range servers {
 			var lines []string
 			for p := 0; p < numPickPolicies; p++ {
-				res, err := s.Pick(context.Background(), params.pickRequest(key, x, p))
+				res, err := s.Pick(ctx, params.pickRequest(key, x, p))
 				lines = append(lines, fmt.Sprintf("%v|%v", res.Choices, err))
 			}
 			if si == 0 {
@@ -210,14 +212,14 @@ func runFleetSpec(cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement
 	const rounds = 3
 	for round := 0; round < rounds; round++ {
 		runtime.GC()
-		start := time.Now()
+		start := time.Now() //mpq:wallclock benchmark timing is the measurement itself
 		var wg sync.WaitGroup
 		errCh := make(chan error, len(servers))
 		for _, s := range servers {
 			wg.Add(1)
 			go func(s *serve.Server) {
 				defer wg.Done()
-				if _, err := s.PickBatch(context.Background(), batch); err != nil {
+				if _, err := s.PickBatch(ctx, batch); err != nil {
 					errCh <- err
 				}
 			}(s)
@@ -227,7 +229,7 @@ func runFleetSpec(cfg FleetConfig, spec PickSpec, dir string) (*FleetMeasurement
 		for err := range errCh {
 			return nil, err
 		}
-		ns := time.Since(start).Nanoseconds() / int64(len(servers)*len(points))
+		ns := time.Since(start).Nanoseconds() / int64(len(servers)*len(points)) //mpq:wallclock benchmark timing is the measurement itself
 		if round == 0 || ns < m.PickNs {
 			m.PickNs = ns
 		}

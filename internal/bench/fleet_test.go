@@ -8,7 +8,7 @@ import (
 )
 
 func TestRunFleet(t *testing.T) {
-	ms, err := RunFleet(FleetConfig{
+	ms, err := RunFleet(t.Context(), FleetConfig{
 		Servers: 2,
 		Specs:   []PickSpec{{Shape: workload.Star, Params: 1, Tables: 4}},
 		Points:  32,

@@ -144,7 +144,7 @@ type Result struct {
 // with operator costs from model, and returns a Pareto plan set for the
 // full query. With the default PWL algebra this is PWL-RRPA.
 func Optimize(schema *catalog.Schema, model CostModel, opts Options) (*Result, error) {
-	return OptimizeCtx(context.Background(), schema, model, opts)
+	return OptimizeCtx(context.Background(), schema, model, opts) //mpq:ctxroot legacy ctx-less API is a deliberate root; new callers use OptimizeCtx
 }
 
 // OptimizeCtx is Optimize with cooperative cancellation: the run
@@ -158,7 +158,7 @@ func OptimizeCtx(runCtx context.Context, schema *catalog.Schema, model CostModel
 		return nil, err
 	}
 	if runCtx == nil {
-		runCtx = context.Background()
+		runCtx = context.Background() //mpq:ctxroot nil ctx from legacy callers defaults to an uncancellable root at the API boundary
 	}
 	if err := runCtx.Err(); err != nil {
 		return nil, fmt.Errorf("core: optimize: %w", err)
@@ -234,7 +234,7 @@ func (o *optimizer) setupWorkers(algebra Algebra) {
 }
 
 func (o *optimizer) run() (*Result, error) {
-	start := time.Now()
+	start := time.Now() //mpq:wallclock Stats.Duration timing; never reaches plan bytes
 	statsBefore := o.ctx.Stats
 
 	// Decide the schedule up front: every scheduled table set gets a
@@ -314,7 +314,7 @@ func (o *optimizer) run() (*Result, error) {
 	}
 	o.stats.FinalPlans = len(final)
 	o.stats.MaxPlansPerSet = o.store.maxSetSize()
-	o.stats.Duration = time.Since(start)
+	o.stats.Duration = time.Since(start) //mpq:wallclock Stats.Duration timing; never reaches plan bytes
 	o.stats.Geometry = o.ctx.Stats
 	o.stats.Geometry.Sub(statsBefore)
 

@@ -111,6 +111,7 @@ func (st *planStore) snapshot() map[catalog.TableSet][]*PlanInfo {
 	out := make(map[catalog.TableSet][]*PlanInfo)
 	for k := range st.shards {
 		sh := &st.shards[k]
+		//mpq:orderinvariant populates another map keyed by the same q; no order-dependent output can form
 		for q, i := range sh.index {
 			p := sh.slots[i].plans.Load()
 			if p == nil || len(*p) == 0 {

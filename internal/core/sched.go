@@ -375,7 +375,7 @@ func newScheduler(o *optimizer, masks []catalog.TableSet) *scheduler {
 // run executes all masks on the optimizer's workers and returns the
 // scheduler metrics.
 func (s *scheduler) run() SchedulerStats {
-	start := time.Now()
+	start := time.Now() //mpq:wallclock SchedulerStats.Wall timing; never reaches plan bytes
 	// Watch the run context: on cancellation, set the abort flag and
 	// wake every worker parked in next()'s cond.Wait so the pool drains
 	// promptly instead of on its next natural wakeup.
@@ -408,7 +408,7 @@ func (s *scheduler) run() SchedulerStats {
 		SplitJobs:    int(s.splitJobs.Load()),
 		SplitChunks:  int(s.splitChunks.Load()),
 		DonatedTasks: int(s.donatedTasks.Load()),
-		Wall:         time.Since(start),
+		Wall:         time.Since(start), //mpq:wallclock SchedulerStats.Wall timing; never reaches plan bytes
 	}
 	for _, w := range s.o.workers {
 		st.Busy += w.busy
@@ -424,7 +424,7 @@ func (s *scheduler) run() SchedulerStats {
 // The run context is checked between masks, the same checkpoint
 // granularity as the parallel path.
 func (s *scheduler) runSequential() SchedulerStats {
-	start := time.Now()
+	start := time.Now() //mpq:wallclock SchedulerStats timing; never reaches plan bytes
 	w := s.o.workers[0]
 	done := 0
 	for _, q := range s.masks {
@@ -437,7 +437,7 @@ func (s *scheduler) runSequential() SchedulerStats {
 	s.mu.Lock()
 	s.remaining -= done
 	s.mu.Unlock()
-	wall := time.Since(start)
+	wall := time.Since(start) //mpq:wallclock SchedulerStats timing; never reaches plan bytes
 	return SchedulerStats{Tasks: done, Busy: wall, Wall: wall}
 }
 
@@ -463,13 +463,13 @@ func (s *scheduler) workerLoop(w *worker) {
 		if j == nil && mi < 0 {
 			return
 		}
-		start := time.Now()
+		start := time.Now() //mpq:wallclock per-worker busy-time stat; never reaches plan bytes
 		if j != nil {
 			s.runJobChunks(w, j)
 		} else {
 			s.planMask(w, s.masks[mi])
 		}
-		w.busy += time.Since(start)
+		w.busy += time.Since(start) //mpq:wallclock per-worker busy-time stat; never reaches plan bytes
 	}
 }
 
@@ -575,9 +575,9 @@ func (s *scheduler) tryDonate(j *splitJob, want int) {
 			defer s.donateWG.Done()
 			solver := s.o.ctx.Fork()
 			w := &worker{o: s.o, solver: solver, algebra: s.o.forkable.Fork(solver)}
-			start := time.Now()
+			start := time.Now() //mpq:wallclock donated-worker busy-time stat; never reaches plan bytes
 			s.runJobChunks(w, j)
-			w.busy = time.Since(start)
+			w.busy = time.Since(start) //mpq:wallclock donated-worker busy-time stat; never reaches plan bytes
 			s.donatedTasks.Add(1)
 			s.donatedMu.Lock()
 			s.donated = append(s.donated, w)

@@ -1,0 +1,21 @@
+// Package entropy is the repo's single sanctioned source of
+// nondeterministic seeds. Everything else in the module is either
+// bit-for-bit deterministic or explicitly seeded; the only place a
+// wall-clock seed may enter is here, so the determinism analyzer
+// (cmd/mpqlint) has exactly one annotated entry point to police.
+// Callers that want reproducible runs pass a nonzero seed and never
+// reach the clock.
+package entropy
+
+import "time"
+
+// SeedOrNow returns seed unchanged when nonzero, and a wall-clock
+// seed otherwise. Components with a Seed option (faultfs injectors,
+// fleet peer-retry jitter) use it as their only fallback: a zero seed
+// means the caller opted out of reproducibility.
+func SeedOrNow(seed int64) int64 {
+	if seed != 0 {
+		return seed
+	}
+	return time.Now().UnixNano() //mpq:wallclock sanctioned seed fallback: zero seed means the caller opted out of reproducibility
+}

@@ -13,10 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"math/rand"
+	"math/rand" //mpq:rand injection schedules are seeded and replayable; fallback seeding routes through entropy.SeedOrNow
 	"os"
 	"sync"
 	"time"
+
+	"mpq/internal/entropy"
 )
 
 // FS is the set of filesystem operations the plan-set stores perform.
@@ -122,13 +124,9 @@ func NewInjector(base FS, cfg Config) *Injector {
 	if base == nil {
 		base = OS
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
-	}
 	return &Injector{
 		base:    base,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(rand.NewSource(entropy.SeedOrNow(cfg.Seed))),
 		cfg:     cfg,
 		crashIn: -1,
 	}

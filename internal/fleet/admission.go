@@ -81,11 +81,11 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	}
 	a.mu.Unlock()
 
-	start := time.Now()
+	start := time.Now() //mpq:wallclock queue-wait stat (Stats.WaitTime); never reaches plan bytes
 	select {
 	case <-ch: // the releasing holder transferred its slot to us
 		a.mu.Lock()
-		a.stats.WaitTime += time.Since(start)
+		a.stats.WaitTime += time.Since(start) //mpq:wallclock queue-wait stat; never reaches plan bytes
 		a.mu.Unlock()
 		return a.releaseOnce(), nil
 	case <-ctx.Done():

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
+	"math/rand" //mpq:rand retry jitter is seeded for replayable chaos tests; fallback seeding routes through entropy.SeedOrNow
 	"net/http"
 	"strings"
 	"sync"
 	"time"
+
+	"mpq/internal/entropy"
 )
 
 // PlanSetPath is the HTTP path prefix under which every mpqserve
@@ -179,10 +181,6 @@ func NewPeerClient(peers []string, timeout time.Duration) *PeerClient {
 // parameters.
 func NewPeerClientOptions(urls []string, opts PeerOptions) *PeerClient {
 	opts = opts.withDefaults()
-	seed := opts.Seed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
-	}
 	var peers []*peer
 	for _, p := range urls {
 		p = strings.TrimRight(strings.TrimSpace(p), "/")
@@ -198,7 +196,7 @@ func NewPeerClientOptions(urls []string, opts PeerOptions) *PeerClient {
 		opts:   opts,
 		client: &http.Client{Timeout: opts.Timeout},
 		peers:  peers,
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    rand.New(rand.NewSource(entropy.SeedOrNow(opts.Seed))),
 	}
 }
 
@@ -222,7 +220,7 @@ func (p *PeerClient) admit(pr *peer) bool {
 	case PeerClosed:
 		return true
 	case PeerOpen:
-		if time.Since(pr.openedAt) < p.opts.BreakerCooldown {
+		if time.Since(pr.openedAt) < p.opts.BreakerCooldown { //mpq:wallclock breaker cooldown is wall-time by design; never reaches plan bytes
 			p.skips++
 			return false
 		}
@@ -253,7 +251,7 @@ func (p *PeerClient) settle(pr *peer, ok bool) {
 	if pr.state == PeerHalfOpen ||
 		(p.opts.BreakerThreshold > 0 && pr.failures >= p.opts.BreakerThreshold && pr.state == PeerClosed) {
 		pr.state = PeerOpen
-		pr.openedAt = time.Now()
+		pr.openedAt = time.Now() //mpq:wallclock breaker trip timestamp is wall-time by design; never reaches plan bytes
 		pr.trips++
 		p.trips++
 	}

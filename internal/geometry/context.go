@@ -120,10 +120,10 @@ func NewContext() *Context { return NewSolver(DefaultConfig()) }
 // tolerances are replaced by the defaults.
 func NewSolver(cfg Config) *Solver {
 	def := DefaultConfig()
-	if cfg.Eps == 0 {
+	if cfg.Eps == 0 { //mpq:floatexact zero-value Config sentinel meaning "use default", not a numeric comparison
 		cfg.Eps = def.Eps
 	}
-	if cfg.RadiusTol == 0 {
+	if cfg.RadiusTol == 0 { //mpq:floatexact zero-value Config sentinel meaning "use default", not a numeric comparison
 		cfg.RadiusTol = def.RadiusTol
 	}
 	if cfg.MaxSimplexIter == 0 {

@@ -26,7 +26,7 @@ const fastMargin = 1e-6
 func axisVar(w Vector) int {
 	idx := -1
 	for j, v := range w {
-		if v != 0 {
+		if v != 0 { //mpq:floatexact structural sparsity test on caller-provided weights; any nonzero entry counts, no tolerance is meaningful
 			if idx >= 0 {
 				return -1
 			}

@@ -473,7 +473,7 @@ func (t *tableau) phase2(objX Vector) LPStatus {
 	// Eliminate basic columns from the objective row.
 	for i := 0; i < t.m; i++ {
 		c := obj[t.basis[i]]
-		if c == 0 {
+		if c == 0 { //mpq:floatexact exact-zero skip: eliminating a zero coefficient is algebraically a no-op; a tolerance would alter the tableau
 			continue
 		}
 		for j := 0; j <= t.n; j++ {
@@ -566,7 +566,7 @@ func (t *tableau) pivot(row, col int) {
 			continue
 		}
 		f := t.rows[i][col]
-		if f == 0 {
+		if f == 0 { //mpq:floatexact exact-zero skip: a zero multiplier makes the row update a no-op; a tolerance would alter the tableau
 			continue
 		}
 		ri := t.rows[i]
@@ -579,7 +579,7 @@ func (t *tableau) pivot(row, col int) {
 		}
 	}
 	f := t.obj[col]
-	if f != 0 {
+	if f != 0 { //mpq:floatexact exact-zero skip: a zero multiplier makes the objective update a no-op
 		for j := 0; j <= t.n; j++ {
 			t.obj[j] -= f * r[j]
 		}

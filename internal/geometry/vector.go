@@ -153,7 +153,7 @@ func SolveLinearSystem(a [][]float64, b []float64) (Vector, bool) {
 				continue
 			}
 			f := m[r][col] / m[col][col]
-			if f == 0 {
+			if f == 0 { //mpq:floatexact exact-zero skip in Gaussian elimination: a zero factor makes the row update a no-op
 				continue
 			}
 			for c := col; c <= n; c++ {

@@ -121,7 +121,7 @@ type node struct {
 // parallelized across opts.Workers goroutines with a deterministic
 // result.
 func Build(s *geometry.Solver, space *geometry.Polytope, cands []selection.Candidate, opts Options) (*Index, error) {
-	start := time.Now()
+	start := time.Now() //mpq:wallclock build-time stat (Stats.Index.BuildTime); never reaches the tree shape
 	opts = opts.withDefaults()
 	dim := space.Dim()
 	lo, hi, ok := s.BoundingBox(space)
@@ -148,7 +148,7 @@ func Build(s *geometry.Solver, space *geometry.Polytope, cands []selection.Candi
 	root := b.build(lo, hi, ids, 0, opts.MaxLeaves)
 	ix := &Index{dim: dim, lo: lo, hi: hi, opts: opts}
 	ix.flatten(root, 0)
-	ix.buildTime = time.Since(start)
+	ix.buildTime = time.Since(start) //mpq:wallclock build-time stat; never reaches the tree shape
 	return ix, nil
 }
 

@@ -662,6 +662,16 @@ func planSetKey(schema *catalog.Schema, cloudCfg cloud.Config, opts core.Options
 	return hex.EncodeToString(sum[:16]), nil
 }
 
+// orBackground is the server's single sanctioned context root: every
+// public entry point tolerates a nil ctx from legacy callers by
+// defaulting to an uncancellable Background at the API boundary.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background() //mpq:ctxroot nil ctx from legacy callers defaults to an uncancellable root at the API boundary
+	}
+	return ctx
+}
+
 // Prepare optimizes a template (unless its plan set is already cached),
 // persists the plan set through the store format, and caches the
 // deserialized set for Picks. Concurrent Prepares of the same template
@@ -672,9 +682,7 @@ func planSetKey(schema *catalog.Schema, cloudCfg cloud.Config, opts core.Options
 // and singleflight key promptly — without poisoning concurrent
 // requests for the same key, which simply retry the flight.
 func (s *Server) Prepare(ctx context.Context, tpl Template) (PrepareResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = orBackground(ctx)
 	schema, cloudCfg, err := tpl.resolve()
 	if err != nil {
 		return PrepareResult{}, err
@@ -1134,9 +1142,7 @@ func (s *Server) persist(key string, doc []byte) error {
 // prepared plan set. ctx cancels or deadline-bounds the request (a
 // Pick abandoned while queued never starts).
 func (s *Server) Pick(ctx context.Context, req PickRequest) (PickResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = orBackground(ctx)
 	var res PickResult
 	var jerr error
 	err := s.run(ctx, func(w *worker) {
@@ -1191,9 +1197,7 @@ type PickBatchResult struct {
 // byte-identical to issuing the Picks one by one. Any invalid point or
 // selection failure fails the whole batch (the error names the point).
 func (s *Server) PickBatch(ctx context.Context, req PickBatchRequest) (PickBatchResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = orBackground(ctx)
 	var res PickBatchResult
 	var jerr error
 	err := s.run(ctx, func(w *worker) {

@@ -10,7 +10,7 @@ package workload
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand" //mpq:rand workloads are generated from Config.Seed; byte-reproducible per seed
 
 	"mpq/internal/catalog"
 )
