@@ -11,6 +11,8 @@
 //	mpqbench -experiment figure12 -quick -json -baseline BENCH_baseline.json
 //	mpqbench -experiment figure12 -parallel clique:1:6,star:1:8
 //	mpqbench -experiment figure12 -picks clique:2:6 [-pick-points 256]
+//	mpqbench -experiment figure12 -epsilon 0,0.01,0.1 -epsilon-specs chain:1:8,star:1:7
+//	mpqbench -experiment figure12 -cpuprofile cpu.out -memprofile mem.out
 //	mpqbench -experiment pqblowup
 //	mpqbench -experiment ablation [-tables 6]
 //
@@ -20,10 +22,22 @@
 // through the linear scan at random points, and both paths' per-pick
 // latency is measured (reported as pick_cases in the JSON output).
 //
+// -epsilon runs the ε-approximation experiment over the -epsilon-specs
+// plan sets: each spec is prepared exactly (the reference) and once per
+// requested ε, the served ε frontier's max regret is certified against
+// the exact frontier at random points, and the plan-set and LP savings
+// are reported (epsilon_cases). Under -baseline, ε = 0 rows gate on
+// exact counts and ε > 0 rows gate on the certified regret contract.
+//
 // With -baseline, the run is additionally diffed against the given
 // snapshot (the CI regression gate): plan-count or LP-count drift
 // beyond tolerance exits non-zero — for pick cases too — and time
 // drift only warns.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the CPU
+// profile covers the whole experiment; the heap profile is captured
+// after the final collection), for digging into regressions the gate
+// surfaces.
 package main
 
 import (
@@ -32,6 +46,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -63,6 +78,11 @@ func main() {
 		fleetSpec  = flag.String("fleet", "", "fleet-serving specs shape:params:tables[,...]: N servers over one shared store, gate hit rate and fleet pick throughput (fleet_cases)")
 		fleetSrv   = flag.Int("fleet-servers", 3, "fleet size for -fleet")
 		fleetPts   = flag.Int("fleet-points", 0, "pick points per server per -fleet round (0 = 256)")
+		epsilons   = flag.String("epsilon", "", "comma-separated ε approximation factors (e.g. 0,0.01,0.1): certify regret and measure plan/LP savings per -epsilon-specs plan set (epsilon_cases)")
+		epsSpecs   = flag.String("epsilon-specs", "", "ε-experiment specs shape:params:tables[,...] (default: chain:1:8,star:1:7 when -epsilon is set)")
+		epsPoints  = flag.Int("epsilon-points", 0, "random certification points per -epsilon plan set (0 = 256)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after final GC) to this file")
 		maxChain1  = flag.Int("max-chain-1p", 12, "max tables for chain, 1 parameter")
 		maxStar1   = flag.Int("max-star-1p", 12, "max tables for star, 1 parameter")
 		maxChain2  = flag.Int("max-chain-2p", 10, "max tables for chain, 2 parameters")
@@ -75,15 +95,18 @@ func main() {
 	)
 	flag.Parse()
 
+	finishProfiles := startProfiles(*cpuProfile, *memProfile)
+	ok := true
 	switch *experiment {
 	case "figure12":
-		runFigure12(figure12Config{
+		ok = runFigure12(figure12Config{
 			quick: *quick, reps: *reps, csv: *csv, json: *jsonOut,
 			seed: *seed, workers: *workers,
 			shapes: *shapes, params: *params, maxTables: *maxTables,
 			parallel: *parallel,
 			picks:    *picks, pickPoints: *pickPoints,
 			fleet: *fleetSpec, fleetServers: *fleetSrv, fleetPoints: *fleetPts,
+			epsilons: *epsilons, epsilonSpecs: *epsSpecs, epsilonPoints: *epsPoints,
 			maxChain1: *maxChain1, maxStar1: *maxStar1,
 			maxChain2: *maxChain2, maxStar2: *maxStar2,
 			baseline: *baseline,
@@ -96,6 +119,52 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+	finishProfiles()
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// startProfiles begins the requested pprof captures and returns the
+// finalizer that stops the CPU profile and writes the heap profile
+// after a final collection. Error paths that os.Exit before the
+// finalizer runs lose the profiles — a profile of a failed run would
+// mostly profile the failure.
+func startProfiles(cpu, mem string) func() {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "error: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", cpu)
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(2)
+			}
+			runtime.GC() // materialize the live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "error: -memprofile: %v\n", err)
+				os.Exit(2)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", mem)
+		}
 	}
 }
 
@@ -111,6 +180,8 @@ type figure12Config struct {
 	pickPoints                               int
 	fleet                                    string
 	fleetServers, fleetPoints                int
+	epsilons, epsilonSpecs                   string
+	epsilonPoints                            int
 	maxChain1, maxStar1, maxChain2, maxStar2 int
 	baseline                                 string
 	compare                                  bench.CompareOptions
@@ -207,7 +278,10 @@ func parseSpecList(spec, flagName string) ([]curve, error) {
 	return points, nil
 }
 
-func runFigure12(cfg figure12Config) {
+// runFigure12 executes the figure12 experiment and its optional
+// sub-experiments; it returns false when the baseline gate fails (hard
+// errors still exit directly).
+func runFigure12(cfg figure12Config) bool {
 	if cfg.reps == 0 {
 		if cfg.quick {
 			cfg.reps = 5
@@ -251,6 +325,11 @@ func runFigure12(cfg figure12Config) {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(2)
 	}
+	epsList, epsilonSpecs, err := parseEpsilonFlags(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(2)
+	}
 	var series []*bench.Series
 	start := time.Now()
 	for _, c := range curves {
@@ -271,9 +350,11 @@ func runFigure12(cfg figure12Config) {
 		series = append(series, s)
 	}
 	rep := bench.BuildJSONReport(series)
+	rep.NumCPU = runtime.NumCPU()
 	rep.ParallelCases = runParallelPoints(cfg, parallelPoints)
 	rep.PickCases = runPickSpecs(cfg, pickSpecs)
 	rep.FleetCases = runFleetSpecs(cfg, fleetSpecs)
+	rep.EpsilonCases = runEpsilonSpecs(cfg, epsilonSpecs, epsList)
 	fmt.Fprintf(os.Stderr, "total experiment time: %v\n", time.Since(start))
 	switch {
 	case cfg.json:
@@ -287,10 +368,62 @@ func runFigure12(cfg figure12Config) {
 		bench.FormatTable(os.Stdout, series)
 	}
 	if cfg.baseline != "" {
-		if !compareAgainstBaseline(cfg, rep) {
-			os.Exit(1)
-		}
+		return compareAgainstBaseline(cfg, rep)
 	}
+	return true
+}
+
+// parseEpsilonFlags expands -epsilon and -epsilon-specs. An empty
+// -epsilon disables the experiment; a set -epsilon with no explicit
+// specs measures a small default pair of plan sets.
+func parseEpsilonFlags(cfg figure12Config) ([]float64, []curve, error) {
+	if cfg.epsilons == "" {
+		if cfg.epsilonSpecs != "" {
+			return nil, nil, fmt.Errorf("-epsilon-specs requires -epsilon")
+		}
+		return nil, nil, nil
+	}
+	var eps []float64
+	for _, item := range strings.Split(cfg.epsilons, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(item), 64)
+		if err != nil || v < 0 || v >= 1 {
+			return nil, nil, fmt.Errorf("invalid -epsilon entry %q (want a float in [0, 1))", item)
+		}
+		eps = append(eps, v)
+	}
+	specStr := cfg.epsilonSpecs
+	if specStr == "" {
+		specStr = "chain:1:8,star:1:7"
+	}
+	specs, err := parseSpecList(specStr, "-epsilon-specs")
+	if err != nil {
+		return nil, nil, err
+	}
+	return eps, specs, nil
+}
+
+// runEpsilonSpecs executes the -epsilon experiment: certify each
+// tier's max regret against the exact frontier and measure the plan-set
+// and LP savings the approximation factor bought.
+func runEpsilonSpecs(cfg figure12Config, specs []curve, epsilons []float64) []bench.JSONCase {
+	if len(specs) == 0 || len(epsilons) == 0 {
+		return nil
+	}
+	ecfg := bench.EpsilonConfig{
+		Epsilons: epsilons,
+		Points:   cfg.epsilonPoints,
+		Seed:     cfg.seed,
+		Progress: os.Stderr,
+	}
+	for _, c := range specs {
+		ecfg.Specs = append(ecfg.Specs, bench.PickSpec{Shape: c.shape, Params: c.params, Tables: c.max})
+	}
+	ms, err := bench.RunEpsilon(ecfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	return bench.EpsilonMeasurementCases(ms)
 }
 
 // runPickSpecs executes the -picks pick-throughput mode: prepare each

@@ -10,7 +10,7 @@
 //
 // HTTP endpoints:
 //
-//	POST /prepare      {"workload":{"tables":4,"params":1,"shape":"chain","seed":21}}
+//	POST /prepare      {"workload":{"tables":4,"params":1,"shape":"chain","seed":21},"epsilon":0.05}
 //	POST /pick         {"key":"...","point":[0.5],"policy":"weighted","weights":[1,10000]}
 //	POST /pickbatch    {"key":"...","points":[[0.2],[0.5],[0.8]],"policy":"frontier"}
 //	GET  /planset/<key>  serialized plan-set document (the peer-fetch endpoint)
@@ -35,8 +35,16 @@
 // store so each template is computed once per fleet, and -peers lists
 // sibling servers to fetch prepared documents from before computing.
 // -prepare-max caps concurrently optimizing Prepares; -donate lends
-// idle pool workers to in-flight Prepares' split jobs. On SIGINT or
-// SIGTERM the server shuts down gracefully: the HTTP listener drains
+// idle pool workers to in-flight Prepares' split jobs.
+//
+// -epsilon sets the server's default precision tier: ε > 0 prepares
+// ε-approximate Pareto frontiers (every served plan within a (1+ε)
+// cost factor of some exact Pareto plan, everywhere in the parameter
+// space) in exchange for smaller plan sets and cheaper optimization.
+// A request's "epsilon" field overrides the default per template; the
+// factor is part of the plan-set key, so exact and approximate tiers
+// of the same template coexist in one cache, store, and fleet. On
+// SIGINT or SIGTERM the server shuts down gracefully: the HTTP listener drains
 // in-flight requests (up to -drain), the request queue is drained, and
 // the shared store is flushed.
 package main
@@ -57,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"mpq/internal/core"
 	"mpq/internal/fleet"
 	"mpq/internal/selection"
 	"mpq/internal/serve"
@@ -77,16 +86,27 @@ func main() {
 		prepMax    = flag.Int("prepare-max", 0, "max concurrently optimizing Prepares (0 = no cap)")
 		donate     = flag.Bool("donate", true, "donate idle pool workers to in-flight Prepares' split jobs")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
+		epsilon    = flag.Float64("epsilon", 0, "default ε approximation factor for Prepares (0 = exact Pareto sets; a request's \"epsilon\" field overrides)")
 	)
 	flag.DurationVar(&prepareDeadline, "prepare-deadline", 0, "default deadline per Prepare request (0 = none; per-request deadline_ms overrides)")
 	flag.IntVar(&stdinMaxLine, "max-line", stdinMaxLine, "stdin protocol line-length cap in bytes")
 	flag.Parse()
 
+	if *epsilon < 0 || *epsilon >= 1 {
+		log.Fatalf("-epsilon %v out of range [0, 1)", *epsilon)
+	}
 	opts := serve.Options{
 		Workers: *workers, QueueDepth: *queue, Dir: *dir, Index: *useIdx,
 		CacheBytes:            *cacheBytes,
 		MaxConcurrentPrepares: *prepMax,
 		DonateWorkers:         *donate,
+	}
+	if *epsilon > 0 {
+		// A zero Optimizer selects core.DefaultOptions inside serve.New;
+		// materialize the defaults here so setting the factor does not
+		// silently discard the paper's refinements.
+		opts.Optimizer = core.DefaultOptions()
+		opts.Optimizer.Epsilon = *epsilon
 	}
 	if *sharedDir != "" {
 		shared, err := fleet.NewDirStore(*sharedDir)
@@ -158,6 +178,11 @@ type prepareReqJS struct {
 	// DeadlineMs bounds this request (0 = the -prepare-deadline
 	// default); an expired deadline answers 504 / an in-band error.
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Epsilon, when present, selects this template's precision tier:
+	// 0 the exact Pareto set, ε > 0 an ε-approximate frontier. Absent,
+	// the server's -epsilon default applies. The factor is part of the
+	// plan-set key, so tiers coexist without answering for each other.
+	Epsilon *float64 `json:"epsilon,omitempty"`
 }
 
 type prepareRespJS struct {
@@ -221,6 +246,9 @@ func (r prepareReqJS) template() (serve.Template, error) {
 	if err != nil {
 		return serve.Template{}, err
 	}
+	if r.Epsilon != nil && (*r.Epsilon < 0 || *r.Epsilon >= 1) {
+		return serve.Template{}, fmt.Errorf("epsilon %v out of range [0, 1)", *r.Epsilon)
+	}
 	return serve.Template{Workload: workload.Config{
 		Tables:  r.Workload.Tables,
 		Params:  r.Workload.Params,
@@ -228,7 +256,7 @@ func (r prepareReqJS) template() (serve.Template, error) {
 		Seed:    r.Workload.Seed,
 		MinCard: r.Workload.MinCard,
 		MaxCard: r.Workload.MaxCard,
-	}}, nil
+	}, Epsilon: r.Epsilon}, nil
 }
 
 func (r pickReqJS) request() serve.PickRequest {

@@ -249,3 +249,65 @@ func TestStdinProtocol(t *testing.T) {
 		t.Errorf("bogus op response = %q", lines[2])
 	}
 }
+
+// TestHTTPEpsilonTiers: a template prepared exact and at ε = 0.05 over
+// the HTTP protocol yields two distinct plan sets (the factor is part
+// of the key), and an out-of-range factor is a 400.
+func TestHTTPEpsilonTiers(t *testing.T) {
+	s := serve.New(serve.Options{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(newHandler(s))
+	defer ts.Close()
+
+	post := func(body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/prepare", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	status, body := post(prepareLine)
+	if status != http.StatusOK {
+		t.Fatalf("exact prepare status %d: %s", status, body)
+	}
+	var exact prepareRespJS
+	if err := json.Unmarshal(body, &exact); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = post(`{"workload":{"tables":4,"params":1,"shape":"chain","seed":21},"epsilon":0.05}`)
+	if status != http.StatusOK {
+		t.Fatalf("epsilon prepare status %d: %s", status, body)
+	}
+	var approx prepareRespJS
+	if err := json.Unmarshal(body, &approx); err != nil {
+		t.Fatal(err)
+	}
+	if approx.Key == exact.Key {
+		t.Errorf("epsilon tier shares the exact tier's key %q", exact.Key)
+	}
+	if approx.Cached {
+		t.Errorf("epsilon tier answered from the exact tier's cache entry")
+	}
+	// An explicit "epsilon":0 addresses the exact tier.
+	status, body = post(`{"workload":{"tables":4,"params":1,"shape":"chain","seed":21},"epsilon":0}`)
+	if status != http.StatusOK {
+		t.Fatalf("explicit-zero prepare status %d: %s", status, body)
+	}
+	var zero prepareRespJS
+	if err := json.Unmarshal(body, &zero); err != nil {
+		t.Fatal(err)
+	}
+	if zero.Key != exact.Key || !zero.Cached {
+		t.Errorf("explicit epsilon 0 response %+v, want cached key %q", zero, exact.Key)
+	}
+
+	if status, _ := post(`{"workload":{"tables":4,"params":1,"shape":"chain","seed":21},"epsilon":1.5}`); status != http.StatusBadRequest {
+		t.Errorf("out-of-range epsilon status = %d, want 400", status)
+	}
+}

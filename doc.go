@@ -89,6 +89,39 @@
 // the linear fallback, and batch request/point counts (Stats.Picks
 // counts batch picks per point).
 //
+// # Approximate frontiers
+//
+// Options.Epsilon > 0 turns the exact Pareto set into an ε-approximate
+// frontier: every plan the optimizer drops is guaranteed to be within
+// a (1+ε) cost factor of a kept plan, on every metric, everywhere in
+// the parameter space. The knob shrinks every hot path at once —
+// fewer plans survive each dynamic-programming level, so fewer
+// dominance LPs are solved, the stored plan set is smaller, and every
+// pick scans fewer candidates. ε = 0 (the default) is bit-identical to
+// the historical exact path, and results are deterministic for every
+// worker count at every ε.
+//
+// The factor is part of the serving cache key, so one server answers
+// exact and approximate tiers of the same template side by side, each
+// from its own plan set:
+//
+//	srv := mpq.NewServer(mpq.ServeOptions{Workers: 4})
+//	defer srv.Close()
+//	tpl := mpq.ServeTemplate{Workload: mpq.WorkloadConfig{
+//		Tables: 6, Params: 2, Shape: mpq.Clique, Seed: 7,
+//	}}
+//	exact, _ := srv.Prepare(context.Background(), tpl) // full Pareto set
+//	eps := 0.05
+//	tpl.Epsilon = &eps
+//	approx, _ := srv.Prepare(context.Background(), tpl) // ≤ 5% regret tier
+//	fmt.Println(exact.Key != approx.Key)                // true: distinct tiers
+//
+// The bench harness certifies the contract empirically (mpqbench
+// -epsilon measures the realized max regret and the plan-set and LP
+// savings per factor), and the CI baseline gates ε > 0 cases on the
+// certified regret rather than on exact counts. See DESIGN.md,
+// "ε-approximate frontiers".
+//
 // # Fleet serving
 //
 // A fleet of servers shares preparations through a shared plan-set

@@ -1,8 +1,9 @@
 // Package floateq implements the mpqfloateq analyzer: in the numeric
 // kernel packages (geometry, pwl, selection), exact ==/!= comparisons
 // of floating-point values are flagged. The repo's geometric
-// predicates are epsilon-disciplined (selection.ContainsEps, the 1e-9
-// pwl comparators); a bare == on a computed cost or coordinate is
+// predicates are epsilon-disciplined (geometry.CompareEps, shared by
+// selection.ContainsEps and the pwl comparators); a bare == on a
+// computed cost or coordinate is
 // almost always a latent determinism or correctness bug — two
 // mathematically equal values can differ in the last ulp depending on
 // evaluation order.
@@ -115,7 +116,7 @@ func checkBody(pass *analysis.Pass, dirs *directive.Set, body *ast.BlockStmt) {
 			if dirs.Allowed(directive.FloatExact, n.Pos()) {
 				return true
 			}
-			pass.Reportf(n.OpPos, "exact %s on floating-point values: use an epsilon comparator (1e-9 discipline, cf. selection.ContainsEps), or annotate a deliberately exact test //mpq:floatexact <reason>", n.Op)
+			pass.Reportf(n.OpPos, "exact %s on floating-point values: use an epsilon comparator (geometry.CompareEps discipline), or annotate a deliberately exact test //mpq:floatexact <reason>", n.Op)
 		case *ast.SwitchStmt:
 			if n.Tag != nil && isFloat(pass, n.Tag) && !dirs.Allowed(directive.FloatExact, n.Pos()) {
 				pass.Reportf(n.Switch, "switch on a floating-point value compares exactly; use epsilon comparisons, or annotate //mpq:floatexact <reason>")

@@ -68,14 +68,17 @@ func (d Drift) String() string {
 }
 
 // Compare diffs the current report against a baseline. Every baseline
-// case — the Figure 12 cases, the pick-throughput cases and the
-// fleet-serving cases alike — must be present in the current report
-// with the same worker count; plan-count, LP-count and shared-hit-rate
-// drift beyond tolerance fails, time drift only warns. Extra current
-// cases are ignored (the baseline defines the gate's coverage);
-// ParallelCases are informational and never compared.
+// case — the Figure 12 cases, the pick-throughput cases, the
+// fleet-serving cases and the ε-approximation cases alike — must be
+// present in the current report with the same worker count; plan-count,
+// LP-count and shared-hit-rate drift beyond tolerance fails, time drift
+// only warns. ε > 0 rows are gated on their certified max regret
+// staying within the (1+ε) contract instead of on exact counts. Extra
+// current cases are ignored (the baseline defines the gate's
+// coverage); ParallelCases are informational and never compared.
 func Compare(baseline, current *JSONReport, opts CompareOptions) (failures, warnings []Drift) {
-	byName := make(map[string]JSONCase, len(current.Cases)+len(current.PickCases)+len(current.FleetCases))
+	byName := make(map[string]JSONCase,
+		len(current.Cases)+len(current.PickCases)+len(current.FleetCases)+len(current.EpsilonCases))
 	for _, c := range current.Cases {
 		byName[c.Case] = c
 	}
@@ -85,10 +88,15 @@ func Compare(baseline, current *JSONReport, opts CompareOptions) (failures, warn
 	for _, c := range current.FleetCases {
 		byName[c.Case] = c
 	}
-	gated := make([]JSONCase, 0, len(baseline.Cases)+len(baseline.PickCases)+len(baseline.FleetCases))
+	for _, c := range current.EpsilonCases {
+		byName[c.Case] = c
+	}
+	gated := make([]JSONCase, 0,
+		len(baseline.Cases)+len(baseline.PickCases)+len(baseline.FleetCases)+len(baseline.EpsilonCases))
 	gated = append(gated, baseline.Cases...)
 	gated = append(gated, baseline.PickCases...)
 	gated = append(gated, baseline.FleetCases...)
+	gated = append(gated, baseline.EpsilonCases...)
 	for _, base := range gated {
 		cur, ok := byName[base.Case]
 		if !ok {
@@ -116,6 +124,30 @@ func Compare(baseline, current *JSONReport, opts CompareOptions) (failures, warn
 			} else {
 				failures = append(failures, d)
 			}
+		}
+		if base.Epsilon > 0 {
+			// Approximate rows trade the exact-count gate for the
+			// certified approximation contract: the ε tier must be
+			// configured identically and its measured worst regret must
+			// stay within (1+ε). Plan and LP counts of these rows shift
+			// whenever the prune order or the per-level factor
+			// allocation is tuned — the contract is the invariant, not a
+			// particular count.
+			if cur.Epsilon != base.Epsilon {
+				failures = append(failures, Drift{
+					Case: base.Case, Field: "epsilon",
+					Baseline: base.Epsilon, Current: cur.Epsilon,
+				})
+				continue
+			}
+			if bound := (1 + base.Epsilon) * (1 + 1e-9); cur.MaxRegret > bound {
+				failures = append(failures, Drift{
+					Case: base.Case, Field: "max_regret",
+					Baseline: bound, Current: cur.MaxRegret,
+				})
+			}
+			check("time_ms", base.TimeMs, cur.TimeMs, opts.TimeTol, true)
+			continue
 		}
 		check("created_plans", float64(base.CreatedPlans), float64(cur.CreatedPlans), opts.PlanTol, false)
 		check("final_plans", float64(base.FinalPlans), float64(cur.FinalPlans), opts.PlanTol, false)

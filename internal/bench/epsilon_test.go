@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"mpq/internal/workload"
+)
+
+func TestRunEpsilon(t *testing.T) {
+	ms, err := RunEpsilon(EpsilonConfig{
+		Specs:    []PickSpec{{Shape: workload.Chain, Params: 1, Tables: 5}},
+		Epsilons: []float64{0, 0.1},
+		Points:   32,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("got %d measurements, want 2", len(ms))
+	}
+	exact, approx := ms[0], ms[1]
+	if exact.Epsilon != 0 || approx.Epsilon != 0.1 {
+		t.Fatalf("epsilons %v/%v, want 0/0.1", exact.Epsilon, approx.Epsilon)
+	}
+	// The exact row certifies against itself: regret exactly 1, no
+	// reductions — a self-check of the certification path.
+	if exact.MaxRegret != 1 {
+		t.Errorf("exact self-regret = %v, want exactly 1", exact.MaxRegret)
+	}
+	if exact.PlanReduction != 0 || exact.LPReduction != 0 {
+		t.Errorf("exact reductions %v/%v, want 0/0", exact.PlanReduction, exact.LPReduction)
+	}
+	// The ε tier honors the contract. (Set shrinkage is the point of
+	// the knob but not a per-query invariant — the asymmetric prune
+	// can keep a different, occasionally larger, representative set on
+	// small queries — so only the contract is asserted.)
+	if bound := (1 + approx.Epsilon) * (1 + 1e-9); approx.MaxRegret > bound {
+		t.Errorf("certified regret %v exceeds bound %v", approx.MaxRegret, bound)
+	}
+	if approx.PlanReduction != 1-float64(approx.Candidates)/float64(exact.Candidates) {
+		t.Errorf("plan reduction %v does not match candidate counts %d/%d",
+			approx.PlanReduction, approx.Candidates, exact.Candidates)
+	}
+	for _, m := range ms {
+		if m.Prep.CreatedPlans == 0 || m.Prep.Geometry.LPs == 0 || m.PickNs <= 0 || m.Points != 32 {
+			t.Errorf("eps=%g measurement incomplete: %+v", m.Epsilon, m)
+		}
+		if m.Candidates != m.Prep.FinalPlans {
+			t.Errorf("eps=%g served %d candidates, optimizer reported %d",
+				m.Epsilon, m.Candidates, m.Prep.FinalPlans)
+		}
+	}
+
+	cases := EpsilonMeasurementCases(ms)
+	if len(cases) != 2 {
+		t.Fatalf("got %d cases", len(cases))
+	}
+	if got := cases[0].Case; got != "epsilon/chain-1p/tables=5/eps=0" {
+		t.Errorf("case name %q", got)
+	}
+	if got := cases[1].Case; !strings.HasSuffix(got, "/eps=0.1") {
+		t.Errorf("case name %q", got)
+	}
+	c := cases[1]
+	if c.Epsilon != 0.1 || c.MaxRegret != approx.MaxRegret ||
+		c.FinalPlans != approx.Candidates || c.Workers != 1 {
+		t.Errorf("case fields do not mirror the measurement: %+v", c)
+	}
+}
+
+// TestCompareGatesEpsilonCases: ε = 0 rows gate on exact counts like
+// every other case; ε > 0 rows gate on the certified regret contract
+// and tolerate count drift.
+func TestCompareGatesEpsilonCases(t *testing.T) {
+	base := &JSONReport{
+		Cases: []JSONCase{{Case: "chain-1p/tables=3", Workers: 1, CreatedPlans: 10, SolvedLPs: 100, FinalPlans: 2, TimeMs: 1}},
+		EpsilonCases: []JSONCase{
+			{Case: "epsilon/chain-1p/tables=5/eps=0", Workers: 1,
+				CreatedPlans: 40, SolvedLPs: 400, FinalPlans: 8, TimeMs: 0.1, MaxRegret: 1},
+			{Case: "epsilon/chain-1p/tables=5/eps=0.1", Workers: 1,
+				CreatedPlans: 30, SolvedLPs: 300, FinalPlans: 4, TimeMs: 0.1,
+				Epsilon: 0.1, MaxRegret: 1.04},
+		},
+	}
+	ok := &JSONReport{
+		Cases: base.Cases,
+		EpsilonCases: []JSONCase{
+			base.EpsilonCases[0],
+			{Case: "epsilon/chain-1p/tables=5/eps=0.1", Workers: 1,
+				// Counts drifted — fine for an approximate row, the
+				// contract still holds.
+				CreatedPlans: 25, SolvedLPs: 250, FinalPlans: 3, TimeMs: 0.1,
+				Epsilon: 0.1, MaxRegret: 1.0999},
+		},
+	}
+	if failures, _ := Compare(base, ok, DefaultCompareOptions()); len(failures) != 0 {
+		t.Errorf("in-contract epsilon rows failed the gate: %v", failures)
+	}
+
+	broken := &JSONReport{
+		Cases: base.Cases,
+		EpsilonCases: []JSONCase{
+			base.EpsilonCases[0],
+			{Case: "epsilon/chain-1p/tables=5/eps=0.1", Workers: 1,
+				CreatedPlans: 30, SolvedLPs: 300, FinalPlans: 4, TimeMs: 0.1,
+				Epsilon: 0.1, MaxRegret: 1.2},
+		},
+	}
+	failures, _ := Compare(base, broken, DefaultCompareOptions())
+	found := false
+	for _, d := range failures {
+		if d.Field == "max_regret" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("out-of-contract regret did not fail the gate: %v", failures)
+	}
+
+	retiered := &JSONReport{
+		Cases: base.Cases,
+		EpsilonCases: []JSONCase{
+			base.EpsilonCases[0],
+			{Case: "epsilon/chain-1p/tables=5/eps=0.1", Workers: 1,
+				CreatedPlans: 30, SolvedLPs: 300, FinalPlans: 4, TimeMs: 0.1,
+				Epsilon: 0.25, MaxRegret: 1.2},
+		},
+	}
+	failures, _ = Compare(base, retiered, DefaultCompareOptions())
+	found = false
+	for _, d := range failures {
+		if d.Field == "epsilon" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("re-tiered epsilon row did not fail the gate: %v", failures)
+	}
+
+	drifted := &JSONReport{
+		Cases: base.Cases,
+		EpsilonCases: []JSONCase{
+			{Case: "epsilon/chain-1p/tables=5/eps=0", Workers: 1,
+				CreatedPlans: 41, SolvedLPs: 400, FinalPlans: 8, TimeMs: 0.1, MaxRegret: 1},
+			base.EpsilonCases[1],
+		},
+	}
+	failures, _ = Compare(base, drifted, DefaultCompareOptions())
+	found = false
+	for _, d := range failures {
+		if d.Field == "created_plans" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("exact-row plan drift did not fail the gate: %v", failures)
+	}
+}

@@ -300,6 +300,20 @@ type JSONCase struct {
 	// from the shared plan-set store (fleet cases only; gated — drift
 	// beyond the plan tolerance fails).
 	SharedHitRate float64 `json:"shared_hit_rate,omitempty"`
+	// Epsilon is the approximation factor of an epsilon case; zero
+	// (omitted) marks an exact row.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// MaxRegret is the certified worst per-metric cost ratio of the ε
+	// tier's answers against the exact frontier at sampled points
+	// (epsilon cases only). Gated for ε > 0 rows: a current value
+	// above (1+ε) fails — the approximation contract replaces plan
+	// equality there.
+	MaxRegret float64 `json:"max_regret,omitempty"`
+	// PlanReduction and LPReduction are the fractions of the exact
+	// reference's final plans and solved LPs the ε tier avoided
+	// (informational, never gated).
+	PlanReduction float64 `json:"plan_reduction,omitempty"`
+	LPReduction   float64 `json:"lp_reduction,omitempty"`
 }
 
 // JSONReport is the envelope FormatJSON emits, so snapshots carry their
@@ -325,6 +339,16 @@ type JSONReport struct {
 	// fails) plus the fleet-concurrent pick latency as the time field
 	// (drift warns).
 	FleetCases []JSONCase `json:"fleet_cases,omitempty"`
+	// EpsilonCases are the ε-approximation rows (mpqbench -epsilon):
+	// per (spec, ε) one row. ε = 0 rows gate like Cases (plan and LP
+	// drift fails); ε > 0 rows gate on the certified MaxRegret staying
+	// within the (1+ε) contract instead.
+	EpsilonCases []JSONCase `json:"epsilon_cases,omitempty"`
+	// NumCPU records runtime.NumCPU() of the measuring machine
+	// (informational, never gated): parallel wall-clock numbers and
+	// utilization figures are vacuous on a single-CPU runner, and CI
+	// surfaces that from this field instead of a footnote.
+	NumCPU int `json:"num_cpu,omitempty"`
 }
 
 // BuildJSONReport converts series into the machine-readable report

@@ -281,7 +281,7 @@ func pickPoints(ctx *geometry.Context, space *geometry.Polytope, n int, seed int
 		for d := range x {
 			x[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
 		}
-		if space.ContainsPoint(x, 1e-9) {
+		if space.ContainsPoint(x, geometry.CompareEps) {
 			pts = append(pts, x)
 		}
 	}

@@ -53,6 +53,21 @@ type ForkableAlgebra interface {
 	Fork(s *geometry.Solver) Algebra
 }
 
+// EpsilonAlgebra extends Algebra with the scaled dominance regions of
+// the ε-approximate prune (Options.Epsilon > 0). An algebra that does
+// not implement EpsilonAlgebra cannot run approximate optimizations —
+// OptimizeCtx reports an error rather than silently falling back to
+// the exact prune.
+type EpsilonAlgebra interface {
+	Algebra
+	// DomScaled returns convex polytopes covering the parameter-space
+	// region {x : s1·c1(x) <= s2·c2(x) on every metric}. With
+	// (s1, s2) = (1, 1+ε) this is the ε-relaxed dominance region of c1
+	// over c2 — the region where c1 is within a (1+ε) factor of
+	// dominating c2.
+	DomScaled(c1, c2 Cost, s1, s2 float64) []*geometry.Polytope
+}
+
 // PWLAlgebra implements Algebra for piecewise-linear cost functions
 // (*pwl.Multi), turning RRPA into PWL-RRPA.
 type PWLAlgebra struct {
@@ -110,4 +125,10 @@ func (a *PWLAlgebra) Accumulate(step, c1, c2 Cost) Cost {
 func (a *PWLAlgebra) Eval(c Cost, x geometry.Vector) geometry.Vector {
 	v, _ := c.(*pwl.Multi).Eval(x)
 	return v
+}
+
+// DomScaled implements EpsilonAlgebra with the scaled PWL dominance
+// regions of pwl.DomScaled.
+func (a *PWLAlgebra) DomScaled(c1, c2 Cost, s1, s2 float64) []*geometry.Polytope {
+	return pwl.DomScaled(a.Ctx, c1.(*pwl.Multi), c2.(*pwl.Multi), s1, s2)
 }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"mpq/internal/catalog"
@@ -58,6 +60,34 @@ type Options struct {
 	// which would otherwise use the sequential drain. Requires a
 	// ForkableAlgebra; ignored otherwise.
 	Donor DonorPool
+	// Epsilon enables the ε-approximate prune: a candidate plan is
+	// dropped outright when, everywhere in the parameter space, some
+	// already-kept plan's cost is within a multiplicative (1+ε_l)
+	// factor of dominating it on every metric. Near-dominated cluster
+	// members never enter the set, shrinking the Pareto plan set (and
+	// with it LP counts, store bytes, and pick latency downstream) at
+	// the price of a certified bound on regret: the cost of the best
+	// kept plan exceeds the best exact plan by at most a (1+Epsilon)
+	// factor per metric. The per-level slack is allocated as ε_l =
+	// (1+Epsilon)^(1/L) − 1 over the L lattice levels; each pruned
+	// plan's witness is a kept plan whose region then only shrinks
+	// under exact dominance, so the factor compounds once per level
+	// and bottom-up to exactly (1+Epsilon) — see pruneEps for why the
+	// gate-only design is what makes this sound. Zero runs the exact
+	// algorithm, bit-for-bit the historical path. Negative values are
+	// rejected; positive values require an EpsilonAlgebra. Plans for
+	// each table set arrive in deterministic enumeration order, so the
+	// worker-count determinism contract holds at every Epsilon.
+	Epsilon float64
+	// MaxPlansPerSet aborts the run with ErrPlanBudget as soon as any
+	// table set's Pareto plan set exceeds this size — the guard that
+	// turns an exponentially exploding many-objective frontier into a
+	// clean error instead of an unbounded computation (raise Epsilon to
+	// shrink the frontier under the budget). Zero means unlimited. The
+	// budget only converts runs into errors — it never alters the plan
+	// sets of runs that complete — and whether it trips is independent
+	// of the worker count, so it is not part of the plan-set identity.
+	MaxPlansPerSet int
 	// SplitCandidates is the estimated-work threshold at which a single
 	// wide mask is planned with intra-mask split parallelism (multiple
 	// workers accumulate candidate costs, one reduction prunes them in
@@ -140,6 +170,11 @@ type Result struct {
 	Stats Stats
 }
 
+// ErrPlanBudget reports a run aborted because a table set's Pareto
+// plan set exceeded Options.MaxPlansPerSet. Raising Epsilon (or the
+// budget) lets the run complete.
+var ErrPlanBudget = errors.New("core: plan-set budget exceeded")
+
 // Optimize runs RRPA (Algorithm 1) on the query described by schema,
 // with operator costs from model, and returns a Pareto plan set for the
 // full query. With the default PWL algebra this is PWL-RRPA.
@@ -171,6 +206,14 @@ func OptimizeCtx(runCtx context.Context, schema *catalog.Schema, model CostModel
 	if algebra == nil {
 		algebra = NewPWLAlgebra(ctx, len(model.MetricNames()))
 	}
+	if opts.Epsilon < 0 {
+		return nil, fmt.Errorf("core: optimize: negative epsilon %v", opts.Epsilon)
+	}
+	if opts.Epsilon > 0 {
+		if _, ok := algebra.(EpsilonAlgebra); !ok {
+			return nil, fmt.Errorf("core: optimize: epsilon %v requires an EpsilonAlgebra, got %T", opts.Epsilon, algebra)
+		}
+	}
 	o := &optimizer{
 		schema: schema,
 		model:  model,
@@ -194,6 +237,31 @@ type optimizer struct {
 	// forkable is the algebra's ForkableAlgebra side, kept for forking
 	// donated workers mid-run (nil when the algebra cannot fork).
 	forkable ForkableAlgebra
+	// epsLevel is the per-prune multiplicative slack of the
+	// ε-approximate prune, (1+Epsilon)^(1/L) − 1 over the L lattice
+	// levels; zero on exact runs (which never consult it).
+	epsLevel float64
+	// budgetExceeded flips when a completed table set's plan count
+	// exceeds Options.MaxPlansPerSet; the scheduler aborts and run()
+	// reports ErrPlanBudget.
+	budgetExceeded atomic.Bool
+}
+
+// noteSetSize records a completed table set's plan count against
+// Options.MaxPlansPerSet and reports whether the budget tripped. Set
+// sizes are schedule-independent (the determinism contract), so the
+// outcome is identical for any worker count.
+func (o *optimizer) noteSetSize(n int) bool {
+	if o.opts.MaxPlansPerSet > 0 && n > o.opts.MaxPlansPerSet {
+		o.budgetExceeded.Store(true)
+		return true
+	}
+	return false
+}
+
+func (o *optimizer) budgetErr() error {
+	return fmt.Errorf("core: optimize: %w: a table set exceeded %d plans (raise Epsilon or MaxPlansPerSet)",
+		ErrPlanBudget, o.opts.MaxPlansPerSet)
 }
 
 // worker is the per-goroutine state of the parallel scheduler: a forked
@@ -250,6 +318,13 @@ func (o *optimizer) run() (*Result, error) {
 	storeMasks = append(storeMasks, masks...)
 	o.store = newPlanStore(n, storeMasks)
 
+	// ε-approximate runs allocate the (1+ε) factor over the lattice
+	// depth up front, so every prune at every level applies identical
+	// slack regardless of the schedule.
+	if o.opts.Epsilon > 0 && n > 0 {
+		o.epsLevel = math.Pow(1+o.opts.Epsilon, 1/float64(n)) - 1
+	}
+
 	// Initialize plan sets for base tables (Algorithm 1 lines 3-6):
 	// consider all scan plans and prune. Base tables run on the first
 	// worker; this also deterministically warms the shared parameter-
@@ -269,6 +344,9 @@ func (o *optimizer) run() (*Result, error) {
 			return nil, fmt.Errorf("core: no scan plan for table %d", i)
 		}
 		o.store.complete(q, cur)
+		if o.noteSetSize(len(cur)) {
+			return nil, o.budgetErr()
+		}
 	}
 
 	// Plan the join masks through the dependency scheduler (Algorithm 1
@@ -281,6 +359,13 @@ func (o *optimizer) run() (*Result, error) {
 		o.stats.Scheduler = sched.run()
 	} else {
 		o.stats.Scheduler = sched.runSequential()
+	}
+	// A budget trip aborted the schedule: the plan sets computed so far
+	// are valid but the run as a whole cannot answer the query within
+	// the budget. Checked before the context error — a budget abort is
+	// the more specific cause.
+	if o.budgetExceeded.Load() {
+		return nil, o.budgetErr()
 	}
 	// A run cancelled mid-schedule left masks unplanned; report the
 	// context error rather than a misleading "no plan". A cancellation
@@ -348,16 +433,34 @@ func (o *optimizer) scheduleMasks() []catalog.TableSet {
 	return masks
 }
 
-// prune implements the pruning function of Algorithm 1 (lines 33-57)
-// against the worker-local plan set cur: the relevance region of the
-// new plan starts as the full parameter space and is reduced by the
-// dominance regions of all existing plans; if it empties, the plan is
-// discarded. Otherwise the existing plans' relevance regions are
+// prune dispatches one candidate plan through the pruning function:
+// the historical exact prune, or the ε-approximate prune when
+// Options.Epsilon > 0. Both call sites (the per-mask loop and the
+// split-job reduction) and the base-table loop go through this one
+// method, so the dispatch can never diverge between paths.
+func (w *worker) prune(cur []*PlanInfo, pn *plan.Node, cost Cost) []*PlanInfo {
+	if w.o.epsLevel > 0 {
+		return w.pruneEps(cur, pn, cost)
+	}
+	return w.pruneExact(cur, pn, cost)
+}
+
+// pruneExact implements the pruning function of Algorithm 1 (lines
+// 33-57) against the worker-local plan set cur: the relevance region
+// of the new plan starts as the full parameter space and is reduced by
+// the dominance regions of all existing plans; if it empties, the plan
+// is discarded. Otherwise the existing plans' relevance regions are
 // reduced by the new plan's dominance regions and plans with empty
 // regions are dropped; finally the new plan is inserted.
-func (w *worker) prune(cur []*PlanInfo, pn *plan.Node, cost Cost) []*PlanInfo {
-	o := w.o
+func (w *worker) pruneExact(cur []*PlanInfo, pn *plan.Node, cost Cost) []*PlanInfo {
 	w.created++
+	return w.pruneInsert(cur, pn, cost)
+}
+
+// pruneInsert is the body of the exact prune, shared verbatim by the
+// exact path and the post-gate half of the ε path.
+func (w *worker) pruneInsert(cur []*PlanInfo, pn *plan.Node, cost Cost) []*PlanInfo {
+	o := w.o
 	rr := region.New(w.solver, o.model.Space(), o.opts.Region)
 	for _, old := range cur {
 		rr.Subtract(w.solver, w.algebra.Dom(old.Cost, cost)...)
@@ -377,6 +480,48 @@ func (w *worker) prune(cur []*PlanInfo, pn *plan.Node, cost Cost) []*PlanInfo {
 		kept = append(kept, old)
 	}
 	return append(kept, &PlanInfo{Plan: pn, Cost: cost, RR: rr})
+}
+
+// pruneEps is the ε-approximate prune: the exact prune behind an
+// ε-admission gate. A newcomer is dropped outright when the union of
+// the established plans' relaxed dominance regions ({old <=
+// (1+ε_l)·new}, supersets of exact dominance) covers the entire
+// parameter space — everywhere, some established plan is within a
+// (1+ε_l) factor of dominating it. Newcomers that pass the gate go
+// through the unmodified exact prune, so relevance-region geometry is
+// exactly the exact algorithm's: the approximation can never open a
+// coverage hole the exact path would not have.
+//
+// The gate-only design is what keeps the slack from compounding.
+// Relaxed dominance is not antisymmetric — inside a near-tied cluster
+// every plan relaxed-dominates every other, so any scheme that
+// SUBTRACTS relaxed regions lets cluster members remove each other's
+// regions in a cycle until no plan covers a point. Here relaxed
+// dominance only ever blocks insertion: a dropped newcomer's witness
+// is a plan that was already inserted, and inserted plans cede region
+// exclusively through exact dominance, whose pointwise-non-increasing
+// witness chains terminate at a survivor. Every dropped plan is
+// therefore covered by a survivor within a single (1+ε_l) factor, and
+// the factors compound only across the L lattice levels, which the
+// ε_l = (1+ε)^(1/L)−1 allocation accounts for. Candidates for one
+// table set arrive in split-enumeration order on a single worker
+// regardless of the worker count (the determinism contract), so the
+// gate's drops — and with them the whole plan set — are bit-for-bit
+// identical for any worker count.
+func (w *worker) pruneEps(cur []*PlanInfo, pn *plan.Node, cost Cost) []*PlanInfo {
+	o := w.o
+	w.created++
+	alg := w.algebra.(EpsilonAlgebra) // validated by OptimizeCtx
+	scale := 1 + o.epsLevel
+	var relaxed []*geometry.Polytope
+	for _, old := range cur {
+		relaxed = append(relaxed, alg.DomScaled(old.Cost, cost, 1, scale)...)
+	}
+	if len(relaxed) > 0 && w.solver.UnionCovers(o.model.Space(), relaxed) {
+		w.pruned++
+		return cur // absorbed: some established plan is ε-close everywhere
+	}
+	return w.pruneInsert(cur, pn, cost)
 }
 
 // ParetoFrontAt evaluates the result's plan set at a concrete parameter

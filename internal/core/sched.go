@@ -431,8 +431,12 @@ func (s *scheduler) runSequential() SchedulerStats {
 		if s.o.runCtx.Err() != nil {
 			break
 		}
-		s.o.store.complete(q, w.planGroups(s.o.enumerateSplits(q)))
+		infos := w.planGroups(s.o.enumerateSplits(q))
+		s.o.store.complete(q, infos)
 		done++
+		if s.o.noteSetSize(len(infos)) {
+			break
+		}
 	}
 	s.mu.Lock()
 	s.remaining -= done
@@ -629,6 +633,13 @@ func (s *scheduler) idleWorkers() int {
 // unblocks every dependent whose last dependency this was.
 func (s *scheduler) complete(q catalog.TableSet, infos []*PlanInfo) {
 	s.o.store.complete(q, infos)
+	if s.o.noteSetSize(len(infos)) {
+		// Plan-set budget tripped: stop handing out work. The
+		// bookkeeping below still runs so dependents don't deadlock on
+		// this mask, and the broadcast wakes parked workers to observe
+		// the abort.
+		s.aborted.Store(true)
+	}
 	s.mu.Lock()
 	s.remaining--
 	if i, ok := s.idx[q]; ok {

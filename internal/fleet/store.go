@@ -57,6 +57,12 @@ type manifestEntry struct {
 	// reject a manifest/document mismatch with a descriptive error
 	// before pricing points against the wrong space.
 	Dim int `json:"dim"`
+	// Epsilon is the document's approximation factor (0 for exact plan
+	// sets, whose documents omit the stanza). Recording it in the
+	// manifest lets Get reject a blob whose precision tier disagrees
+	// with what was published — a swapped or tampered file — before a
+	// server trusts its plans.
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 const manifestName = "MANIFEST.json"
@@ -205,6 +211,11 @@ func validateEntry(key string, ent manifestEntry, doc []byte) error {
 	} else if ent.Dim != dim {
 		return fmt.Errorf("fleet: shared document %s has parameter dimension %d, manifest records %d", key, dim, ent.Dim)
 	}
+	if eps, err := docEpsilon(doc); err != nil {
+		return fmt.Errorf("fleet: shared document %s: %w", key, err)
+	} else if ent.Epsilon != eps {
+		return fmt.Errorf("fleet: shared document %s has epsilon %v, manifest records %v", key, eps, ent.Epsilon)
+	}
 	return nil
 }
 
@@ -216,6 +227,10 @@ func validateEntry(key string, ent manifestEntry, doc []byte) error {
 // has one generation.
 func (d *DirStore) Put(key string, doc []byte) error {
 	dim, err := docDim(doc)
+	if err != nil {
+		return fmt.Errorf("fleet: refusing to publish %s: %w", key, err)
+	}
+	eps, err := docEpsilon(doc)
 	if err != nil {
 		return fmt.Errorf("fleet: refusing to publish %s: %w", key, err)
 	}
@@ -247,9 +262,10 @@ func (d *DirStore) Put(key string, doc []byte) error {
 		m.Entries[k] = v
 	}
 	m.Entries[key] = manifestEntry{
-		Bytes:  int64(len(doc)),
-		SHA256: sha,
-		Dim:    dim,
+		Bytes:   int64(len(doc)),
+		SHA256:  sha,
+		Dim:     dim,
+		Epsilon: eps,
 	}
 	if err := d.writeManifestLocked(m); err != nil {
 		return err
@@ -416,4 +432,21 @@ func docDim(doc []byte) (int, error) {
 		return 0, fmt.Errorf("document has no parameter-space dimension")
 	}
 	return probe.Space.Dim, nil
+}
+
+// docEpsilon probes a serialized plan-set document for its
+// approximation factor without a full deserialization (the store
+// package owns the format; this mirrors docDim). Exact documents omit
+// the stanza and probe as 0.
+func docEpsilon(doc []byte) (float64, error) {
+	var probe struct {
+		Epsilon float64 `json:"epsilon"`
+	}
+	if err := json.Unmarshal(doc, &probe); err != nil {
+		return 0, fmt.Errorf("not a plan-set document: %w", err)
+	}
+	if probe.Epsilon < 0 {
+		return 0, fmt.Errorf("document has negative epsilon %v", probe.Epsilon)
+	}
+	return probe.Epsilon, nil
 }

@@ -50,6 +50,18 @@ func (s Stats) String() string {
 		s.LPs, s.LPIterations, s.FastPathLPs, s.RegionDiffs, s.ConvexityChecks)
 }
 
+// CompareEps is the shared comparison tolerance of the numeric layers:
+// the default solver Eps, the relevance-region containment tolerance of
+// the selection policies (selection.ContainsEps aliases it), the piece
+// location tolerance of pwl evaluation, and the cell-exclusion margin
+// of the point-location index all use this one constant, so a plan
+// admitted by one layer is never rejected by another over a smaller
+// epsilon. The mpqfloateq analyzer's approved-helper discipline refers
+// to this constant: exact float ==/!= in the epsilon-disciplined
+// packages must be replaced by comparisons against CompareEps-scaled
+// margins (or carry an //mpq:floatexact waiver).
+const CompareEps = 1e-9
+
 // Config is the immutable numerical configuration of the geometry
 // layer: tolerances and iteration caps. A Config carries no mutable
 // state, so one value can be shared (by copy) between any number of
@@ -70,7 +82,7 @@ type Config struct {
 // DefaultConfig returns the default tolerances.
 func DefaultConfig() Config {
 	return Config{
-		Eps:            1e-9,
+		Eps:            CompareEps,
 		RadiusTol:      1e-7,
 		MaxSimplexIter: 500,
 	}

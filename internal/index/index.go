@@ -44,7 +44,7 @@ import (
 // relative term absorbing the closed-form box arithmetic error.
 const (
 	cellStrictEps = 1e-6
-	cellRelEps    = 1e-9
+	cellRelEps    = geometry.CompareEps
 	// boxPadFactor pads the root bounding box so that every point the
 	// serving layer accepts (inside the parameter space within 1e-9,
 	// with LP-tolerance bounding-box edges) is strictly inside the

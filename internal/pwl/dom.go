@@ -149,6 +149,106 @@ func domSingle(ctx *geometry.Context, f, g *Function) []domPoly {
 	return polys
 }
 
+// DomScaled computes convex polytopes covering the parameter-space
+// region {x : s1·c1_m(x) <= s2·c2_m(x) for every metric m} — the
+// scaled-dominance primitive of the ε-approximate prune. With
+// s1 = 1, s2 = 1+ε the result covers the region where c1 is within a
+// multiplicative (1+ε) factor of dominating c2; with s1 = 1+ε, s2 = 1
+// it covers the strict inverse (c1 at most c2/(1+ε)). The scales are
+// folded directly into each piece-pair halfspace — no division, so the
+// construction is exactly as numerically stable as the exact Dom. The
+// structure mirrors Dom piece for piece (shared-cover fast paths,
+// partition-family skips, full-dimensionality certificates); the exact
+// path never calls this function, keeping ε = 0 runs byte-identical to
+// the historical algorithm.
+func DomScaled(ctx *geometry.Context, c1, c2 *Multi, s1, s2 float64) []*geometry.Polytope {
+	nM := c1.NumMetrics()
+	if c2.NumMetrics() != nM {
+		panic("pwl: scaled dominance between functions with different metric counts")
+	}
+	perMetric := make([][]domPoly, nM)
+	for m := 0; m < nM; m++ {
+		polys := domSingleScaled(ctx, c1.Component(m), c2.Component(m), s1, s2)
+		if len(polys) == 0 {
+			return nil // s1·c1 nowhere at most s2·c2 on metric m
+		}
+		perMetric[m] = polys
+	}
+	result := perMetric[0]
+	for m := 1; m < nM; m++ {
+		var next []domPoly
+		for _, a := range result {
+			for _, b := range perMetric[m] {
+				if merged, ok := intersectDomPolys(ctx, a, b); ok {
+					next = append(next, merged)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		result = next
+	}
+	out := make([]*geometry.Polytope, len(result))
+	for i, dp := range result {
+		out[i] = dp.poly
+	}
+	return out
+}
+
+// domSingleScaled returns dominance polytopes covering
+// {x : s1·f(x) <= s2·g(x)} for single-objective PWL functions: per
+// piece pair the halfspace (s1·w_f − s2·w_g)·x <= s2·b_g − s1·b_f.
+// Fast paths and full-dimensionality handling mirror domSingle.
+func domSingleScaled(ctx *geometry.Context, f, g *Function, s1, s2 float64) []domPoly {
+	var polys []domPoly
+	emit := func(r *geometry.Polytope, fp, gp Piece) {
+		h := geometry.Halfspace{W: fp.W.Scale(s1).Sub(gp.W.Scale(s2)), B: s2*gp.B - s1*fp.B}
+		if ctx.BallCertifiesFullDim(r, h) {
+			polys = append(polys, domPoly{poly: r.With(h), base: r, cuts: []geometry.Halfspace{h}})
+			return
+		}
+		rDom := r.With(h)
+		if ctx.IsFullDim(rDom) {
+			polys = append(polys, domPoly{poly: rDom, base: r, cuts: []geometry.Halfspace{h}})
+		}
+	}
+	sharedCover := f.cover != nil && f.cover == g.cover
+	switch {
+	case sharedCover && len(f.pieces) == 1:
+		for _, gp := range g.pieces {
+			emit(gp.Region, f.pieces[0], gp)
+		}
+	case sharedCover && len(g.pieces) == 1:
+		for _, fp := range f.pieces {
+			emit(fp.Region, fp, g.pieces[0])
+		}
+	case sharedCover && alignedPartitions(f, g):
+		for i, fp := range f.pieces {
+			emit(fp.Region, fp, g.pieces[i])
+		}
+	default:
+		for _, fp := range f.pieces {
+			for _, gp := range g.pieces {
+				if geometry.SameFamilyDisjoint(fp.Region, gp.Region) {
+					continue
+				}
+				var r *geometry.Polytope
+				if fp.Region == gp.Region {
+					r = fp.Region
+				} else {
+					r = fp.Region.Intersect(gp.Region)
+					if !ctx.IsFullDim(r) {
+						continue
+					}
+				}
+				emit(r, fp, gp)
+			}
+		}
+	}
+	return polys
+}
+
 // DominatesEverywhere reports whether c1 dominates c2 on the entire
 // domain polytope: the dominance polytopes of Dom must cover the domain.
 func DominatesEverywhere(ctx *geometry.Context, c1, c2 *Multi, domain *geometry.Polytope) bool {

@@ -135,7 +135,7 @@ func (f *Function) NumPieces() int { return len(f.pieces) }
 // region contains x exactly (a numerical gap), the piece with the
 // smallest maximum constraint violation is used and ok is false.
 func (f *Function) Eval(x geometry.Vector) (val float64, ok bool) {
-	const eps = 1e-9
+	const eps = geometry.CompareEps
 	best := -1
 	bestViolation := math.Inf(1)
 	for i, p := range f.pieces {

@@ -203,8 +203,9 @@ func lexLess(a, b geometry.Vector, order []int) bool {
 // one of its region's cutouts by more than this margin. Point-location
 // indexes over candidate sets (internal/index) must prune candidates
 // conservatively with respect to this tolerance to keep policy results
-// byte-identical to a full scan.
-const ContainsEps = 1e-9
+// byte-identical to a full scan. It aliases geometry.CompareEps, the
+// one comparison epsilon shared across the numeric layers.
+const ContainsEps = geometry.CompareEps
 
 // Evaluate filters candidates by their relevance regions at x and
 // evaluates the survivors' cost functions — the shared first step of

@@ -82,94 +82,101 @@ var fleetShapeCases = []struct {
 }
 
 // TestFleetPickEquivalence is the fleet acceptance property test: for
-// every join-graph shape, Pick results must be byte-identical whether
-// the plan set was computed locally, loaded from the shared on-disk
-// store, or fetched from an HTTP peer — across all four selection
-// policies (run under -race in CI).
+// every join-graph shape and both precision tiers (exact and
+// ε-approximate), Pick results must be byte-identical whether the plan
+// set was computed locally, loaded from the shared on-disk store, or
+// fetched from an HTTP peer — across all four selection policies (run
+// under -race in CI).
 func TestFleetPickEquivalence(t *testing.T) {
 	for _, tc := range fleetShapeCases {
-		t.Run(fmt.Sprintf("%s-%dp", tc.cfg.Shape, tc.cfg.Params), func(t *testing.T) {
-			sharedA, err := fleet.NewDirStore(t.TempDir())
-			if err != nil {
-				t.Fatal(err)
-			}
-			tpl := Template{Workload: tc.cfg}
-
-			// Server A computes and publishes to the shared store.
-			a := New(Options{Workers: 2, Index: true, Shared: sharedA})
-			defer a.Close()
-			prepA, err := a.Prepare(context.Background(), tpl)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if prepA.Cached {
-				t.Fatal("first Prepare reported cached")
-			}
-			if st := a.Stats(); st.SharedPuts != 1 {
-				t.Errorf("compute server published %d documents, want 1", st.SharedPuts)
-			}
-
-			// Server B loads from the shared store (no optimization).
-			b := New(Options{Workers: 2, Index: true, Shared: sharedA})
-			defer b.Close()
-			prepB, err := b.Prepare(context.Background(), tpl)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !prepB.Cached || prepB.Key != prepA.Key {
-				t.Errorf("shared-store Prepare: cached=%v key match=%v", prepB.Cached, prepB.Key == prepA.Key)
-			}
-			if st := b.Stats(); st.SharedHits != 1 {
-				t.Errorf("shared hits = %d, want 1", st.SharedHits)
-			}
-
-			// Server C fetches from peer A over HTTP (its own shared dir
-			// starts empty) and re-publishes the fetched document there.
-			peerSrv := planSetServer(a)
-			defer peerSrv.Close()
-			sharedC, err := fleet.NewDirStore(t.TempDir())
-			if err != nil {
-				t.Fatal(err)
-			}
-			c := New(Options{
-				Workers: 2, Index: true,
-				Shared: sharedC,
-				Peers:  fleet.NewPeerClient([]string{peerSrv.URL}, 0),
-			})
-			defer c.Close()
-			prepC, err := c.Prepare(context.Background(), tpl)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !prepC.Cached || prepC.Key != prepA.Key {
-				t.Errorf("peer Prepare: cached=%v key match=%v", prepC.Cached, prepC.Key == prepA.Key)
-			}
-			if st := c.Stats(); st.PeerHits != 1 || st.SharedPuts != 1 {
-				t.Errorf("peer server stats: peer hits = %d (want 1), shared puts = %d (want 1)",
-					st.PeerHits, st.SharedPuts)
-			}
-
-			ps, ok := a.PlanSet(prepA.Key)
-			if !ok {
-				t.Fatal("compute server lost its plan set")
-			}
-			for _, x := range tc.points {
-				if !ps.Space.ContainsPoint(x, 1e-9) {
-					continue
+		for _, eps := range []float64{0, 0.05} {
+			tc, eps := tc, eps
+			t.Run(fmt.Sprintf("%s-%dp/eps=%g", tc.cfg.Shape, tc.cfg.Params, eps), func(t *testing.T) {
+				sharedA, err := fleet.NewDirStore(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
 				}
-				got := map[string][]string{
-					"local":  pickAllPolicies(t, a, prepA.Key, x, len(ps.Metrics)),
-					"shared": pickAllPolicies(t, b, prepB.Key, x, len(ps.Metrics)),
-					"peer":   pickAllPolicies(t, c, prepC.Key, x, len(ps.Metrics)),
+				tpl := Template{Workload: tc.cfg, Epsilon: &eps}
+
+				// Server A computes and publishes to the shared store.
+				a := New(Options{Workers: 2, Index: true, Shared: sharedA})
+				defer a.Close()
+				prepA, err := a.Prepare(context.Background(), tpl)
+				if err != nil {
+					t.Fatal(err)
 				}
-				for name, res := range got {
-					if fmt.Sprint(res) != fmt.Sprint(got["local"]) {
-						t.Errorf("%s picks at %v differ from local:\n  local: %v\n  %s: %v",
-							name, x, got["local"], name, res)
+				if prepA.Cached {
+					t.Fatal("first Prepare reported cached")
+				}
+				if st := a.Stats(); st.SharedPuts != 1 {
+					t.Errorf("compute server published %d documents, want 1", st.SharedPuts)
+				}
+
+				// Server B loads from the shared store (no optimization).
+				b := New(Options{Workers: 2, Index: true, Shared: sharedA})
+				defer b.Close()
+				prepB, err := b.Prepare(context.Background(), tpl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !prepB.Cached || prepB.Key != prepA.Key {
+					t.Errorf("shared-store Prepare: cached=%v key match=%v", prepB.Cached, prepB.Key == prepA.Key)
+				}
+				if st := b.Stats(); st.SharedHits != 1 {
+					t.Errorf("shared hits = %d, want 1", st.SharedHits)
+				}
+
+				// Server C fetches from peer A over HTTP (its own shared dir
+				// starts empty) and re-publishes the fetched document there.
+				peerSrv := planSetServer(a)
+				defer peerSrv.Close()
+				sharedC, err := fleet.NewDirStore(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := New(Options{
+					Workers: 2, Index: true,
+					Shared: sharedC,
+					Peers:  fleet.NewPeerClient([]string{peerSrv.URL}, 0),
+				})
+				defer c.Close()
+				prepC, err := c.Prepare(context.Background(), tpl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !prepC.Cached || prepC.Key != prepA.Key {
+					t.Errorf("peer Prepare: cached=%v key match=%v", prepC.Cached, prepC.Key == prepA.Key)
+				}
+				if st := c.Stats(); st.PeerHits != 1 || st.SharedPuts != 1 {
+					t.Errorf("peer server stats: peer hits = %d (want 1), shared puts = %d (want 1)",
+						st.PeerHits, st.SharedPuts)
+				}
+
+				ps, ok := a.PlanSet(prepA.Key)
+				if !ok {
+					t.Fatal("compute server lost its plan set")
+				}
+				if ps.Epsilon != eps {
+					t.Errorf("plan set epsilon = %v, want %v", ps.Epsilon, eps)
+				}
+				for _, x := range tc.points {
+					if !ps.Space.ContainsPoint(x, 1e-9) {
+						continue
+					}
+					got := map[string][]string{
+						"local":  pickAllPolicies(t, a, prepA.Key, x, len(ps.Metrics)),
+						"shared": pickAllPolicies(t, b, prepB.Key, x, len(ps.Metrics)),
+						"peer":   pickAllPolicies(t, c, prepC.Key, x, len(ps.Metrics)),
+					}
+					for name, res := range got {
+						if fmt.Sprint(res) != fmt.Sprint(got["local"]) {
+							t.Errorf("%s picks at %v differ from local:\n  local: %v\n  %s: %v",
+								name, x, got["local"], name, res)
+						}
 					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

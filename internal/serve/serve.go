@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -154,6 +155,14 @@ type Template struct {
 	Workload workload.Config
 	// Cloud configures the cost model; nil selects the defaults.
 	Cloud *cloud.Config
+	// Epsilon, when non-nil, overrides the server's default
+	// approximation factor (Options.Optimizer.Epsilon) for this
+	// template: 0 requests the exact Pareto set, ε > 0 an ε-approximate
+	// frontier. The factor is part of the plan-set key, so exact and
+	// approximate tiers of the same template coexist in one cache, one
+	// shared store, and one fleet without ever answering for each
+	// other.
+	Epsilon *float64
 }
 
 func (t Template) resolve() (*catalog.Schema, cloud.Config, error) {
@@ -628,23 +637,43 @@ func (s *Server) Key(tpl Template) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return planSetKey(schema, cloudCfg, s.opts.Optimizer, s.opts.Solver)
+	epsilon, err := s.resolveEpsilon(tpl)
+	if err != nil {
+		return "", err
+	}
+	return planSetKey(schema, cloudCfg, s.opts.Optimizer, s.opts.Solver, epsilon)
+}
+
+// resolveEpsilon returns the approximation factor a template prepares
+// under: its own override when set, the server default otherwise.
+func (s *Server) resolveEpsilon(tpl Template) (float64, error) {
+	epsilon := s.opts.Optimizer.Epsilon
+	if tpl.Epsilon != nil {
+		epsilon = *tpl.Epsilon
+	}
+	if epsilon < 0 || math.IsNaN(epsilon) {
+		return 0, fmt.Errorf("serve: invalid epsilon %v", epsilon)
+	}
+	return epsilon, nil
 }
 
 // planSetKey hashes everything that determines a prepared plan set:
 // the schema content, the cost-model configuration, the optimizer
-// configuration that changes results (region refinements and Cartesian
-// postponement — the worker count does not, by the determinism
-// guarantee of the parallel wavefront), the geometry tolerances (which
-// steer pruning decisions), and the store format version the cached
-// sets round-trip through.
-func planSetKey(schema *catalog.Schema, cloudCfg cloud.Config, opts core.Options, solverCfg geometry.Config) (string, error) {
+// configuration that changes results (region refinements, Cartesian
+// postponement, and the approximation factor — the worker count does
+// not, by the determinism guarantee of the parallel wavefront), the
+// geometry tolerances (which steer pruning decisions), and the store
+// format version the cached sets round-trip through. The epsilon field
+// is what lets precision tiers share one fleet: the same template at a
+// different ε is simply a different key.
+func planSetKey(schema *catalog.Schema, cloudCfg cloud.Config, opts core.Options, solverCfg geometry.Config, epsilon float64) (string, error) {
 	keyDoc := struct {
 		Format            int
 		Schema            *catalog.Schema
 		Cloud             cloud.Config
 		Region            region.Options
 		PostponeCartesian bool
+		Epsilon           float64
 		Solver            geometry.Config
 	}{
 		Format:            store.FormatVersion,
@@ -652,6 +681,7 @@ func planSetKey(schema *catalog.Schema, cloudCfg cloud.Config, opts core.Options
 		Cloud:             cloudCfg,
 		Region:            opts.Region,
 		PostponeCartesian: opts.PostponeCartesian,
+		Epsilon:           epsilon,
 		Solver:            solverCfg,
 	}
 	b, err := json.Marshal(keyDoc)
@@ -687,11 +717,15 @@ func (s *Server) Prepare(ctx context.Context, tpl Template) (PrepareResult, erro
 	if err != nil {
 		return PrepareResult{}, err
 	}
-	key, err := planSetKey(schema, cloudCfg, s.opts.Optimizer, s.opts.Solver)
+	epsilon, err := s.resolveEpsilon(tpl)
 	if err != nil {
 		return PrepareResult{}, err
 	}
-	res, err := s.prepareKey(ctx, key, schema, cloudCfg)
+	key, err := planSetKey(schema, cloudCfg, s.opts.Optimizer, s.opts.Solver, epsilon)
+	if err != nil {
+		return PrepareResult{}, err
+	}
+	res, err := s.prepareKey(ctx, key, schema, cloudCfg, epsilon)
 	if err != nil {
 		s.noteCtxFailure(err)
 	}
@@ -702,7 +736,7 @@ func (s *Server) Prepare(ctx context.Context, tpl Template) (PrepareResult, erro
 // when the flight this request waited on was cancelled by *its* owner,
 // a waiter whose own context is still live must not inherit that
 // failure — it retries and may become the new flight's winner.
-func (s *Server) prepareKey(ctx context.Context, key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
+func (s *Server) prepareKey(ctx context.Context, key string, schema *catalog.Schema, cloudCfg cloud.Config, epsilon float64) (PrepareResult, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return PrepareResult{}, err
@@ -757,7 +791,7 @@ func (s *Server) prepareKey(ctx context.Context, key string, schema *catalog.Sch
 		s.inflight[key] = fl
 		s.mu.Unlock()
 
-		res, err := s.runPrepare(ctx, key, schema, cloudCfg)
+		res, err := s.runPrepare(ctx, key, schema, cloudCfg, epsilon)
 		fl.res, fl.err = res, err
 		s.mu.Lock()
 		delete(s.inflight, key)
@@ -797,7 +831,7 @@ func (s *Server) noteCtxFailure(err error) {
 // expensive templates cannot starve Picks out of the pool. A request
 // whose context fires while queued (admission FIFO or request queue)
 // gives up its place without leaking the slot.
-func (s *Server) runPrepare(ctx context.Context, key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
+func (s *Server) runPrepare(ctx context.Context, key string, schema *catalog.Schema, cloudCfg cloud.Config, epsilon float64) (PrepareResult, error) {
 	release, err := s.admission.Acquire(ctx)
 	if err != nil {
 		return PrepareResult{}, err
@@ -806,7 +840,7 @@ func (s *Server) runPrepare(ctx context.Context, key string, schema *catalog.Sch
 	var res PrepareResult
 	var jerr error
 	err = s.run(ctx, func(w *worker) {
-		res, jerr = s.prepareOn(ctx, w, key, schema, cloudCfg)
+		res, jerr = s.prepareOn(ctx, w, key, schema, cloudCfg, epsilon)
 	})
 	if err != nil {
 		return PrepareResult{}, err
@@ -884,27 +918,37 @@ func validKey(key string) bool {
 // the optimizer) takes over. Documents fetched from a peer are
 // re-published to the shared store so the next sibling finds them one
 // hop closer. Malformed keys resolve nowhere.
-func (s *Server) loadFromSources(ctx context.Context, w *worker, key string) (*entry, entrySource, bool) {
+//
+// wantEps, when non-nil, is the approximation factor the caller is
+// preparing under: a document recording a different factor is treated
+// as a miss, exactly like a corrupt one — defense in depth behind the
+// key (which already binds ε by hash) against a document planted or
+// misfiled under the wrong tier's name. Pick-time reloads pass nil and
+// accept the document's own factor, which the key vouches for.
+func (s *Server) loadFromSources(ctx context.Context, w *worker, key string, wantEps *float64) (*entry, entrySource, bool) {
 	if !validKey(key) {
 		return nil, sourceComputed, false
 	}
+	accept := func(e *entry) bool {
+		return wantEps == nil || e.set.Epsilon == *wantEps
+	}
 	if s.opts.Dir != "" {
 		if raw, err := s.fs.ReadFile(s.docPath(key)); err == nil {
-			if e, err := s.newEntry(raw, w); err == nil {
+			if e, err := s.newEntry(raw, w); err == nil && accept(e) {
 				return e, sourceDisk, true
 			}
 		}
 	}
 	if s.opts.Shared != nil {
 		if doc, ok, err := s.opts.Shared.Get(key); err == nil && ok {
-			if e, err := s.newEntry(doc, w); err == nil {
+			if e, err := s.newEntry(doc, w); err == nil && accept(e) {
 				return e, sourceShared, true
 			}
 		}
 	}
 	if s.opts.Peers != nil && ctx.Err() == nil {
 		if doc, ok, _ := s.opts.Peers.Fetch(ctx, key); ok {
-			if e, err := s.newEntry(doc, w); err == nil {
+			if e, err := s.newEntry(doc, w); err == nil && accept(e) {
 				s.publishShared(key, doc)
 				return e, sourcePeer, true
 			}
@@ -930,8 +974,8 @@ func (s *Server) publishShared(key string, doc []byte) {
 // Save through the store format, persist (Dir and shared store) and
 // cache the deserialized set. Picks therefore serve exactly the bytes
 // a separate run-time process would load, wherever they came from.
-func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config) (PrepareResult, error) {
-	if e, src, ok := s.loadFromSources(ctx, w, key); ok {
+func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config, epsilon float64) (PrepareResult, error) {
+	if e, src, ok := s.loadFromSources(ctx, w, key, &epsilon); ok {
 		s.insert(key, e, src)
 		return PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}, nil
 	}
@@ -943,6 +987,7 @@ func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *c
 	opts := s.opts.Optimizer
 	opts.Context = w.solver
 	opts.Algebra = nil
+	opts.Epsilon = epsilon
 	if opts.Workers == 0 {
 		// Request-level concurrency comes from the pool; one Prepare
 		// stays on its worker unless explicitly configured otherwise.
@@ -970,7 +1015,7 @@ func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *c
 	// persistence), not the client's template; wrap them in ErrInternal
 	// so transports report 5xx instead of 4xx.
 	var buf bytes.Buffer
-	if err := store.SaveIndexed(&buf, model.MetricNames(), model.Space(), result.Plans, ix); err != nil {
+	if err := store.SaveIndexedEpsilon(&buf, model.MetricNames(), model.Space(), result.Plans, ix, epsilon); err != nil {
 		return PrepareResult{}, fmt.Errorf("%w: %v", ErrInternal, err)
 	}
 	if s.opts.Dir != "" {
@@ -1363,7 +1408,10 @@ func (s *Server) reload(ctx context.Context, key string, w *worker) (*entry, err
 		s.reloading[key] = fl
 		s.mu.Unlock()
 
-		if e, src, ok := s.loadFromSources(ctx, w, key); ok {
+		// A pick-time reload accepts the document's own approximation
+		// factor: the request addressed the tier by key, and the key
+		// hash already binds ε.
+		if e, src, ok := s.loadFromSources(ctx, w, key, nil); ok {
 			fl.e = e
 			s.insert(key, e, src)
 			s.mu.Lock()
@@ -1389,7 +1437,7 @@ func (e *entry) validatePoint(x geometry.Vector) error {
 	if len(x) != e.set.Space.Dim() {
 		return fmt.Errorf("serve: point dimension %d, want %d", len(x), e.set.Space.Dim())
 	}
-	if !e.set.Space.ContainsPoint(x, 1e-9) {
+	if !e.set.Space.ContainsPoint(x, geometry.CompareEps) {
 		// Outside the parameter space the stored cost pieces would be
 		// extrapolated and relevance regions are meaningless; reject
 		// instead of fabricating a result.

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"mpq/internal/catalog"
 	"mpq/internal/core"
@@ -24,22 +25,39 @@ import (
 	"mpq/internal/region"
 )
 
-// FormatVersion identifies the serialization layout. Version 3 added
-// the optional point-location pick-index stanza (SaveIndexed); version
-// 2 added the region-options stanza and the explicit always-relevant
+// FormatVersion identifies the serialization layout. Version 4 added
+// the epsilon stanza recording the approximation factor of an
+// ε-approximate plan set (SaveIndexedEpsilon); version 3 added the
+// optional point-location pick-index stanza (SaveIndexed); version 2
+// added the region-options stanza and the explicit always-relevant
 // marker. Older documents are still readable: version 2 documents
 // simply carry no index (callers rebuild one on load when they want
 // it), and version 1 regions load with the paper's default refinements
 // and treat plans without cutouts as always relevant, the only
 // semantics version 1 could express.
-const FormatVersion = 3
+//
+// Exact plan sets (epsilon 0) are still written as version 3 — byte
+// for byte the historical output — so the version number itself
+// certifies the tier: a version 4 document is an ε-approximate set and
+// must say so, an exact set has exactly one canonical serialized form.
+const FormatVersion = 4
+
+// formatVersionExact is the version written for exact (epsilon 0)
+// plan sets: the canonical pre-epsilon layout.
+const formatVersionExact = 3
 
 // minFormatVersion is the oldest version Load still accepts.
 const minFormatVersion = 1
 
 // Document is the top-level serialized form of an optimization result.
 type Document struct {
-	Version int        `json:"version"`
+	Version int `json:"version"`
+	// Epsilon is the multiplicative approximation factor the plan set
+	// was computed with (core.Options.Epsilon). Present exactly when
+	// nonzero, which is exactly when Version >= 4: loading an
+	// ε-approximate set as if it were exact (or vice versa) is a format
+	// error, not a silent wrong answer.
+	Epsilon float64    `json:"epsilon,omitempty"`
 	Metrics []string   `json:"metrics"`
 	Space   polytopeJS `json:"space"`
 	// RegionOptions records the Section 6.2 refinement configuration the
@@ -142,8 +160,25 @@ func Save(w io.Writer, metrics []string, space *geometry.Polytope, plans []*core
 // leaf candidate ids refer to positions in plans; Load returns the
 // reconstructed index alongside the plan set.
 func SaveIndexed(w io.Writer, metrics []string, space *geometry.Polytope, plans []*core.PlanInfo, ix *index.Index) error {
+	return SaveIndexedEpsilon(w, metrics, space, plans, ix, 0)
+}
+
+// SaveIndexedEpsilon is SaveIndexed for ε-approximate plan sets: the
+// document records the approximation factor the optimizer ran with, so
+// loaders can tell tiers apart. Epsilon 0 writes the canonical exact
+// form (version 3, byte-identical to SaveIndexed); epsilon > 0 writes
+// a version 4 document.
+func SaveIndexedEpsilon(w io.Writer, metrics []string, space *geometry.Polytope, plans []*core.PlanInfo, ix *index.Index, epsilon float64) error {
+	if epsilon < 0 || math.IsNaN(epsilon) {
+		return fmt.Errorf("store: invalid epsilon %v", epsilon)
+	}
+	version := FormatVersion
+	if epsilon == 0 {
+		version = formatVersionExact
+	}
 	doc := Document{
-		Version: FormatVersion,
+		Version: version,
+		Epsilon: epsilon,
 		Metrics: metrics,
 		Space:   polytopeToJS(space),
 	}
@@ -195,6 +230,12 @@ type LoadedPlan struct {
 type PlanSet struct {
 	Metrics []string
 	Space   *geometry.Polytope
+	// Epsilon is the approximation factor the set was computed with: 0
+	// for an exact Pareto set, ε > 0 for an ε-approximate frontier
+	// whose picks are within a multiplicative (1+ε) of optimal on every
+	// metric. Callers serving multiple precision tiers key their caches
+	// on it.
+	Epsilon float64
 	Plans   []LoadedPlan
 	// Index is the point-location pick index persisted with the set,
 	// or nil when the document carried none (pre-v3 documents, or sets
@@ -212,6 +253,20 @@ func Load(r io.Reader) (*PlanSet, error) {
 	if doc.Version < minFormatVersion || doc.Version > FormatVersion {
 		return nil, fmt.Errorf("store: unsupported format version %d", doc.Version)
 	}
+	// The version number and the epsilon stanza certify each other: a
+	// pre-v4 document cannot carry an epsilon, and a v4 document must —
+	// the canonical form of an exact set is version 3. A mismatch means
+	// the document was tampered with or corrupted, and trusting either
+	// half could serve approximate plans as exact.
+	if doc.Epsilon < 0 || math.IsNaN(doc.Epsilon) {
+		return nil, fmt.Errorf("store: invalid epsilon %v", doc.Epsilon)
+	}
+	if doc.Version < FormatVersion && doc.Epsilon != 0 {
+		return nil, fmt.Errorf("store: version %d document carries epsilon %v (epsilon requires version %d)", doc.Version, doc.Epsilon, FormatVersion)
+	}
+	if doc.Version == FormatVersion && doc.Epsilon == 0 {
+		return nil, fmt.Errorf("store: version %d document without epsilon (canonical exact form is version %d)", FormatVersion, formatVersionExact)
+	}
 	if len(doc.Metrics) == 0 {
 		return nil, fmt.Errorf("store: document without metrics")
 	}
@@ -223,7 +278,7 @@ func Load(r io.Reader) (*PlanSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	ps := &PlanSet{Metrics: doc.Metrics, Space: space}
+	ps := &PlanSet{Metrics: doc.Metrics, Space: space, Epsilon: doc.Epsilon}
 	ctx := geometry.NewContext()
 	for i, ent := range doc.Plans {
 		node, err := nodeFromJS(&ent.Tree)

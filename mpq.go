@@ -91,6 +91,10 @@ type (
 	Cost = core.Cost
 	// Algebra abstracts cost operations, making RRPA generic.
 	Algebra = core.Algebra
+	// EpsilonAlgebra extends Algebra with the scaled dominance regions
+	// the ε-approximate prune needs (Options.Epsilon > 0). PWLAlgebra
+	// implements it.
+	EpsilonAlgebra = core.EpsilonAlgebra
 	// PWLAlgebra is the exact algebra for PWL cost functions
 	// (PWL-RRPA).
 	PWLAlgebra = core.PWLAlgebra
@@ -152,6 +156,10 @@ const (
 // of goroutines pulling runnable table sets from the pipelined
 // dependency scheduler (0 = GOMAXPROCS, 1 = sequential); results and
 // aggregate LP statistics are identical for every worker count.
+// Options.Epsilon > 0 trades precision for speed: the returned set is
+// an ε-approximate Pareto frontier — every dropped plan is within a
+// (1+ε) cost factor of a kept one, on every metric, everywhere in the
+// parameter space — and is typically much smaller than the exact set.
 func Optimize(schema *Schema, model CostModel, opts Options) (*Result, error) {
 	return core.Optimize(schema, model, opts)
 }
@@ -247,6 +255,15 @@ type (
 // relevance regions) for later run-time use.
 func SavePlanSet(w io.Writer, metrics []string, space *Polytope, plans []*PlanInfo) error {
 	return store.Save(w, metrics, space, plans)
+}
+
+// SavePlanSetEpsilon is SavePlanSet for an ε-approximate plan set: the
+// approximation factor the set was optimized with is recorded in the
+// document, round-trips through LoadPlanSet (PlanSet.Epsilon), and
+// keeps the tier addressable — an ε = 0 set serializes byte-identically
+// to SavePlanSet.
+func SavePlanSetEpsilon(w io.Writer, metrics []string, space *Polytope, plans []*PlanInfo, epsilon float64) error {
+	return store.SaveIndexedEpsilon(w, metrics, space, plans, nil, epsilon)
 }
 
 // LoadPlanSet reads a serialized plan set.
