@@ -1,0 +1,61 @@
+// expolint validates Prometheus text-exposition scrapes with the
+// repo's in-tree linter (internal/obs): HELP/TYPE pairing, label
+// escaping, duplicate samples, counter naming, and cumulative
+// histogram-bucket invariants.
+//
+//	expolint scrape.txt             # lint one scrape
+//	expolint scrape1.txt scrape2.txt  # lint both, then check that no
+//	                                  # counter regressed between them
+//
+// With two files, the first is treated as the earlier scrape: every
+// counter, histogram bucket, and histogram _count present in both must
+// be monotonically non-decreasing. Exit status 1 on any finding; the
+// findings are printed one per line, prefixed with the file they came
+// from. CI uses this to gate the live /metrics endpoint of a booted
+// mpqserve.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mpq/internal/obs"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: expolint scrape.txt [later-scrape.txt]")
+		os.Exit(2)
+	}
+	failed := false
+	var parsed [][]*obs.Family
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expolint: %v\n", err)
+			os.Exit(2)
+		}
+		fams, err := obs.ParseExposition(f)
+		f.Close()
+		if err != nil {
+			fmt.Printf("%s: parse: %v\n", path, err)
+			os.Exit(1)
+		}
+		for _, finding := range obs.Lint(fams) {
+			fmt.Printf("%s: %v\n", path, finding)
+			failed = true
+		}
+		parsed = append(parsed, fams)
+	}
+	if len(parsed) == 2 {
+		for _, finding := range obs.CheckMonotonic(parsed[0], parsed[1]) {
+			fmt.Printf("%s -> %s: %v\n", args[0], args[1], finding)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("expolint: %d file(s) clean\n", len(args))
+}

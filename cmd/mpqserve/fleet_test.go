@@ -137,7 +137,7 @@ func TestGracefulShutdownHTTP(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- runHTTP(ctx, s, addr, 2*time.Second) }()
+	go func() { done <- runHTTP(ctx, s, addr, 2*time.Second, newMux(s)) }()
 
 	// Wait for the listener, issue a request, then signal shutdown.
 	var resp *http.Response

@@ -15,6 +15,22 @@
 //	POST /pickbatch    {"key":"...","points":[[0.2],[0.5],[0.8]],"policy":"frontier"}
 //	GET  /planset/<key>  serialized plan-set document (the peer-fetch endpoint)
 //	GET  /stats
+//	GET  /metrics          Prometheus text exposition (every /stats field)
+//	GET  /debug/traces     recent Prepare flights with per-phase timings
+//	GET  /debug/telemetry  per-template pick-point histograms
+//	GET  /debug/pprof/*    Go profiling handlers (only with -pprof)
+//
+// Scraping the server:
+//
+//	curl -s localhost:8080/metrics | grep mpq_prepares_total
+//
+// -metrics-addr moves /metrics and the /debug endpoints to their own
+// listener so scrapes and profiles never contend with the request path.
+// -telemetry-dir persists per-template histograms of requested pick
+// points across restarts (flushed every -telemetry-flush and on
+// shutdown; -telemetry-sample thins the stream for extreme pick
+// rates). -log writes a JSON-lines access log to stderr: op, template
+// key, status, latency, and the deadline outcome per request.
 //
 // The stdin protocol wraps the same bodies with an "op" field:
 //
@@ -67,6 +83,7 @@ import (
 
 	"mpq/internal/core"
 	"mpq/internal/fleet"
+	"mpq/internal/obs"
 	"mpq/internal/selection"
 	"mpq/internal/serve"
 	"mpq/internal/workload"
@@ -87,6 +104,14 @@ func main() {
 		donate     = flag.Bool("donate", true, "donate idle pool workers to in-flight Prepares' split jobs")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
 		epsilon    = flag.Float64("epsilon", 0, "default ε approximation factor for Prepares (0 = exact Pareto sets; a request's \"epsilon\" field overrides)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug endpoints on a separate ops listener (empty = same mux as the HTTP API)")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof profiling handlers on the metrics mux")
+		traceCap    = flag.Int("trace", 256, "Prepare trace ring capacity: recent flights kept for /debug/traces (0 disables phase tracing)")
+		telDir      = flag.String("telemetry-dir", "", "directory persisting per-template pick-point histograms across restarts (empty disables recording)")
+		telSample   = flag.Int64("telemetry-sample", 1, "record every Nth pick point (sampling knob for extreme pick rates)")
+		telFlush    = flag.Duration("telemetry-flush", 30*time.Second, "interval between telemetry flushes to -telemetry-dir")
+		logReqs     = flag.Bool("log", false, "JSON-lines access log on stderr (op, key, status, latency, outcome)")
 	)
 	flag.DurationVar(&prepareDeadline, "prepare-deadline", 0, "default deadline per Prepare request (0 = none; per-request deadline_ms overrides)")
 	flag.IntVar(&stdinMaxLine, "max-line", stdinMaxLine, "stdin protocol line-length cap in bytes")
@@ -118,13 +143,47 @@ func main() {
 	if *peers != "" {
 		opts.Peers = fleet.NewPeerClient(strings.Split(*peers, ","), 0)
 	}
+
+	if *logReqs {
+		// Stderr keeps the stdin transport's protocol stream (stdout)
+		// clean; HTTP logs to the same stream for symmetry.
+		accessLog = newAccessLogger(os.Stderr)
+	}
+	ob := &obsState{reg: obs.NewRegistry(), ring: obs.NewTraceRing(*traceCap), pprof: *pprofOn}
+	ob.ring.Instrument(ob.reg)
+	if *telDir != "" {
+		tel, err := obs.OpenTelemetry(*telDir, obs.TelemetryOptions{SampleEvery: *telSample})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ob.tel = tel
+	}
+	opts.Trace, opts.Telemetry = ob.ring, ob.tel
+
 	s := serve.New(opts)
+	s.RegisterMetrics(ob.reg)
+	if ob.tel != nil {
+		// Registered before the Close defer so it runs after it: the
+		// final flush sees every pick the drained queue recorded.
+		defer func() {
+			if err := ob.tel.Flush(); err != nil {
+				log.Printf("mpqserve: final telemetry flush: %v", err)
+			}
+		}()
+	}
 	// Close drains the request queue and flushes the shared store; it
 	// runs on every exit path below.
 	defer s.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if ob.tel != nil {
+		go flushLoop(ctx, ob.tel, *telFlush)
+	}
+	if *metricsAddr != "" {
+		startOps(ctx, *metricsAddr, ob)
+	}
 
 	if *stdin {
 		if err := runStdin(ctx, s, os.Stdin, os.Stdout); err != nil {
@@ -133,7 +192,11 @@ func main() {
 		}
 		return
 	}
-	if err := runHTTP(ctx, s, *addr, *drain); err != nil {
+	mux := newMux(s)
+	if *metricsAddr == "" {
+		ob.mount(mux)
+	}
+	if err := runHTTP(ctx, s, *addr, *drain, mux); err != nil {
 		s.Close()
 		log.Fatal(err)
 	}
@@ -143,8 +206,8 @@ func main() {
 // SIGTERM), then shuts the listener down gracefully within the drain
 // deadline. The caller's deferred Server.Close drains the request
 // queue and flushes the shared store afterwards.
-func runHTTP(ctx context.Context, s *serve.Server, addr string, drain time.Duration) error {
-	srv := &http.Server{Addr: addr, Handler: newHandler(s)}
+func runHTTP(ctx context.Context, s *serve.Server, addr string, drain time.Duration, h http.Handler) error {
+	srv := &http.Server{Addr: addr, Handler: h}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("mpqserve listening on %s", addr)
@@ -365,58 +428,74 @@ func choicesJS(cs []selection.Choice) []choiceJS {
 	return out
 }
 
-// newHandler wires the server behind HTTP. Queue saturation maps to
+// newMux wires the server behind HTTP. Queue saturation maps to
 // 429, a closed server to 503, an unknown key to 404, malformed
-// requests to 400.
-func newHandler(s *serve.Server) http.Handler {
+// requests to 400. Every handler feeds the access log (a nil logger
+// costs one branch).
+func newMux(s *serve.Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /prepare", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		var body prepareReqJS
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 			writeError(w, http.StatusBadRequest, err)
+			accessLog.record("http", "prepare", "", http.StatusBadRequest, start, err)
 			return
 		}
 		resp, err := doPrepare(r.Context(), s, body)
 		if err != nil {
 			writeError(w, statusOf(err), err)
+			accessLog.record("http", "prepare", "", statusOf(err), start, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+		accessLog.record("http", "prepare", resp.Key, http.StatusOK, start, nil)
 	})
 	mux.HandleFunc("POST /pick", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		var body pickReqJS
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 			writeError(w, http.StatusBadRequest, err)
+			accessLog.record("http", "pick", "", http.StatusBadRequest, start, err)
 			return
 		}
 		resp, err := doPick(r.Context(), s, body)
 		if err != nil {
 			writeError(w, statusOf(err), err)
+			accessLog.record("http", "pick", body.Key, statusOf(err), start, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+		accessLog.record("http", "pick", body.Key, http.StatusOK, start, nil)
 	})
 	mux.HandleFunc("POST /pickbatch", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		var body pickBatchReqJS
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 			writeError(w, http.StatusBadRequest, err)
+			accessLog.record("http", "pickbatch", "", http.StatusBadRequest, start, err)
 			return
 		}
 		resp, err := doPickBatch(r.Context(), s, body)
 		if err != nil {
 			writeError(w, statusOf(err), err)
+			accessLog.record("http", "pickbatch", body.Key, statusOf(err), start, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+		accessLog.record("http", "pickbatch", body.Key, http.StatusOK, start, nil)
 	})
 	mux.HandleFunc("GET /planset/{key}", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		key := r.PathValue("key")
 		// The peer-fetch endpoint: the serialized plan-set document,
 		// byte-identical to what this server loaded or computed. Serves
 		// from the cache or the shared store only — never by computing,
 		// and never by asking peers (no fetch cascades).
-		doc, err := s.Document(r.PathValue("key"))
+		doc, err := s.Document(key)
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
+			accessLog.record("http", "planset", key, http.StatusNotFound, start, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -425,11 +504,18 @@ func newHandler(s *serve.Server) http.Handler {
 		w.Header().Set(fleet.DocHashHeader, fleet.ContentHash(doc))
 		w.WriteHeader(http.StatusOK)
 		w.Write(doc)
+		accessLog.record("http", "planset", key, http.StatusOK, start, nil)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	return mux
+}
+
+// newHandler is newMux as an http.Handler (transport tests exercise
+// the API surface without the observability endpoints).
+func newHandler(s *serve.Server) http.Handler {
+	return newMux(s)
 }
 
 func statusOf(err error) int {
@@ -578,33 +664,44 @@ func runStdin(ctx context.Context, s *serve.Server, in io.Reader, out io.Writer)
 
 // handleLine answers one stdin-protocol request; the returned error is
 // an output-encoding failure (request errors, including oversized and
-// malformed lines, are answered in-band).
+// malformed lines, are answered in-band). The access log gets the same
+// op/key/status/latency fields as the HTTP transport, with statuses
+// mapped as statusOf would map them.
 func handleLine(ctx context.Context, s *serve.Server, enc *json.Encoder, line stdinLine) error {
+	start := time.Now()
 	if line.tooLong {
+		accessLog.record("stdin", "", "", http.StatusBadRequest, start, errors.New("line too long"))
 		return enc.Encode(errorJS{Error: fmt.Sprintf("line exceeds %d bytes", stdinMaxLine)})
 	}
 	var op struct {
 		Op string `json:"op"`
 	}
 	if err := json.Unmarshal(line.data, &op); err != nil {
+		accessLog.record("stdin", "", "", http.StatusBadRequest, start, err)
 		return enc.Encode(errorJS{Error: err.Error()})
 	}
 	var resp any
 	var err error
+	var key string
 	switch op.Op {
 	case "prepare":
 		var body prepareReqJS
 		if err = json.Unmarshal(line.data, &body); err == nil {
-			resp, err = doPrepare(ctx, s, body)
+			var r prepareRespJS
+			if r, err = doPrepare(ctx, s, body); err == nil {
+				key, resp = r.Key, r
+			}
 		}
 	case "pick":
 		var body pickReqJS
 		if err = json.Unmarshal(line.data, &body); err == nil {
+			key = body.Key
 			resp, err = doPick(ctx, s, body)
 		}
 	case "pickbatch":
 		var body pickBatchReqJS
 		if err = json.Unmarshal(line.data, &body); err == nil {
+			key = body.Key
 			resp, err = doPickBatch(ctx, s, body)
 		}
 	case "stats":
@@ -613,7 +710,9 @@ func handleLine(ctx context.Context, s *serve.Server, enc *json.Encoder, line st
 		err = fmt.Errorf("unknown op %q", op.Op)
 	}
 	if err != nil {
+		accessLog.record("stdin", op.Op, key, statusOf(err), start, err)
 		return enc.Encode(errorJS{Error: err.Error()})
 	}
+	accessLog.record("stdin", op.Op, key, http.StatusOK, start, nil)
 	return enc.Encode(resp)
 }

@@ -189,6 +189,25 @@
 // PeerBreakerTrips, QuarantinedBlobs). See DESIGN.md, "Failure
 // domains".
 //
+// # Observability
+//
+// A running mpqserve is scrapable: every ServeStats field is exported
+// in the Prometheus text format on GET /metrics (internal/obs, a
+// zero-dependency registry), Prepare flights are traced per phase
+// (admission wait, queue wait, lookup, optimize, index build, save)
+// into a bounded ring served as histograms and as JSON on
+// GET /debug/traces, and -telemetry-dir persists per-template
+// histograms of requested pick points across restarts — the recording
+// half of workload-driven re-optimization. Scraping a server:
+//
+//	mpqserve -addr :8080 -telemetry-dir /var/lib/mpq/telemetry &
+//	curl -s localhost:8080/metrics | grep -E 'mpq_(prepares|picks)_total'
+//	curl -s localhost:8080/debug/traces | jq '.events[0].phases'
+//
+// -metrics-addr moves the scrape and debug endpoints (including
+// opt-in -pprof profiling) to a dedicated listener; -log emits a
+// JSON-lines access log on stderr. See DESIGN.md, "Observability".
+//
 // # Enforced invariants
 //
 // The determinism, context-flow, atomic-discipline, and float-epsilon
@@ -209,6 +228,8 @@
 // format), selection (run-time plan selection policies), serve (the
 // optimizer-as-a-service layer), fleet (the memory-bounded cache,
 // shared plan-set store, peer fetches and admission control behind
-// fleet serving) and bench (the Figure 12 experiment harness with its
-// CI regression gate).
+// fleet serving), obs (the metrics registry, exposition
+// parser/linter, Prepare trace ring and pick-point telemetry) and
+// bench (the Figure 12 experiment harness with its CI regression
+// gate).
 package mpq

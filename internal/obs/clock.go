@@ -1,0 +1,19 @@
+package obs
+
+import "time"
+
+// Now and Since are the package's only wall-clock reads: trace spans
+// and instrumented callers (the serving layer's phase timing) route
+// through them so the waiver surface stays in one file. Instrumentation
+// timestamps never reach plans, serialized bytes, or LP counts — the
+// determinism contracts are untouched.
+
+// Now returns the current wall-clock time for instrumentation.
+func Now() time.Time {
+	return time.Now() //mpq:wallclock observability timestamps (trace spans, access-log latency); never reach optimizer outputs
+}
+
+// Since returns the elapsed wall-clock time since t for instrumentation.
+func Since(t time.Time) time.Duration {
+	return time.Since(t) //mpq:wallclock observability durations (trace spans, phase histograms); never reach optimizer outputs
+}

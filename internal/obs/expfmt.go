@@ -1,0 +1,414 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the consumer half of the exposition contract: a parser
+// for the Prometheus text format (version 0.0.4) and a linter that CI
+// runs against a live server's /metrics output, so a malformed scrape
+// is a build failure here rather than a silent hole in a dashboard.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the sample name as written (for histograms this includes
+	// the _bucket/_sum/_count suffix).
+	Name string
+	// Labels are the sample's label pairs in file order.
+	Labels []Label
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// labelString renders the label set canonically (sorted) so two
+// samples with the same pairs in different order compare equal.
+func (s Sample) labelString() string {
+	ls := append([]Label(nil), s.Labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	return renderLabels(ls)
+}
+
+// Family is one parsed metric family: the HELP/TYPE metadata and every
+// sample whose base name belongs to it.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	HasHelp bool
+	HasType bool
+	Samples []Sample
+}
+
+// ParseExposition parses text exposition into families, in file order.
+// It is strict about line shape (a line that is neither a comment, a
+// blank, nor a well-formed sample is an error) but does not judge
+// semantics — that is Lint's job.
+func ParseExposition(r io.Reader) ([]*Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	byName := make(map[string]*Family)
+	var order []*Family
+	fam := func(name string) *Family {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &Family{Name: name}
+		byName[name] = f
+		order = append(order, f)
+		return f
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment
+			}
+			f := fam(name)
+			switch kind {
+			case "HELP":
+				if f.HasHelp {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				f.Help, f.HasHelp = rest, true
+			case "TYPE":
+				if f.HasType {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				f.Type, f.HasType = rest, true
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam(baseName(s.Name, byName)).Samples = append(fam(baseName(s.Name, byName)).Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// baseName strips a histogram sample suffix when the stripped name is a
+// known family (declared by TYPE/HELP before its samples, as the
+// renderer emits and the format requires).
+func baseName(name string, byName map[string]*Family) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f, exists := byName[base]; exists && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseComment splits "# HELP name rest" / "# TYPE name rest".
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", "", false
+	}
+	rest = ""
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return fields[1], fields[2], rest, true
+}
+
+// parseSample parses `name{a="b",...} value`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	i := 0
+	for i < len(line) && isNameChar(line[i], i) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if i < len(line) && line[i] == '{' {
+		var err error
+		s.Labels, i, err = parseLabelSet(line, i)
+		if err != nil {
+			return s, err
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	// A trailing timestamp is allowed by the format; we never emit one,
+	// but the parser tolerates it.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parseFloat(rest)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabelSet(line string, open int) ([]Label, int, error) {
+	var labels []Label
+	i := open + 1
+	for {
+		for i < len(line) && line[i] == ',' {
+			i++
+		}
+		if i < len(line) && line[i] == '}' {
+			return labels, i + 1, nil
+		}
+		start := i
+		for i < len(line) && line[i] != '=' {
+			i++
+		}
+		if i >= len(line) {
+			return nil, i, fmt.Errorf("unterminated label set in %q", line)
+		}
+		name := line[start:i]
+		i++ // '='
+		if i >= len(line) || line[i] != '"' {
+			return nil, i, fmt.Errorf("unquoted label value in %q", line)
+		}
+		i++
+		var val strings.Builder
+		for i < len(line) && line[i] != '"' {
+			if line[i] == '\\' && i+1 < len(line) {
+				i++
+				switch line[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(line[i])
+				default:
+					return nil, i, fmt.Errorf("invalid escape \\%c in %q", line[i], line)
+				}
+			} else {
+				val.WriteByte(line[i])
+			}
+			i++
+		}
+		if i >= len(line) {
+			return nil, i, fmt.Errorf("unterminated label value in %q", line)
+		}
+		i++ // closing quote
+		labels = append(labels, Label{Name: name, Value: val.String()})
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isNameChar(c byte, i int) bool {
+	return c == '_' || c == ':' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+		(i > 0 && '0' <= c && c <= '9')
+}
+
+// Lint checks parsed families against the format's semantic rules:
+// HELP/TYPE pairing, valid names, no duplicate samples, non-negative
+// counters, counter naming, and histogram shape (ascending cumulative
+// le buckets ending in +Inf, with _count matching the +Inf bucket).
+// It returns one error per finding.
+func Lint(fams []*Family) []error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	for _, f := range fams {
+		if !validMetricName(f.Name) {
+			report("family %q: invalid metric name", f.Name)
+		}
+		if !f.HasHelp {
+			report("family %s: missing # HELP", f.Name)
+		}
+		if !f.HasType {
+			report("family %s: missing # TYPE", f.Name)
+		}
+		switch f.Type {
+		case "counter", "gauge", "histogram":
+		case "":
+			if f.HasType {
+				report("family %s: empty TYPE", f.Name)
+			}
+		default:
+			report("family %s: unknown TYPE %q", f.Name, f.Type)
+		}
+		if !f.HasHelp && !f.HasType && len(f.Samples) > 0 {
+			report("family %s: samples without any HELP/TYPE metadata", f.Name)
+		}
+		seen := make(map[string]bool)
+		for _, s := range f.Samples {
+			for _, l := range s.Labels {
+				if !validLabelName(l.Name) {
+					report("family %s: invalid label name %q", f.Name, l.Name)
+				}
+			}
+			key := s.Name + s.labelString()
+			if seen[key] {
+				report("family %s: duplicate sample %s%s", f.Name, s.Name, s.labelString())
+			}
+			seen[key] = true
+		}
+		switch f.Type {
+		case "counter":
+			if !strings.HasSuffix(f.Name, "_total") {
+				report("family %s: counter name should end in _total", f.Name)
+			}
+			for _, s := range f.Samples {
+				if s.Value < 0 || math.IsNaN(s.Value) {
+					report("family %s: counter sample %s%s has value %v", f.Name, s.Name, s.labelString(), s.Value)
+				}
+			}
+		case "histogram":
+			lintHistogram(f, report)
+		}
+	}
+	return errs
+}
+
+// lintHistogram groups one histogram family's samples by their
+// non-le label set and checks each series' shape.
+func lintHistogram(f *Family, report func(string, ...any)) {
+	type series struct {
+		lastLe    float64
+		lastCum   float64
+		sawInf    bool
+		infCum    float64
+		count     float64
+		sawCount  bool
+		sawSum    bool
+		sawBucket bool
+	}
+	bySeries := make(map[string]*series)
+	var order []string
+	get := func(key string) *series {
+		if s, ok := bySeries[key]; ok {
+			return s
+		}
+		s := &series{lastLe: math.Inf(-1), lastCum: -1}
+		bySeries[key] = s
+		order = append(order, key)
+		return s
+	}
+	for _, s := range f.Samples {
+		var rest []Label
+		le, hasLe := "", false
+		for _, l := range s.Labels {
+			if l.Name == "le" {
+				le, hasLe = l.Value, true
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		key := Sample{Labels: rest}.labelString()
+		sr := get(key)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			sr.sawBucket = true
+			if !hasLe {
+				report("family %s: bucket sample without le label", f.Name)
+				continue
+			}
+			bound, err := parseFloat(le)
+			if err != nil {
+				report("family %s: bucket le=%q is not a number", f.Name, le)
+				continue
+			}
+			if bound <= sr.lastLe {
+				report("family %s%s: bucket bounds not ascending at le=%q", f.Name, key, le)
+			}
+			if s.Value < sr.lastCum {
+				report("family %s%s: cumulative bucket counts decrease at le=%q", f.Name, key, le)
+			}
+			sr.lastLe, sr.lastCum = bound, s.Value
+			if math.IsInf(bound, 1) {
+				sr.sawInf, sr.infCum = true, s.Value
+			}
+		case strings.HasSuffix(s.Name, "_sum"):
+			sr.sawSum = true
+		case strings.HasSuffix(s.Name, "_count"):
+			sr.sawCount, sr.count = true, s.Value
+		}
+	}
+	for _, key := range order {
+		sr := bySeries[key]
+		if !sr.sawBucket {
+			report("family %s%s: histogram series without _bucket samples", f.Name, key)
+			continue
+		}
+		if !sr.sawInf {
+			report("family %s%s: histogram series without a +Inf bucket", f.Name, key)
+		}
+		if !sr.sawSum {
+			report("family %s%s: histogram series without _sum", f.Name, key)
+		}
+		if !sr.sawCount {
+			report("family %s%s: histogram series without _count", f.Name, key)
+		} else if sr.sawInf && sr.count != sr.infCum {
+			report("family %s%s: _count %v != +Inf bucket %v", f.Name, key, sr.count, sr.infCum)
+		}
+	}
+}
+
+// CheckMonotonic compares two scrapes of one target: every counter
+// sample (and histogram bucket/count/sum) present in both must not
+// decrease. It returns one error per violation.
+func CheckMonotonic(prev, cur []*Family) []error {
+	var errs []error
+	prevByName := make(map[string]*Family, len(prev))
+	for _, f := range prev {
+		prevByName[f.Name] = f
+	}
+	for _, f := range cur {
+		if f.Type != "counter" && f.Type != "histogram" {
+			continue
+		}
+		pf, ok := prevByName[f.Name]
+		if !ok || pf.Type != f.Type {
+			continue
+		}
+		prevVals := make(map[string]float64, len(pf.Samples))
+		for _, s := range pf.Samples {
+			prevVals[s.Name+s.labelString()] = s.Value
+		}
+		for _, s := range f.Samples {
+			if f.Type == "histogram" && strings.HasSuffix(s.Name, "_sum") {
+				// A sum of negative observations may legitimately
+				// decrease; our histograms observe durations, but the
+				// format does not forbid it.
+				continue
+			}
+			pv, ok := prevVals[s.Name+s.labelString()]
+			if ok && s.Value < pv {
+				errs = append(errs, fmt.Errorf("%s%s decreased across scrapes: %v -> %v", s.Name, s.labelString(), pv, s.Value))
+			}
+		}
+	}
+	return errs
+}

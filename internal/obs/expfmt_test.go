@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// lintText parses and lints one exposition document.
+func lintText(t *testing.T, text string) []error {
+	t.Helper()
+	fams, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Lint(fams)
+}
+
+func TestLintAcceptsOwnRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests").Add(7)
+	r.Gauge("depth", "queue depth", Label{Name: "q", Value: "main"}).Set(3)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.01)
+	h.Observe(5)
+	if errs := lintText(t, render(t, r)); len(errs) != 0 {
+		t.Fatalf("lint of own render found %v", errs)
+	}
+}
+
+func TestLintFindings(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"missing TYPE", "# HELP a_total help\na_total 1\n", "missing # TYPE"},
+		{"missing HELP", "# TYPE a_total counter\na_total 1\n", "missing # HELP"},
+		{"negative counter", "# HELP a_total h\n# TYPE a_total counter\na_total -1\n", "has value -1"},
+		{"counter naming", "# HELP a h\n# TYPE a counter\na 1\n", "should end in _total"},
+		{"duplicate sample", "# HELP a h\n# TYPE a gauge\na{x=\"1\"} 1\na{x=\"1\"} 2\n", "duplicate sample"},
+		{"unknown type", "# HELP a h\n# TYPE a summary\na 1\n", "unknown TYPE"},
+		{"bad label name", "# HELP a h\n# TYPE a gauge\na{__x=\"1\"} 1\n", "invalid label name"},
+		{
+			"histogram without inf",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"without a +Inf bucket",
+		},
+		{
+			"histogram count mismatch",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"_count 3 != +Inf bucket 2",
+		},
+		{
+			"histogram non-cumulative",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"cumulative bucket counts decrease",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := lintText(t, tc.text)
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.want) {
+					return
+				}
+			}
+			t.Fatalf("want a finding containing %q, got %v", tc.want, errs)
+		})
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	for _, text := range []string{
+		"a{x=\"1\" 1\n",                 // unterminated label set
+		"a{x=1} 1\n",                    // unquoted value
+		"a notanumber\n",                // bad value
+		"{x=\"1\"} 1\n",                 // no name
+		"a{x=\"1\\q\"} 1\n",             // bad escape
+		"# HELP a h\n# HELP a h\na 1\n", // duplicate HELP
+	} {
+		if _, err := ParseExposition(strings.NewReader(text)); err == nil {
+			t.Fatalf("parse accepted %q", text)
+		}
+	}
+}
+
+func TestCheckMonotonic(t *testing.T) {
+	prev := `# HELP a_total h
+# TYPE a_total counter
+a_total{k="x"} 5
+# HELP h h
+# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 3
+# HELP g h
+# TYPE g gauge
+g 10
+`
+	curOK := strings.ReplaceAll(prev, "a_total{k=\"x\"} 5", "a_total{k=\"x\"} 9")
+	curOK = strings.ReplaceAll(curOK, "g 10", "g 1") // gauges may fall
+	pf, err := ParseExposition(strings.NewReader(prev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := ParseExposition(strings.NewReader(curOK))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := CheckMonotonic(pf, cf); len(errs) != 0 {
+		t.Fatalf("monotonic scrape pair flagged: %v", errs)
+	}
+
+	curBad := strings.ReplaceAll(prev, "a_total{k=\"x\"} 5", "a_total{k=\"x\"} 4")
+	curBad = strings.ReplaceAll(curBad, "h_count 3", "h_count 2")
+	cb, err := ParseExposition(strings.NewReader(curBad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := CheckMonotonic(pf, cb)
+	if len(errs) != 2 {
+		t.Fatalf("want 2 monotonicity findings (counter + histogram count), got %v", errs)
+	}
+}

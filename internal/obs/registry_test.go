@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRegistryRendersSortedExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "last family").Add(3)
+	r.Gauge("a_gauge", "first family").Set(-1.5)
+	r.Counter("m_total", "middle", Label{Name: "shard", Value: "b"}).Inc()
+	r.Counter("m_total", "middle", Label{Name: "shard", Value: "a"}).Add(2)
+
+	got := render(t, r)
+	want := `# HELP a_gauge first family
+# TYPE a_gauge gauge
+a_gauge -1.5
+# HELP m_total middle
+# TYPE m_total counter
+m_total{shard="a"} 2
+m_total{shard="b"} 1
+# HELP z_total last family
+# TYPE z_total counter
+z_total 3
+`
+	if got != want {
+		t.Fatalf("render mismatch:\n got: %q\nwant: %q", got, want)
+	}
+	if again := render(t, r); again != got {
+		t.Fatal("two scrapes of an unchanged registry differ")
+	}
+}
+
+func TestRegistryRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help")
+	b := r.Counter("c_total", "help")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	g1 := r.Gauge("g", "help", Label{Name: "x", Value: "1"})
+	g2 := r.Gauge("g", "help", Label{Name: "x", Value: "2"})
+	if g1 == g2 {
+		t.Fatal("distinct label values returned the same gauge")
+	}
+}
+
+func TestRegistryPanicsOnKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("c_total", "help")
+}
+
+func TestHistogramRendersCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(100)
+
+	got := render(t, r)
+	want := `# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="10"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 101.05
+lat_seconds_count 4
+`
+	if got != want {
+		t.Fatalf("histogram render mismatch:\n got: %q\nwant: %q", got, want)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "a help with \\ and\nnewline", Label{Name: "path", Value: `a"b\c` + "\n"}).Set(1)
+	got := render(t, r)
+	if !strings.Contains(got, `# HELP g a help with \\ and\nnewline`) {
+		t.Fatalf("HELP not escaped: %q", got)
+	}
+	if !strings.Contains(got, `g{path="a\"b\\c\n"} 1`) {
+		t.Fatalf("label value not escaped: %q", got)
+	}
+	// The escaped output must survive our own parser.
+	fams, err := ParseExposition(strings.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := fams[0].Samples[0].Labels[0].Value; v != `a"b\c`+"\n" {
+		t.Fatalf("round-tripped label value %q", v)
+	}
+}
+
+func TestCollectHookRunsPerScrape(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "refreshed at scrape time")
+	n := 0.0
+	r.OnCollect(func() { n++; g.Set(n) })
+	if got := render(t, r); !strings.Contains(got, "g 1\n") {
+		t.Fatalf("first scrape: %q", got)
+	}
+	if got := render(t, r); !strings.Contains(got, "g 2\n") {
+		t.Fatalf("second scrape: %q", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	db := DurationBuckets()
+	for i := 1; i < len(db); i++ {
+		if db[i] <= db[i-1] {
+			t.Fatal("DurationBuckets not ascending")
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mpq/internal/faultfs"
+	"mpq/internal/fleet"
+)
+
+// Pick-point telemetry: bounded per-dimension histograms of the
+// parameter points Pick/PickBatch actually served, keyed by plan-set
+// key (one template per key). This is the recording half of
+// workload-driven re-optimization (ROADMAP direction 2): a consumer
+// can re-center index split planes or leaf budgets on where traffic
+// concentrates, instead of treating the whole parameter box uniformly.
+//
+// The record path is atomic adds only (plus one RLock map lookup), and
+// a sampling knob bounds even that; persistence is explicitly
+// flush-driven (never on the pick path) through the fleet package's
+// fsync'd temp+rename write, so files are either a complete JSON
+// document or absent — a torn file from a crash mid-rename fails to
+// parse at boot and degrades to an empty histogram, never a crash.
+
+// TelemetryOptions configures a Telemetry recorder.
+type TelemetryOptions struct {
+	// Buckets is the per-dimension bucket count (default 32).
+	Buckets int
+	// SampleEvery records every Nth offered point (default 1 = every
+	// point) — the knob that keeps recording off the hot path under
+	// extreme pick rates.
+	SampleEvery int64
+	// FS is the filesystem persistence goes through (nil = the real
+	// one) — the fault-injection seam for crash tests.
+	FS faultfs.FS
+}
+
+// TelemetryStats is a snapshot of the recorder's counters.
+type TelemetryStats struct {
+	// Templates is the number of per-template histograms resident.
+	Templates int
+	// Offered counts points offered to Record; Recorded the sampled
+	// subset actually binned; OutOfRange the recorded points outside a
+	// histogram's box (clamped into the edge buckets).
+	Offered    int64
+	Recorded   int64
+	OutOfRange int64
+	// Flushes counts histogram files written; FlushErrors the failed
+	// writes. LoadErrors counts files that failed to parse at boot and
+	// were discarded (torn writes recover as empty histograms).
+	Flushes     int64
+	FlushErrors int64
+	LoadErrors  int64
+}
+
+// TemplateTelemetry is one template's per-dimension histogram.
+type TemplateTelemetry struct {
+	key     string
+	lo, hi  []float64
+	buckets int
+	counts  []atomic.Int64 // [dim*buckets + bucket]
+
+	recorded   atomic.Int64
+	outOfRange atomic.Int64
+	flushedAt  atomic.Int64 // recorded count at the last flush
+}
+
+// TelemetrySnapshot is the JSON document one template's histogram
+// persists to — and the read-side view Snapshot returns.
+type TelemetrySnapshot struct {
+	Version int       `json:"version"`
+	Key     string    `json:"key"`
+	Buckets int       `json:"buckets"`
+	Lo      []float64 `json:"lo"`
+	Hi      []float64 `json:"hi"`
+	// Counts[d][b] is the number of recorded points whose dimension d
+	// fell into bucket b of [Lo[d], Hi[d]].
+	Counts     [][]int64 `json:"counts"`
+	Recorded   int64     `json:"recorded"`
+	OutOfRange int64     `json:"out_of_range"`
+}
+
+const telemetrySuffix = ".telemetry.json"
+
+// Telemetry records pick-point distributions per plan-set key and
+// persists them as one JSON file per key under a directory. All
+// methods are safe for concurrent use; Record is designed for request
+// paths, Flush for shutdown and periodic background sweeps.
+type Telemetry struct {
+	dir         string
+	fs          faultfs.FS
+	buckets     int
+	sampleEvery int64
+
+	offered atomic.Int64
+
+	mu   sync.RWMutex
+	tmpl map[string]*TemplateTelemetry
+
+	statsMu                          sync.Mutex
+	flushes, flushErrors, loadErrors int64
+}
+
+// OpenTelemetry opens (creating if needed) a telemetry directory and
+// reloads every histogram persisted in it, so distributions survive
+// restarts. A file that fails to parse — a torn write from a crash, a
+// foreign file — is skipped and counted, never fatal.
+func OpenTelemetry(dir string, opts TelemetryOptions) (*Telemetry, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("obs: telemetry dir must not be empty")
+	}
+	if opts.Buckets <= 0 {
+		opts.Buckets = 32
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 1
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("obs: telemetry dir: %w", err)
+	}
+	t := &Telemetry{
+		dir:         dir,
+		fs:          fsys,
+		buckets:     opts.Buckets,
+		sampleEvery: opts.SampleEvery,
+		tmpl:        make(map[string]*TemplateTelemetry),
+	}
+	if err := t.loadAll(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// loadAll reloads every *.telemetry.json in the directory.
+func (t *Telemetry) loadAll() error {
+	names, err := os.ReadDir(t.dir)
+	if err != nil {
+		return fmt.Errorf("obs: scanning telemetry dir: %w", err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, telemetrySuffix) {
+			continue
+		}
+		h, ok := t.loadFile(filepath.Join(t.dir, name), strings.TrimSuffix(name, telemetrySuffix))
+		if !ok {
+			t.statsMu.Lock()
+			t.loadErrors++
+			t.statsMu.Unlock()
+			continue
+		}
+		t.tmpl[h.key] = h
+	}
+	return nil
+}
+
+// loadFile parses one persisted histogram; any defect (unreadable,
+// torn, key mismatch, inconsistent shape) is a recoverable miss.
+func (t *Telemetry) loadFile(path, key string) (*TemplateTelemetry, bool) {
+	raw, err := t.fs.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var doc TelemetrySnapshot
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, false
+	}
+	dim := len(doc.Lo)
+	if doc.Version != 1 || doc.Key != key || doc.Buckets <= 0 || dim == 0 ||
+		len(doc.Hi) != dim || len(doc.Counts) != dim || doc.Buckets != t.buckets {
+		return nil, false
+	}
+	h := newTemplateTelemetry(key, doc.Lo, doc.Hi, t.buckets)
+	for d, row := range doc.Counts {
+		if len(row) != doc.Buckets {
+			return nil, false
+		}
+		for b, n := range row {
+			h.counts[d*t.buckets+b].Store(n)
+		}
+	}
+	h.recorded.Store(doc.Recorded)
+	h.outOfRange.Store(doc.OutOfRange)
+	h.flushedAt.Store(doc.Recorded)
+	return h, true
+}
+
+func newTemplateTelemetry(key string, lo, hi []float64, buckets int) *TemplateTelemetry {
+	dim := len(lo)
+	h := &TemplateTelemetry{
+		key:     key,
+		lo:      append([]float64(nil), lo...),
+		hi:      append([]float64(nil), hi...),
+		buckets: buckets,
+		counts:  make([]atomic.Int64, dim*buckets),
+	}
+	return h
+}
+
+// Record offers one served pick point for key, whose plan set spans
+// the box [lo, hi]. Subject to the sampling knob, the point is binned
+// per dimension with atomic adds; the box is fixed by the key's first
+// Record (or its reloaded file), so reloaded distributions keep
+// accumulating consistently.
+func (t *Telemetry) Record(key string, lo, hi, x []float64) {
+	n := t.offered.Add(1)
+	if t.sampleEvery > 1 && n%t.sampleEvery != 0 {
+		return
+	}
+	if len(x) == 0 || len(lo) != len(x) || len(hi) != len(x) {
+		return
+	}
+	t.mu.RLock()
+	h := t.tmpl[key]
+	t.mu.RUnlock()
+	if h == nil {
+		t.mu.Lock()
+		if h = t.tmpl[key]; h == nil {
+			h = newTemplateTelemetry(key, lo, hi, t.buckets)
+			t.tmpl[key] = h
+		}
+		t.mu.Unlock()
+	}
+	if len(h.lo) != len(x) {
+		return // key collision across incompatible dimensions; drop
+	}
+	for d := range x {
+		span := h.hi[d] - h.lo[d]
+		b := 0
+		if span > 0 {
+			b = int(float64(h.buckets) * (x[d] - h.lo[d]) / span)
+		}
+		if b < 0 {
+			b = 0
+			h.outOfRange.Add(1)
+		} else if b >= h.buckets {
+			if x[d] > h.hi[d] {
+				h.outOfRange.Add(1)
+			}
+			b = h.buckets - 1
+		}
+		h.counts[d*h.buckets+b].Add(1)
+	}
+	h.recorded.Add(1)
+}
+
+// snapshot copies one histogram's current state.
+func (h *TemplateTelemetry) snapshot() TelemetrySnapshot {
+	dim := len(h.lo)
+	doc := TelemetrySnapshot{
+		Version:    1,
+		Key:        h.key,
+		Buckets:    h.buckets,
+		Lo:         append([]float64(nil), h.lo...),
+		Hi:         append([]float64(nil), h.hi...),
+		Counts:     make([][]int64, dim),
+		Recorded:   h.recorded.Load(),
+		OutOfRange: h.outOfRange.Load(),
+	}
+	for d := 0; d < dim; d++ {
+		row := make([]int64, h.buckets)
+		for b := 0; b < h.buckets; b++ {
+			row[b] = h.counts[d*h.buckets+b].Load()
+		}
+		doc.Counts[d] = row
+	}
+	return doc
+}
+
+// Snapshot returns the current histogram for a key.
+func (t *Telemetry) Snapshot(key string) (TelemetrySnapshot, bool) {
+	t.mu.RLock()
+	h := t.tmpl[key]
+	t.mu.RUnlock()
+	if h == nil {
+		return TelemetrySnapshot{}, false
+	}
+	return h.snapshot(), true
+}
+
+// Keys returns the resident template keys, sorted.
+func (t *Telemetry) Keys() []string {
+	t.mu.RLock()
+	out := make([]string, 0, len(t.tmpl))
+	for k := range t.tmpl {
+		out = append(out, k)
+	}
+	t.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Flush persists every histogram with records newer than its last
+// flush, through the fsync'd atomic temp+rename write. It returns the
+// first write error after attempting every dirty histogram.
+func (t *Telemetry) Flush() error {
+	t.mu.RLock()
+	dirty := make([]*TemplateTelemetry, 0, len(t.tmpl))
+	for _, h := range t.tmpl {
+		if h.recorded.Load() > h.flushedAt.Load() {
+			dirty = append(dirty, h)
+		}
+	}
+	t.mu.RUnlock()
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].key < dirty[j].key })
+	var first error
+	for _, h := range dirty {
+		doc := h.snapshot()
+		raw, err := json.MarshalIndent(doc, "", " ")
+		if err == nil {
+			err = fleet.WriteFileAtomicFS(t.fs, t.dir, filepath.Join(t.dir, h.key+telemetrySuffix), raw)
+		}
+		t.statsMu.Lock()
+		if err != nil {
+			t.flushErrors++
+			if first == nil {
+				first = fmt.Errorf("obs: flushing telemetry for %s: %w", h.key, err)
+			}
+		} else {
+			t.flushes++
+			h.flushedAt.Store(doc.Recorded)
+		}
+		t.statsMu.Unlock()
+	}
+	return first
+}
+
+// Stats returns a snapshot of the recorder's counters.
+func (t *Telemetry) Stats() TelemetryStats {
+	st := TelemetryStats{Offered: t.offered.Load()}
+	t.mu.RLock()
+	st.Templates = len(t.tmpl)
+	for _, h := range t.tmpl {
+		st.Recorded += h.recorded.Load()
+		st.OutOfRange += h.outOfRange.Load()
+	}
+	t.mu.RUnlock()
+	t.statsMu.Lock()
+	st.Flushes = t.flushes
+	st.FlushErrors = t.flushErrors
+	st.LoadErrors = t.loadErrors
+	t.statsMu.Unlock()
+	return st
+}
+
+// Dir returns the telemetry directory.
+func (t *Telemetry) Dir() string { return t.dir }

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpq/internal/faultfs"
+)
+
+func openTel(t *testing.T, dir string, opts TelemetryOptions) *Telemetry {
+	t.Helper()
+	tel, err := OpenTelemetry(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tel
+}
+
+func TestTelemetryRecordAndSnapshot(t *testing.T) {
+	tel := openTel(t, t.TempDir(), TelemetryOptions{Buckets: 4})
+	lo, hi := []float64{0, 0}, []float64{1, 10}
+	tel.Record("k", lo, hi, []float64{0.1, 1})  // buckets 0, 0
+	tel.Record("k", lo, hi, []float64{0.6, 9})  // buckets 2, 3
+	tel.Record("k", lo, hi, []float64{0.99, 5}) // buckets 3, 2
+
+	snap, ok := tel.Snapshot("k")
+	if !ok {
+		t.Fatal("Snapshot miss for a recorded key")
+	}
+	if snap.Recorded != 3 || snap.OutOfRange != 0 {
+		t.Fatalf("recorded=%d outOfRange=%d", snap.Recorded, snap.OutOfRange)
+	}
+	wantD0 := []int64{1, 0, 1, 1}
+	wantD1 := []int64{1, 0, 1, 1}
+	for b := range wantD0 {
+		if snap.Counts[0][b] != wantD0[b] || snap.Counts[1][b] != wantD1[b] {
+			t.Fatalf("counts = %v, want [%v %v]", snap.Counts, wantD0, wantD1)
+		}
+	}
+	if got := tel.Keys(); len(got) != 1 || got[0] != "k" {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestTelemetryOutOfRangeClampsToEdges(t *testing.T) {
+	tel := openTel(t, t.TempDir(), TelemetryOptions{Buckets: 4})
+	lo, hi := []float64{0}, []float64{1}
+	tel.Record("k", lo, hi, []float64{-5})
+	tel.Record("k", lo, hi, []float64{7})
+	tel.Record("k", lo, hi, []float64{1}) // exactly hi: top bucket, in range
+	snap, _ := tel.Snapshot("k")
+	if snap.Counts[0][0] != 1 || snap.Counts[0][3] != 2 {
+		t.Fatalf("counts = %v", snap.Counts)
+	}
+	if snap.OutOfRange != 2 {
+		t.Fatalf("OutOfRange = %d, want 2", snap.OutOfRange)
+	}
+	st := tel.Stats()
+	if st.Offered != 3 || st.Recorded != 3 || st.OutOfRange != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTelemetrySampling(t *testing.T) {
+	tel := openTel(t, t.TempDir(), TelemetryOptions{Buckets: 4, SampleEvery: 10})
+	lo, hi := []float64{0}, []float64{1}
+	for i := 0; i < 100; i++ {
+		tel.Record("k", lo, hi, []float64{0.5})
+	}
+	st := tel.Stats()
+	if st.Offered != 100 {
+		t.Fatalf("Offered = %d", st.Offered)
+	}
+	if st.Recorded != 10 {
+		t.Fatalf("Recorded = %d, want exactly every 10th of 100", st.Recorded)
+	}
+}
+
+func TestTelemetryFlushReloadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tel := openTel(t, dir, TelemetryOptions{Buckets: 8})
+	lo, hi := []float64{0, -1}, []float64{2, 1}
+	for i := 0; i < 50; i++ {
+		tel.Record("tmpl-a", lo, hi, []float64{float64(i%8) / 4, 0})
+	}
+	tel.Record("tmpl-b", []float64{0}, []float64{1}, []float64{0.5})
+	if err := tel.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tel.Snapshot("tmpl-a")
+
+	// Idempotent: a second flush with nothing new writes nothing.
+	if err := tel.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := tel.Stats(); st.Flushes != 2 {
+		t.Fatalf("Flushes = %d, want 2 (one per dirty histogram)", st.Flushes)
+	}
+
+	re := openTel(t, dir, TelemetryOptions{Buckets: 8})
+	if got := re.Keys(); len(got) != 2 || got[0] != "tmpl-a" || got[1] != "tmpl-b" {
+		t.Fatalf("reloaded keys = %v", got)
+	}
+	got, ok := re.Snapshot("tmpl-a")
+	if !ok {
+		t.Fatal("reload lost tmpl-a")
+	}
+	if got.Recorded != want.Recorded || got.OutOfRange != want.OutOfRange {
+		t.Fatalf("reloaded recorded=%d want %d", got.Recorded, want.Recorded)
+	}
+	for d := range want.Counts {
+		for b := range want.Counts[d] {
+			if got.Counts[d][b] != want.Counts[d][b] {
+				t.Fatalf("reloaded counts[%d][%d] = %d, want %d", d, b, got.Counts[d][b], want.Counts[d][b])
+			}
+		}
+	}
+	// Reloaded histograms keep accumulating against the persisted box.
+	re.Record("tmpl-a", lo, hi, []float64{0, 0})
+	snap, _ := re.Snapshot("tmpl-a")
+	if snap.Recorded != want.Recorded+1 {
+		t.Fatalf("post-reload Record did not accumulate: %d", snap.Recorded)
+	}
+}
+
+func TestTelemetryTornFileRecoversEmpty(t *testing.T) {
+	dir := t.TempDir()
+	for name, raw := range map[string][]byte{
+		"torn" + telemetrySuffix:     []byte(`{"version":1,"key":"torn","bucke`),
+		"badkey" + telemetrySuffix:   []byte(`{"version":1,"key":"other","buckets":4,"lo":[0],"hi":[1],"counts":[[1,2,3,4]]}`),
+		"badshape" + telemetrySuffix: []byte(`{"version":1,"key":"badshape","buckets":4,"lo":[0],"hi":[1],"counts":[[1,2]]}`),
+		"badver" + telemetrySuffix:   []byte(`{"version":9,"key":"badver","buckets":4,"lo":[0],"hi":[1],"counts":[[1,2,3,4]]}`),
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tel := openTel(t, dir, TelemetryOptions{Buckets: 4})
+	if got := tel.Keys(); len(got) != 0 {
+		t.Fatalf("defective files loaded as %v", got)
+	}
+	if st := tel.Stats(); st.LoadErrors != 4 {
+		t.Fatalf("LoadErrors = %d, want 4", st.LoadErrors)
+	}
+	// The keys are usable again from scratch.
+	tel.Record("torn", []float64{0}, []float64{1}, []float64{0.5})
+	if snap, ok := tel.Snapshot("torn"); !ok || snap.Recorded != 1 {
+		t.Fatalf("post-recovery Record failed: ok=%v snap=%+v", ok, snap)
+	}
+}
+
+// TestTelemetryCrashRestartProperty kills the flush at every mutation
+// cut point and verifies a restarted reader observes the previous
+// generation intact, the new generation intact, or an empty histogram —
+// never torn counts, and never a boot failure.
+func TestTelemetryCrashRestartProperty(t *testing.T) {
+	const key = "k"
+	lo, hi := []float64{0}, []float64{1}
+	record := func(tel *Telemetry, n int) {
+		for i := 0; i < n; i++ {
+			tel.Record(key, lo, hi, []float64{0.25})
+		}
+	}
+
+	// Clean pass: count the mutation cut points of one second-generation
+	// flush (first generation already on disk).
+	counter := faultfs.NewInjector(nil, faultfs.Config{Seed: 1})
+	{
+		tel := openTel(t, t.TempDir(), TelemetryOptions{Buckets: 4, FS: counter})
+		record(tel, 1)
+		if err := tel.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := counter.Mutations()
+	{
+		tel := openTel(t, t.TempDir(), TelemetryOptions{Buckets: 4, FS: counter})
+		record(tel, 1)
+		if err := tel.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cuts := counter.Mutations() - before
+	if cuts < 3 {
+		t.Fatalf("one flush performed only %d mutations — is it still going through the atomic write?", cuts)
+	}
+	t.Logf("one flush = %d mutation cut points", cuts)
+
+	for cut := 1; cut <= cuts; cut++ {
+		dir := t.TempDir()
+
+		// Generation 1 lands cleanly: 1 recorded point.
+		clean := openTel(t, dir, TelemetryOptions{Buckets: 4})
+		record(clean, 1)
+		if err := clean.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Generation 2 (3 recorded points) crashes mid-flush.
+		inj := faultfs.NewInjector(nil, faultfs.Config{Seed: 1})
+		inj.CrashAfterMutations(cut)
+		crashy := openTel(t, dir, TelemetryOptions{Buckets: 4, FS: inj})
+		record(crashy, 2) // on top of the reloaded 1 → recorded=3
+		if err := crashy.Flush(); err == nil {
+			t.Fatalf("cut %d: flush survived its own crash", cut)
+		} else if !errors.Is(err, faultfs.ErrCrashed) {
+			t.Fatalf("cut %d: flush error = %v, want ErrCrashed", cut, err)
+		}
+
+		// A restarted process must boot and see a consistent world.
+		re, err := OpenTelemetry(dir, TelemetryOptions{Buckets: 4})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		snap, ok := re.Snapshot(key)
+		switch {
+		case !ok:
+			// Acceptable only if the file degraded to a load error, not a
+			// silent disappearance of a healthy file.
+			if st := re.Stats(); st.LoadErrors == 0 {
+				t.Errorf("cut %d: histogram silently missing after a clean generation-1 flush", cut)
+			}
+		case snap.Recorded != 1 && snap.Recorded != 3:
+			t.Errorf("cut %d: torn generation: recorded = %d, want 1 or 3", cut, snap.Recorded)
+		default:
+			if snap.Counts[0][1] != snap.Recorded {
+				t.Errorf("cut %d: counts %v inconsistent with recorded %d", cut, snap.Counts, snap.Recorded)
+			}
+		}
+
+		// Self-heal: a real-filesystem record+flush succeeds and reloads.
+		record(re, 1)
+		if err := re.Flush(); err != nil {
+			t.Errorf("cut %d: healing flush failed: %v", cut, err)
+			continue
+		}
+		re2 := openTel(t, dir, TelemetryOptions{Buckets: 4})
+		if _, ok := re2.Snapshot(key); !ok {
+			t.Errorf("cut %d: post-heal reload lost the histogram", cut)
+		}
+	}
+}
+
+func TestTelemetryFlushErrorIsCountedAndRetried(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(nil, faultfs.Config{Seed: 1})
+	inj.CrashAfterMutations(1)
+	tel := openTel(t, dir, TelemetryOptions{Buckets: 4, FS: inj})
+	tel.Record("k", []float64{0}, []float64{1}, []float64{0.5})
+	if err := tel.Flush(); err == nil {
+		t.Fatal("flush through a crashed fs succeeded")
+	}
+	st := tel.Stats()
+	if st.FlushErrors != 1 || st.Flushes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The histogram stays dirty: once the fs heals, Flush retries it.
+	// (Re-arming far in the future clears the crashed latch.)
+	inj.CrashAfterMutations(1 << 20)
+	if err := tel.Flush(); err != nil {
+		t.Fatalf("healed flush: %v", err)
+	}
+	if st := tel.Stats(); st.Flushes != 1 {
+		t.Fatalf("healed stats = %+v", st)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"mpq/internal/fleet"
 	"mpq/internal/geometry"
 	"mpq/internal/index"
+	"mpq/internal/obs"
 	"mpq/internal/pwl"
 	"mpq/internal/region"
 	"mpq/internal/selection"
@@ -143,6 +144,20 @@ type Options struct {
 	// I/O-error tests. The shared store carries its own (see
 	// fleet.NewDirStoreFS).
 	FS faultfs.FS
+	// Trace, when non-nil, records every Prepare flight that reaches the
+	// load-or-optimize pipeline into the ring: per-phase timings
+	// (admission wait, queue wait, source lookup, optimize, index build,
+	// save) plus the document's source. Instrumented rings additionally
+	// feed per-phase latency histograms (see obs.TraceRing.Instrument).
+	// Nil disables tracing — the hot path pays one nil check.
+	Trace *obs.TraceRing
+	// Telemetry, when non-nil, records the parameter points Pick and
+	// PickBatch actually serve, per plan-set key, into bounded
+	// per-dimension histograms (the recording half of workload-driven
+	// re-optimization). Recording is atomic adds behind a sampling knob;
+	// persistence happens only on Telemetry.Flush, never on the pick
+	// path. Nil disables recording.
+	Telemetry *obs.Telemetry
 }
 
 // Template describes a query template to prepare: either an explicit
@@ -378,6 +393,10 @@ type entry struct {
 	candidates []selection.Candidate
 	idx        *index.Index
 	leafCands  [][]selection.Candidate
+	// telLo/telHi is the parameter-space bounding box pick-point
+	// telemetry bins against, computed once at entry construction (only
+	// when telemetry is enabled); nil when the space is unbounded.
+	telLo, telHi []float64
 }
 
 // footprint is the bytes the memory-accounted cache charges for the
@@ -832,19 +851,25 @@ func (s *Server) noteCtxFailure(err error) {
 // whose context fires while queued (admission FIFO or request queue)
 // gives up its place without leaking the slot.
 func (s *Server) runPrepare(ctx context.Context, key string, schema *catalog.Schema, cloudCfg cloud.Config, epsilon float64) (PrepareResult, error) {
+	tr := s.opts.Trace.Start("prepare", key)
 	release, err := s.admission.Acquire(ctx)
 	if err != nil {
+		tr.Finish(err)
 		return PrepareResult{}, err
 	}
+	tr.Phase("admission_wait")
 	defer release()
 	var res PrepareResult
 	var jerr error
 	err = s.run(ctx, func(w *worker) {
-		res, jerr = s.prepareOn(ctx, w, key, schema, cloudCfg, epsilon)
+		tr.Phase("queue_wait")
+		res, jerr = s.prepareOn(ctx, w, key, schema, cloudCfg, epsilon, tr)
 	})
 	if err != nil {
+		tr.Finish(err)
 		return PrepareResult{}, err
 	}
+	tr.Finish(jerr)
 	return res, jerr
 }
 
@@ -892,6 +917,19 @@ const (
 	sourceShared               // Options.Shared store
 	sourcePeer                 // Options.Peers fetch
 )
+
+// name labels the source for trace events.
+func (src entrySource) name() string {
+	switch src {
+	case sourceDisk:
+		return "disk"
+	case sourceShared:
+		return "shared"
+	case sourcePeer:
+		return "peer"
+	}
+	return "computed"
+}
 
 // validKey reports whether key has the exact shape planSetKey
 // produces: 32 lowercase hex digits. Every file- or URL-backed lookup
@@ -974,8 +1012,11 @@ func (s *Server) publishShared(key string, doc []byte) {
 // Save through the store format, persist (Dir and shared store) and
 // cache the deserialized set. Picks therefore serve exactly the bytes
 // a separate run-time process would load, wherever they came from.
-func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config, epsilon float64) (PrepareResult, error) {
-	if e, src, ok := s.loadFromSources(ctx, w, key, &epsilon); ok {
+func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config, epsilon float64, tr *obs.PrepareTrace) (PrepareResult, error) {
+	e, src, ok := s.loadFromSources(ctx, w, key, &epsilon)
+	tr.Phase("lookup")
+	if ok {
+		tr.SetSource(src.name())
 		s.insert(key, e, src)
 		return PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}, nil
 	}
@@ -998,6 +1039,7 @@ func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *c
 		opts.Donor = (*serverDonor)(s)
 	}
 	result, err := core.OptimizeCtx(ctx, schema, model, opts)
+	tr.Phase("optimize")
 	if err != nil {
 		return PrepareResult{}, err
 	}
@@ -1009,6 +1051,7 @@ func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *c
 	var ix *index.Index
 	if s.opts.Index {
 		ix = s.buildIndex(w, model.Space(), result.Plans)
+		tr.Phase("index_build")
 	}
 
 	// Failures past this point are server-side (serialization,
@@ -1024,11 +1067,12 @@ func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *c
 		}
 	}
 	s.publishShared(key, buf.Bytes())
-	e, err := s.newEntry(buf.Bytes(), w)
+	e, err = s.newEntry(buf.Bytes(), w)
 	if err != nil {
 		return PrepareResult{}, fmt.Errorf("%w: reloading saved plan set: %v", ErrInternal, err)
 	}
 	s.insert(key, e, sourceComputed)
+	tr.Phase("save")
 	return PrepareResult{
 		Key:      key,
 		NumPlans: len(e.set.Plans),
@@ -1153,7 +1197,26 @@ func (s *Server) newEntry(doc []byte, w *worker) (*entry, error) {
 			e.leafCands = e.idx.LeafCandidates(cands)
 		}
 	}
+	if s.opts.Telemetry != nil {
+		// Telemetry bins pick points against the parameter space's
+		// bounding box; computed once here, off the pick path. An
+		// unbounded space leaves the box nil (recording disabled for the
+		// entry).
+		if lo, hi, ok := w.solver.BoundingBox(set.Space); ok {
+			e.telLo, e.telHi = lo, hi
+		}
+	}
 	return e, nil
+}
+
+// recordPickPoint offers one served pick point to the telemetry
+// recorder. Nil telemetry or an unbounded parameter box makes it a
+// no-op.
+func (s *Server) recordPickPoint(key string, e *entry, x geometry.Vector) {
+	if s.opts.Telemetry == nil || e.telLo == nil {
+		return
+	}
+	s.opts.Telemetry.Record(key, e.telLo, e.telHi, x)
 }
 
 // insert publishes an entry into the memory-accounted cache (the
@@ -1325,6 +1388,9 @@ func (s *Server) pickBatchOn(ctx context.Context, w *worker, req PickBatchReques
 	s.stats.Index.BatchRequests++
 	s.stats.Index.BatchPoints += int64(len(req.Points))
 	s.mu.Unlock()
+	for _, x := range req.Points {
+		s.recordPickPoint(req.Key, e, x)
+	}
 	return PickBatchResult{Metrics: e.set.Metrics, Choices: choices}, nil
 }
 
@@ -1357,6 +1423,7 @@ func (s *Server) pickOn(ctx context.Context, w *worker, req PickRequest) (PickRe
 		s.stats.Index.FallbackPicks++
 	}
 	s.mu.Unlock()
+	s.recordPickPoint(req.Key, e, req.Point)
 	return PickResult{Metrics: e.set.Metrics, Choices: choices}, nil
 }
 
