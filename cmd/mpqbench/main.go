@@ -12,6 +12,7 @@
 //	mpqbench -experiment figure12 -parallel clique:1:6,star:1:8
 //	mpqbench -experiment figure12 -picks clique:2:6 [-pick-points 256]
 //	mpqbench -experiment figure12 -epsilon 0,0.01,0.1 -epsilon-specs chain:1:8,star:1:7
+//	mpqbench -experiment figure12 -anytime 0.5,0.1 -anytime-specs chain:1:8
 //	mpqbench -experiment figure12 -cpuprofile cpu.out -memprofile mem.out
 //	mpqbench -experiment pqblowup
 //	mpqbench -experiment ablation [-tables 6]
@@ -28,6 +29,14 @@
 // the exact frontier at random points, and the plan-set and LP savings
 // are reported (epsilon_cases). Under -baseline, ε = 0 rows gate on
 // exact counts and ε > 0 rows gate on the certified regret contract.
+//
+// -anytime walks the refinement ladder an anytime server (mpqserve
+// -refine-ladder) walks over the -anytime-specs plan sets: each
+// generation — coarsest first, down to the implicit exact ε = 0 step —
+// is prepared and timed, and its regret is certified against the final
+// exact generation (anytime_cases). Under -baseline, coarse rows gate
+// on the per-step (1+ε) regret contract and the final exact row gates
+// on exact counts, like the epsilon rows.
 //
 // With -baseline, the run is additionally diffed against the given
 // snapshot (the CI regression gate): plan-count or LP-count drift
@@ -81,6 +90,9 @@ func main() {
 		epsilons   = flag.String("epsilon", "", "comma-separated ε approximation factors (e.g. 0,0.01,0.1): certify regret and measure plan/LP savings per -epsilon-specs plan set (epsilon_cases)")
 		epsSpecs   = flag.String("epsilon-specs", "", "ε-experiment specs shape:params:tables[,...] (default: chain:1:8,star:1:7 when -epsilon is set)")
 		epsPoints  = flag.Int("epsilon-points", 0, "random certification points per -epsilon plan set (0 = 256)")
+		anytime    = flag.String("anytime", "", "descending refinement ladder (e.g. 0.5,0.1): walk each -anytime-specs plan set coarse-to-exact, certify per-step regret and measure per-step prepare cost (anytime_cases)")
+		anySpecs   = flag.String("anytime-specs", "", "anytime-experiment specs shape:params:tables[,...] (default: chain:1:8,star:1:7 when -anytime is set)")
+		anyPoints  = flag.Int("anytime-points", 0, "random certification points per -anytime plan set (0 = 256)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after final GC) to this file")
 		maxChain1  = flag.Int("max-chain-1p", 12, "max tables for chain, 1 parameter")
@@ -107,6 +119,7 @@ func main() {
 			picks:    *picks, pickPoints: *pickPoints,
 			fleet: *fleetSpec, fleetServers: *fleetSrv, fleetPoints: *fleetPts,
 			epsilons: *epsilons, epsilonSpecs: *epsSpecs, epsilonPoints: *epsPoints,
+			anytime: *anytime, anytimeSpecs: *anySpecs, anytimePoints: *anyPoints,
 			maxChain1: *maxChain1, maxStar1: *maxStar1,
 			maxChain2: *maxChain2, maxStar2: *maxStar2,
 			baseline: *baseline,
@@ -182,6 +195,8 @@ type figure12Config struct {
 	fleetServers, fleetPoints                int
 	epsilons, epsilonSpecs                   string
 	epsilonPoints                            int
+	anytime, anytimeSpecs                    string
+	anytimePoints                            int
 	maxChain1, maxStar1, maxChain2, maxStar2 int
 	baseline                                 string
 	compare                                  bench.CompareOptions
@@ -330,6 +345,11 @@ func runFigure12(cfg figure12Config) bool {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(2)
 	}
+	ladder, anytimeSpecs, err := parseAnytimeFlags(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(2)
+	}
 	var series []*bench.Series
 	start := time.Now()
 	for _, c := range curves {
@@ -355,6 +375,7 @@ func runFigure12(cfg figure12Config) bool {
 	rep.PickCases = runPickSpecs(cfg, pickSpecs)
 	rep.FleetCases = runFleetSpecs(cfg, fleetSpecs)
 	rep.EpsilonCases = runEpsilonSpecs(cfg, epsilonSpecs, epsList)
+	rep.AnytimeCases = runAnytimeSpecs(cfg, anytimeSpecs, ladder)
 	fmt.Fprintf(os.Stderr, "total experiment time: %v\n", time.Since(start))
 	switch {
 	case cfg.json:
@@ -400,6 +421,60 @@ func parseEpsilonFlags(cfg figure12Config) ([]float64, []curve, error) {
 		return nil, nil, err
 	}
 	return eps, specs, nil
+}
+
+// parseAnytimeFlags expands -anytime and -anytime-specs. An empty
+// -anytime disables the experiment. The ladder itself is validated by
+// bench.RunAnytime (descending, [0, 1), final exact step appended).
+func parseAnytimeFlags(cfg figure12Config) ([]float64, []curve, error) {
+	if cfg.anytime == "" {
+		if cfg.anytimeSpecs != "" {
+			return nil, nil, fmt.Errorf("-anytime-specs requires -anytime")
+		}
+		return nil, nil, nil
+	}
+	var ladder []float64
+	for _, item := range strings.Split(cfg.anytime, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(item), 64)
+		if err != nil || v < 0 || v >= 1 {
+			return nil, nil, fmt.Errorf("invalid -anytime entry %q (want a float in [0, 1))", item)
+		}
+		ladder = append(ladder, v)
+	}
+	specStr := cfg.anytimeSpecs
+	if specStr == "" {
+		specStr = "chain:1:8,star:1:7"
+	}
+	specs, err := parseSpecList(specStr, "-anytime-specs")
+	if err != nil {
+		return nil, nil, err
+	}
+	return ladder, specs, nil
+}
+
+// runAnytimeSpecs executes the -anytime experiment: walk the
+// refinement ladder coarse-to-exact per spec, certifying each
+// generation's regret against the final exact one and measuring what
+// each step costs to prepare.
+func runAnytimeSpecs(cfg figure12Config, specs []curve, ladder []float64) []bench.JSONCase {
+	if len(specs) == 0 || len(ladder) == 0 {
+		return nil
+	}
+	acfg := bench.AnytimeConfig{
+		Ladder:   ladder,
+		Points:   cfg.anytimePoints,
+		Seed:     cfg.seed,
+		Progress: os.Stderr,
+	}
+	for _, c := range specs {
+		acfg.Specs = append(acfg.Specs, bench.PickSpec{Shape: c.shape, Params: c.params, Tables: c.max})
+	}
+	ms, err := bench.RunAnytime(acfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	return bench.AnytimeMeasurementCases(ms)
 }
 
 // runEpsilonSpecs executes the -epsilon experiment: certify each

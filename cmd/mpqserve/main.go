@@ -30,7 +30,8 @@
 // points across restarts (flushed every -telemetry-flush and on
 // shutdown; -telemetry-sample thins the stream for extreme pick
 // rates). -log writes a JSON-lines access log to stderr: op, template
-// key, status, latency, and the deadline outcome per request.
+// key, status, latency, the answering generation's epsilon/generation
+// (anytime servers), and the deadline outcome per request.
 //
 // The stdin protocol wraps the same bodies with an "op" field:
 //
@@ -59,10 +60,21 @@
 // space) in exchange for smaller plan sets and cheaper optimization.
 // A request's "epsilon" field overrides the default per template; the
 // factor is part of the plan-set key, so exact and approximate tiers
-// of the same template coexist in one cache, store, and fleet. On
-// SIGINT or SIGTERM the server shuts down gracefully: the HTTP listener drains
-// in-flight requests (up to -drain), the request queue is drained, and
-// the shared store is flushed.
+// of the same template coexist in one cache, store, and fleet.
+//
+// -refine-ladder enables anytime Prepares: a deadline-bounded Prepare
+// of a cold template (deadline_ms or -prepare-deadline) computes the
+// ladder's coarsest ε step within the deadline and refines to the
+// template's final factor in the background, each finished generation
+// atomically replacing the previous one. Prepare, pick, and pickbatch
+// responses carry "epsilon", "generation", and "final" so clients see
+// which generation answered; the access log and /debug/traces carry
+// the same fields. See DESIGN.md, "Anytime Prepare & generation
+// refinement".
+//
+// On SIGINT or SIGTERM the server shuts down gracefully: the HTTP listener drains
+// in-flight requests (up to -drain), background refinement is aborted,
+// the request queue is drained, and the shared store is flushed.
 package main
 
 import (
@@ -84,6 +96,7 @@ import (
 	"mpq/internal/core"
 	"mpq/internal/fleet"
 	"mpq/internal/obs"
+	"mpq/internal/refine"
 	"mpq/internal/selection"
 	"mpq/internal/serve"
 	"mpq/internal/workload"
@@ -104,6 +117,7 @@ func main() {
 		donate     = flag.Bool("donate", true, "donate idle pool workers to in-flight Prepares' split jobs")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
 		epsilon    = flag.Float64("epsilon", 0, "default ε approximation factor for Prepares (0 = exact Pareto sets; a request's \"epsilon\" field overrides)")
+		ladderSpec = flag.String("refine-ladder", "", "comma-separated descending ε ladder (e.g. 0.5,0.1) enabling anytime Prepares: deadline-bounded Prepares return the coarsest step and refine in the background (empty disables)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug endpoints on a separate ops listener (empty = same mux as the HTTP API)")
 		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof profiling handlers on the metrics mux")
@@ -120,6 +134,11 @@ func main() {
 	if *epsilon < 0 || *epsilon >= 1 {
 		log.Fatalf("-epsilon %v out of range [0, 1)", *epsilon)
 	}
+	// The lifecycle context: background refinement inherits it, so
+	// SIGINT/SIGTERM aborts in-flight refinement before Close drains.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := serve.Options{
 		Workers: *workers, QueueDepth: *queue, Dir: *dir, Index: *useIdx,
 		CacheBytes:            *cacheBytes,
@@ -142,6 +161,14 @@ func main() {
 	}
 	if *peers != "" {
 		opts.Peers = fleet.NewPeerClient(strings.Split(*peers, ","), 0)
+	}
+	if *ladderSpec != "" {
+		ladder, err := refine.ParseLadder(*ladderSpec)
+		if err != nil {
+			log.Fatalf("-refine-ladder: %v", err)
+		}
+		opts.RefineLadder = ladder
+		opts.BaseContext = ctx
 	}
 
 	if *logReqs {
@@ -171,12 +198,9 @@ func main() {
 			}
 		}()
 	}
-	// Close drains the request queue and flushes the shared store; it
-	// runs on every exit path below.
+	// Close aborts background refinement, drains the request queue and
+	// flushes the shared store; it runs on every exit path below.
 	defer s.Close()
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	if ob.tel != nil {
 		go flushLoop(ctx, ob.tel, *telFlush)
@@ -253,6 +277,14 @@ type prepareRespJS struct {
 	Plans      int     `json:"plans"`
 	Cached     bool    `json:"cached"`
 	DurationMs float64 `json:"duration_ms"`
+	// Epsilon is the approximation factor of the generation this answer
+	// describes; Generation its index in the template's refinement
+	// ladder, and Final whether it is the template's resolved factor
+	// (always true without -refine-ladder). A non-final answer refines
+	// in the background under the same key.
+	Epsilon    float64 `json:"epsilon"`
+	Generation int     `json:"generation"`
+	Final      bool    `json:"final"`
 }
 
 type boundJS struct {
@@ -290,11 +322,21 @@ type choiceJS struct {
 type pickRespJS struct {
 	Metrics []string   `json:"metrics"`
 	Choices []choiceJS `json:"choices"`
+	// Epsilon/Generation/Final describe the generation that answered;
+	// see prepareRespJS.
+	Epsilon    float64 `json:"epsilon"`
+	Generation int     `json:"generation"`
+	Final      bool    `json:"final"`
 }
 
 type pickBatchRespJS struct {
 	Metrics []string     `json:"metrics"`
 	Choices [][]choiceJS `json:"choices"`
+	// Epsilon/Generation/Final describe the generation that answered
+	// the whole batch (a batch never straddles a refinement swap).
+	Epsilon    float64 `json:"epsilon"`
+	Generation int     `json:"generation"`
+	Final      bool    `json:"final"`
 }
 
 type errorJS struct {
@@ -374,6 +416,9 @@ func doPrepare(ctx context.Context, s *serve.Server, body prepareReqJS) (prepare
 		Plans:      res.NumPlans,
 		Cached:     res.Cached,
 		DurationMs: float64(res.Duration.Microseconds()) / 1000,
+		Epsilon:    res.Epsilon,
+		Generation: res.Generation,
+		Final:      res.Final,
 	}, nil
 }
 
@@ -384,7 +429,10 @@ func doPick(ctx context.Context, s *serve.Server, body pickReqJS) (pickRespJS, e
 	if err != nil {
 		return pickRespJS{}, err
 	}
-	out := pickRespJS{Metrics: res.Metrics, Choices: choicesJS(res.Choices)}
+	out := pickRespJS{
+		Metrics: res.Metrics, Choices: choicesJS(res.Choices),
+		Epsilon: res.Epsilon, Generation: res.Generation, Final: res.Final,
+	}
 	return out, nil
 }
 
@@ -413,7 +461,10 @@ func doPickBatch(ctx context.Context, s *serve.Server, body pickBatchReqJS) (pic
 	if err != nil {
 		return pickBatchRespJS{}, err
 	}
-	out := pickBatchRespJS{Metrics: res.Metrics, Choices: [][]choiceJS{}}
+	out := pickBatchRespJS{
+		Metrics: res.Metrics, Choices: [][]choiceJS{},
+		Epsilon: res.Epsilon, Generation: res.Generation, Final: res.Final,
+	}
 	for _, cs := range res.Choices {
 		out.Choices = append(out.Choices, choicesJS(cs))
 	}
@@ -439,51 +490,51 @@ func newMux(s *serve.Server) *http.ServeMux {
 		var body prepareReqJS
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 			writeError(w, http.StatusBadRequest, err)
-			accessLog.record("http", "prepare", "", http.StatusBadRequest, start, err)
+			accessLog.record("http", "prepare", "", http.StatusBadRequest, start, err, nil)
 			return
 		}
 		resp, err := doPrepare(r.Context(), s, body)
 		if err != nil {
 			writeError(w, statusOf(err), err)
-			accessLog.record("http", "prepare", "", statusOf(err), start, err)
+			accessLog.record("http", "prepare", "", statusOf(err), start, err, nil)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
-		accessLog.record("http", "prepare", resp.Key, http.StatusOK, start, nil)
+		accessLog.record("http", "prepare", resp.Key, http.StatusOK, start, nil, &genInfo{resp.Epsilon, resp.Generation})
 	})
 	mux.HandleFunc("POST /pick", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		var body pickReqJS
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 			writeError(w, http.StatusBadRequest, err)
-			accessLog.record("http", "pick", "", http.StatusBadRequest, start, err)
+			accessLog.record("http", "pick", "", http.StatusBadRequest, start, err, nil)
 			return
 		}
 		resp, err := doPick(r.Context(), s, body)
 		if err != nil {
 			writeError(w, statusOf(err), err)
-			accessLog.record("http", "pick", body.Key, statusOf(err), start, err)
+			accessLog.record("http", "pick", body.Key, statusOf(err), start, err, nil)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
-		accessLog.record("http", "pick", body.Key, http.StatusOK, start, nil)
+		accessLog.record("http", "pick", body.Key, http.StatusOK, start, nil, &genInfo{resp.Epsilon, resp.Generation})
 	})
 	mux.HandleFunc("POST /pickbatch", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		var body pickBatchReqJS
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 			writeError(w, http.StatusBadRequest, err)
-			accessLog.record("http", "pickbatch", "", http.StatusBadRequest, start, err)
+			accessLog.record("http", "pickbatch", "", http.StatusBadRequest, start, err, nil)
 			return
 		}
 		resp, err := doPickBatch(r.Context(), s, body)
 		if err != nil {
 			writeError(w, statusOf(err), err)
-			accessLog.record("http", "pickbatch", body.Key, statusOf(err), start, err)
+			accessLog.record("http", "pickbatch", body.Key, statusOf(err), start, err, nil)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
-		accessLog.record("http", "pickbatch", body.Key, http.StatusOK, start, nil)
+		accessLog.record("http", "pickbatch", body.Key, http.StatusOK, start, nil, &genInfo{resp.Epsilon, resp.Generation})
 	})
 	mux.HandleFunc("GET /planset/{key}", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -495,7 +546,7 @@ func newMux(s *serve.Server) *http.ServeMux {
 		doc, err := s.Document(key)
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
-			accessLog.record("http", "planset", key, http.StatusNotFound, start, err)
+			accessLog.record("http", "planset", key, http.StatusNotFound, start, err, nil)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -504,7 +555,7 @@ func newMux(s *serve.Server) *http.ServeMux {
 		w.Header().Set(fleet.DocHashHeader, fleet.ContentHash(doc))
 		w.WriteHeader(http.StatusOK)
 		w.Write(doc)
-		accessLog.record("http", "planset", key, http.StatusOK, start, nil)
+		accessLog.record("http", "planset", key, http.StatusOK, start, nil, nil)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -670,19 +721,20 @@ func runStdin(ctx context.Context, s *serve.Server, in io.Reader, out io.Writer)
 func handleLine(ctx context.Context, s *serve.Server, enc *json.Encoder, line stdinLine) error {
 	start := time.Now()
 	if line.tooLong {
-		accessLog.record("stdin", "", "", http.StatusBadRequest, start, errors.New("line too long"))
+		accessLog.record("stdin", "", "", http.StatusBadRequest, start, errors.New("line too long"), nil)
 		return enc.Encode(errorJS{Error: fmt.Sprintf("line exceeds %d bytes", stdinMaxLine)})
 	}
 	var op struct {
 		Op string `json:"op"`
 	}
 	if err := json.Unmarshal(line.data, &op); err != nil {
-		accessLog.record("stdin", "", "", http.StatusBadRequest, start, err)
+		accessLog.record("stdin", "", "", http.StatusBadRequest, start, err, nil)
 		return enc.Encode(errorJS{Error: err.Error()})
 	}
 	var resp any
 	var err error
 	var key string
+	var gen *genInfo
 	switch op.Op {
 	case "prepare":
 		var body prepareReqJS
@@ -690,19 +742,28 @@ func handleLine(ctx context.Context, s *serve.Server, enc *json.Encoder, line st
 			var r prepareRespJS
 			if r, err = doPrepare(ctx, s, body); err == nil {
 				key, resp = r.Key, r
+				gen = &genInfo{r.Epsilon, r.Generation}
 			}
 		}
 	case "pick":
 		var body pickReqJS
 		if err = json.Unmarshal(line.data, &body); err == nil {
 			key = body.Key
-			resp, err = doPick(ctx, s, body)
+			var r pickRespJS
+			if r, err = doPick(ctx, s, body); err == nil {
+				resp = r
+				gen = &genInfo{r.Epsilon, r.Generation}
+			}
 		}
 	case "pickbatch":
 		var body pickBatchReqJS
 		if err = json.Unmarshal(line.data, &body); err == nil {
 			key = body.Key
-			resp, err = doPickBatch(ctx, s, body)
+			var r pickBatchRespJS
+			if r, err = doPickBatch(ctx, s, body); err == nil {
+				resp = r
+				gen = &genInfo{r.Epsilon, r.Generation}
+			}
 		}
 	case "stats":
 		resp = s.Stats()
@@ -710,9 +771,9 @@ func handleLine(ctx context.Context, s *serve.Server, enc *json.Encoder, line st
 		err = fmt.Errorf("unknown op %q", op.Op)
 	}
 	if err != nil {
-		accessLog.record("stdin", op.Op, key, statusOf(err), start, err)
+		accessLog.record("stdin", op.Op, key, statusOf(err), start, err, nil)
 		return enc.Encode(errorJS{Error: err.Error()})
 	}
-	accessLog.record("stdin", op.Op, key, http.StatusOK, start, nil)
+	accessLog.record("stdin", op.Op, key, http.StatusOK, start, nil, gen)
 	return enc.Encode(resp)
 }

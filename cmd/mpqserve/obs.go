@@ -132,14 +132,25 @@ type accessRecord struct {
 	Key       string  `json:"key,omitempty"`
 	Status    int     `json:"status"`
 	LatencyMs float64 `json:"latency_ms"`
+	// Epsilon and Generation describe the plan-set generation that
+	// answered (anytime servers; mirrors the /debug/traces fields).
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Generation int     `json:"generation,omitempty"`
 	// Outcome is "ok", "error", or the context verdicts "deadline" /
 	// "canceled" (the deadline outcome the satellite task asks for).
 	Outcome string `json:"outcome"`
 	Error   string `json:"error,omitempty"`
 }
 
+// genInfo tags a logged request with the generation that answered it;
+// nil on requests that carry no generation (errors, stats, planset).
+type genInfo struct {
+	Epsilon    float64
+	Generation int
+}
+
 // record logs one request; safe on a nil receiver.
-func (l *accessLogger) record(transport, op, key string, status int, start time.Time, err error) {
+func (l *accessLogger) record(transport, op, key string, status int, start time.Time, err error, gen *genInfo) {
 	if l == nil {
 		return
 	}
@@ -151,6 +162,10 @@ func (l *accessLogger) record(transport, op, key string, status int, start time.
 		Status:    status,
 		LatencyMs: float64(time.Since(start).Microseconds()) / 1000,
 		Outcome:   "ok",
+	}
+	if gen != nil {
+		rec.Epsilon = gen.Epsilon
+		rec.Generation = gen.Generation
 	}
 	if err != nil {
 		rec.Error = err.Error()

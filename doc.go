@@ -155,6 +155,40 @@
 // PeerHits, SharedPuts, Reloads, Admission and DonatedTasks. See
 // DESIGN.md, "Fleet serving".
 //
+// # Anytime Prepare
+//
+// ServeOptions.RefineLadder makes Prepare anytime: a deadline-bounded
+// Prepare of a cold template computes the coarsest ladder generation
+// that fits the budget, serves it regret-certified (each generation is
+// a true ε tier, so every answer is within (1+ε) per metric of the
+// exact frontier's), and refines through the finer factors in the
+// background — each finished generation atomically swapped into the
+// cache, the shared store, and the peer endpoint. Results say which
+// generation answered (Epsilon, Generation, Final):
+//
+//	srv := mpq.NewServer(mpq.ServeOptions{
+//		Workers: 4, RefineLadder: []float64{0.5, 0.1}, DonateWorkers: true,
+//	})
+//	defer srv.Close()
+//	tpl := mpq.ServeTemplate{Workload: mpq.WorkloadConfig{
+//		Tables: 6, Params: 2, Shape: mpq.Clique, Seed: 7,
+//	}}
+//	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+//	defer cancel()
+//	coarse, _ := srv.Prepare(ctx, tpl)     // within the deadline
+//	fmt.Println(coarse.Epsilon, coarse.Final) // 0.5 false — generation 0
+//	_ = srv.WaitRefinement(context.Background())
+//	final, _ := srv.Prepare(context.Background(), tpl)
+//	fmt.Println(final.Epsilon, final.Final) // 0 true — the exact plan set
+//
+// The final generation is byte-identical to a never-refined ε = 0
+// Prepare, picks within any generation are deterministic across
+// origins and worker counts, and a generation swap is linearizable
+// against concurrent picks. ServeStats.Refine counts the ledger
+// (Scheduled, Completed, Cancelled, Failed, Skipped, CoarsePrepares,
+// Swaps, CoarsePicks). See DESIGN.md, "Anytime Prepare & generation
+// refinement".
+//
 // # Failure domains
 //
 // Every serving entry point takes a context: a cancelled or expired

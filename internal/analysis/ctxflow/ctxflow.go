@@ -37,6 +37,7 @@ import (
 var CtxFirstPkgs = []string{
 	"mpq/internal/serve",
 	"mpq/internal/fleet",
+	"mpq/internal/refine",
 }
 
 var Analyzer = &analysis.Analyzer{

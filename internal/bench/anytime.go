@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mpq/internal/core"
+	"mpq/internal/geometry"
+	"mpq/internal/workload"
+)
+
+// AnytimeConfig controls the anytime-refinement experiment (mpqbench
+// -anytime): for each spec, walk the refinement ladder a
+// deadline-budgeted server walks — the coarsest ε generation first,
+// then every finer step down to the exact ε = 0 generation — timing
+// what each step costs to prepare and certifying the regret of the
+// generation it would swap in. The per-step rows are the anytime
+// latency profile: what waiting one more generation buys, and what
+// serving the current one costs in certified regret.
+type AnytimeConfig struct {
+	Specs []PickSpec
+	// Ladder is the descending sequence of approximation factors a
+	// server's -refine-ladder would run. A final exact step (ε = 0) is
+	// appended when absent, mirroring refine.Ladder.For(0).
+	Ladder []float64
+	// Points is the number of random certification points per plan set;
+	// zero selects 256.
+	Points int
+	// Seed offsets the workload generator and the point sampler (the
+	// same offsets as the picks and epsilon experiments, so all three
+	// observe the same queries).
+	Seed int64
+	// Progress, when non-nil, receives a line per completed step.
+	Progress io.Writer
+}
+
+// AnytimeMeasurement reports one (spec, ladder step) generation.
+type AnytimeMeasurement struct {
+	Spec PickSpec
+	// Step is the generation index on the effective ladder; Final marks
+	// the exact ε = 0 generation that ends every chain.
+	Step    int
+	Epsilon float64
+	Final   bool
+	// Prep is this generation's optimization statistics; Candidates is
+	// the served plan-set size after the store round trip.
+	Prep       core.Stats
+	Candidates int
+	// MaxRegret certifies this generation against the final exact one:
+	// the worst per-metric cost ratio over all sampled points and all
+	// exact-frontier choices. The ε-dominance contract bounds it by
+	// (1+ε); the final step certifies as exactly 1.
+	MaxRegret float64
+	// PrepMs is this step's own preparation time; CumulativeMs is the
+	// total from the cold start through this step.
+	PrepMs       float64
+	CumulativeMs float64
+	// PlanReduction and LPReduction are the fractions of the exact
+	// generation's final plans and solved LPs this step avoided.
+	PlanReduction float64
+	LPReduction   float64
+	// Points certified.
+	Points int
+}
+
+// RunAnytime executes the anytime-refinement experiment.
+func RunAnytime(cfg AnytimeConfig) ([]AnytimeMeasurement, error) {
+	if cfg.Points <= 0 {
+		cfg.Points = 256
+	}
+	ladder, err := effectiveLadder(cfg.Ladder)
+	if err != nil {
+		return nil, fmt.Errorf("bench: anytime: %w", err)
+	}
+	var out []AnytimeMeasurement
+	for _, spec := range cfg.Specs {
+		ms, err := runAnytimeSpec(cfg, spec, ladder)
+		if err != nil {
+			return nil, fmt.Errorf("bench: anytime %s: %w", spec, err)
+		}
+		out = append(out, ms...)
+		if cfg.Progress != nil {
+			for _, m := range ms {
+				fmt.Fprintf(cfg.Progress,
+					"anytime %s step=%d eps=%-5g cands=%-4d regret=%.6f prep=%.1fms cum=%.1fms\n",
+					spec, m.Step, m.Epsilon, m.Candidates, m.MaxRegret, m.PrepMs, m.CumulativeMs)
+			}
+		}
+	}
+	return out, nil
+}
+
+// effectiveLadder validates a ladder the way refine.ParseLadder does —
+// strictly descending factors in [0, 1) — and appends the final exact
+// step when absent, so the experiment always ends on the ε = 0
+// generation the refiner converges to.
+func effectiveLadder(ladder []float64) ([]float64, error) {
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("empty ladder")
+	}
+	for i, eps := range ladder {
+		if eps < 0 || eps >= 1 {
+			return nil, fmt.Errorf("step %g outside [0, 1)", eps)
+		}
+		if i > 0 && eps >= ladder[i-1] {
+			return nil, fmt.Errorf("ladder not strictly descending at %g", eps)
+		}
+	}
+	out := append([]float64(nil), ladder...)
+	if out[len(out)-1] != 0 {
+		out = append(out, 0)
+	}
+	return out, nil
+}
+
+func runAnytimeSpec(cfg AnytimeConfig, spec PickSpec, ladder []float64) ([]AnytimeMeasurement, error) {
+	schema, err := workload.Generate(workload.Config{
+		Tables: spec.Tables,
+		Params: spec.Params,
+		Shape:  spec.Shape,
+		Seed:   cfg.Seed + int64(spec.Tables),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Prepare every generation in ladder order first — the timing a
+	// refiner would observe — then certify each against the last, which
+	// is the exact reference by construction.
+	tiers := make([]epsilonTier, len(ladder))
+	prepMs := make([]float64, len(ladder))
+	var space *geometry.Polytope
+	for i, eps := range ladder {
+		start := time.Now() //mpq:wallclock benchmark timing is the measurement itself
+		tier, sp, err := prepareEpsilonTier(schema, eps)
+		if err != nil {
+			return nil, fmt.Errorf("step %d (eps=%g): %w", i, eps, err)
+		}
+		prepMs[i] = float64(time.Since(start).Microseconds()) / 1000 //mpq:wallclock benchmark timing is the measurement itself
+		tiers[i] = tier
+		space = sp
+	}
+	exact := tiers[len(tiers)-1]
+	ctx := geometry.NewContext()
+	points, err := pickPoints(ctx, space, cfg.Points, cfg.Seed+int64(spec.Tables)*7919)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AnytimeMeasurement, 0, len(ladder))
+	cum := 0.0
+	for i, eps := range ladder {
+		regret, err := certifyRegret(exact.cands, tiers[i].cands, points)
+		if err != nil {
+			return nil, fmt.Errorf("step %d (eps=%g): %w", i, eps, err)
+		}
+		cum += prepMs[i]
+		m := AnytimeMeasurement{
+			Spec:         spec,
+			Step:         i,
+			Epsilon:      eps,
+			Final:        eps == 0,
+			Prep:         tiers[i].stats,
+			Candidates:   len(tiers[i].cands),
+			MaxRegret:    regret,
+			PrepMs:       prepMs[i],
+			CumulativeMs: cum,
+			Points:       len(points),
+		}
+		if n := len(exact.cands); n > 0 {
+			m.PlanReduction = 1 - float64(len(tiers[i].cands))/float64(n)
+		}
+		if lps := exact.stats.Geometry.LPs; lps > 0 {
+			m.LPReduction = 1 - float64(tiers[i].stats.Geometry.LPs)/float64(lps)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// AnytimeMeasurementCases converts the measurements into JSON cases:
+// one "anytime/<spec>/step=<i>/eps=<ε>" row per generation. The final
+// exact rows (ε = 0) gate like every other case — deterministic plan
+// and LP counts must not drift — while the coarse ε > 0 rows gate on
+// their certified MaxRegret staying within the (1+ε) contract, exactly
+// as the epsilon rows do: the per-step regret contract is the
+// invariant the anytime path promises, not a particular plan count.
+func AnytimeMeasurementCases(ms []AnytimeMeasurement) []JSONCase {
+	var cases []JSONCase
+	for _, m := range ms {
+		cases = append(cases, JSONCase{
+			Case:          fmt.Sprintf("anytime/%s/step=%d/eps=%g", m.Spec, m.Step, m.Epsilon),
+			Shape:         m.Spec.Shape.String(),
+			Params:        m.Spec.Params,
+			Tables:        m.Spec.Tables,
+			NsPerOp:       int64(m.PrepMs * 1e6),
+			TimeMs:        m.PrepMs,
+			CreatedPlans:  m.Prep.CreatedPlans,
+			SolvedLPs:     m.Prep.Geometry.LPs,
+			FinalPlans:    m.Prep.FinalPlans,
+			Workers:       1,
+			Repetitions:   m.Points,
+			Epsilon:       m.Epsilon,
+			MaxRegret:     m.MaxRegret,
+			PlanReduction: m.PlanReduction,
+			LPReduction:   m.LPReduction,
+		})
+	}
+	return cases
+}

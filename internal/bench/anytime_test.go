@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"mpq/internal/workload"
+)
+
+func TestRunAnytime(t *testing.T) {
+	ms, err := RunAnytime(AnytimeConfig{
+		Specs:  []PickSpec{{Shape: workload.Chain, Params: 1, Tables: 5}},
+		Ladder: []float64{0.5, 0.1},
+		Points: 32,
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The implicit final exact step extends the two-step ladder.
+	if len(ms) != 3 {
+		t.Fatalf("got %d measurements, want 3", len(ms))
+	}
+	wantEps := []float64{0.5, 0.1, 0}
+	cum := 0.0
+	for i, m := range ms {
+		if m.Step != i || m.Epsilon != wantEps[i] || m.Final != (i == 2) {
+			t.Errorf("step %d = eps %g final %v, want eps %g final %v",
+				m.Step, m.Epsilon, m.Final, wantEps[i], i == 2)
+		}
+		if bound := (1 + m.Epsilon) * (1 + 1e-9); m.MaxRegret > bound {
+			t.Errorf("step %d certified regret %v exceeds bound %v", i, m.MaxRegret, bound)
+		}
+		cum += m.PrepMs
+		if m.CumulativeMs != cum {
+			t.Errorf("step %d cumulative %v, want running sum %v", i, m.CumulativeMs, cum)
+		}
+		if m.Candidates != m.Prep.FinalPlans || m.Points != 32 {
+			t.Errorf("step %d measurement incomplete: %+v", i, m)
+		}
+	}
+	final := ms[len(ms)-1]
+	if final.MaxRegret != 1 {
+		t.Errorf("final self-regret = %v, want exactly 1", final.MaxRegret)
+	}
+	if final.PlanReduction != 0 || final.LPReduction != 0 {
+		t.Errorf("final reductions %v/%v, want 0/0", final.PlanReduction, final.LPReduction)
+	}
+
+	cases := AnytimeMeasurementCases(ms)
+	if len(cases) != 3 {
+		t.Fatalf("got %d cases", len(cases))
+	}
+	if got := cases[0].Case; got != "anytime/chain-1p/tables=5/step=0/eps=0.5" {
+		t.Errorf("case name %q", got)
+	}
+	if got := cases[2].Case; !strings.HasSuffix(got, "/step=2/eps=0") {
+		t.Errorf("case name %q", got)
+	}
+	c := cases[1]
+	if c.Epsilon != 0.1 || c.MaxRegret != ms[1].MaxRegret ||
+		c.FinalPlans != ms[1].Candidates || c.Workers != 1 {
+		t.Errorf("case fields do not mirror the measurement: %+v", c)
+	}
+}
+
+func TestEffectiveLadder(t *testing.T) {
+	if _, err := effectiveLadder(nil); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	for _, bad := range [][]float64{{0.1, 0.5}, {0.5, 0.5}, {1.0}, {-0.1}} {
+		if _, err := effectiveLadder(bad); err == nil {
+			t.Errorf("ladder %v accepted", bad)
+		}
+	}
+	got, err := effectiveLadder([]float64{0.5, 0.1})
+	if err != nil || len(got) != 3 || got[2] != 0 {
+		t.Errorf("effectiveLadder(0.5,0.1) = %v, %v; want the final 0 appended", got, err)
+	}
+	got, err = effectiveLadder([]float64{0.5, 0})
+	if err != nil || len(got) != 2 {
+		t.Errorf("effectiveLadder(0.5,0) = %v, %v; want unchanged", got, err)
+	}
+}
+
+// TestCompareGatesAnytimeCases: anytime rows gate like epsilon rows —
+// the final exact generation on deterministic counts, the coarse
+// generations on the certified per-step regret contract.
+func TestCompareGatesAnytimeCases(t *testing.T) {
+	base := &JSONReport{
+		Cases: []JSONCase{{Case: "chain-1p/tables=3", Workers: 1, CreatedPlans: 10, SolvedLPs: 100, FinalPlans: 2, TimeMs: 1}},
+		AnytimeCases: []JSONCase{
+			{Case: "anytime/chain-1p/tables=5/step=0/eps=0.5", Workers: 1,
+				CreatedPlans: 20, SolvedLPs: 200, FinalPlans: 3, TimeMs: 0.1,
+				Epsilon: 0.5, MaxRegret: 1.2},
+			{Case: "anytime/chain-1p/tables=5/step=1/eps=0", Workers: 1,
+				CreatedPlans: 40, SolvedLPs: 400, FinalPlans: 8, TimeMs: 0.3, MaxRegret: 1},
+		},
+	}
+	ok := &JSONReport{
+		Cases: base.Cases,
+		AnytimeCases: []JSONCase{
+			{Case: "anytime/chain-1p/tables=5/step=0/eps=0.5", Workers: 1,
+				// Counts drifted — fine for a coarse generation, the
+				// per-step contract still holds.
+				CreatedPlans: 15, SolvedLPs: 150, FinalPlans: 2, TimeMs: 0.1,
+				Epsilon: 0.5, MaxRegret: 1.49},
+			base.AnytimeCases[1],
+		},
+	}
+	if failures, _ := Compare(base, ok, DefaultCompareOptions()); len(failures) != 0 {
+		t.Errorf("in-contract anytime rows failed the gate: %v", failures)
+	}
+
+	broken := &JSONReport{
+		Cases: base.Cases,
+		AnytimeCases: []JSONCase{
+			{Case: "anytime/chain-1p/tables=5/step=0/eps=0.5", Workers: 1,
+				CreatedPlans: 20, SolvedLPs: 200, FinalPlans: 3, TimeMs: 0.1,
+				Epsilon: 0.5, MaxRegret: 1.51},
+			base.AnytimeCases[1],
+		},
+	}
+	failures, _ := Compare(base, broken, DefaultCompareOptions())
+	found := false
+	for _, d := range failures {
+		if d.Field == "max_regret" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("out-of-contract per-step regret did not fail the gate: %v", failures)
+	}
+
+	drifted := &JSONReport{
+		Cases: base.Cases,
+		AnytimeCases: []JSONCase{
+			base.AnytimeCases[0],
+			{Case: "anytime/chain-1p/tables=5/step=1/eps=0", Workers: 1,
+				CreatedPlans: 41, SolvedLPs: 400, FinalPlans: 8, TimeMs: 0.3, MaxRegret: 1},
+		},
+	}
+	failures, _ = Compare(base, drifted, DefaultCompareOptions())
+	found = false
+	for _, d := range failures {
+		if d.Field == "created_plans" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("final-generation plan drift did not fail the gate: %v", failures)
+	}
+
+	missing := &JSONReport{Cases: base.Cases}
+	failures, _ = Compare(base, missing, DefaultCompareOptions())
+	if len(failures) != 2 {
+		t.Errorf("dropped anytime rows: %d failures, want 2 missing: %v", len(failures), failures)
+	}
+}

@@ -344,6 +344,11 @@ type JSONReport struct {
 	// drift fails); ε > 0 rows gate on the certified MaxRegret staying
 	// within the (1+ε) contract instead.
 	EpsilonCases []JSONCase `json:"epsilon_cases,omitempty"`
+	// AnytimeCases are the anytime-refinement rows (mpqbench -anytime):
+	// per (spec, ladder step) one row, in refinement order. They gate
+	// like EpsilonCases — the final ε = 0 generation on exact counts,
+	// the coarse generations on their certified per-step regret.
+	AnytimeCases []JSONCase `json:"anytime_cases,omitempty"`
 	// NumCPU records runtime.NumCPU() of the measuring machine
 	// (informational, never gated): parallel wall-clock numbers and
 	// utilization figures are vacuous on a single-CPU runner, and CI

@@ -97,6 +97,63 @@ func TestDonatedWorkersPreserveDeterminism(t *testing.T) {
 	}
 }
 
+// inlineDonor accepts every offer and runs the stint synchronously on
+// the offering goroutine — the most hostile schedule for mask-level
+// donation (stints steal masks before the resident worker even starts)
+// and a deterministic one, so the DonatedMasks assertion cannot flake.
+type inlineDonor struct {
+	idle   int
+	stints int
+}
+
+func (d *inlineDonor) Idle() int { return d.idle }
+
+func (d *inlineDonor) Offer(task func()) bool {
+	d.stints++
+	task()
+	return true
+}
+
+// TestMaskDonationParallelizesNarrowQueries: a Workers=1 run whose
+// masks stay below the split threshold must still hand whole ready
+// masks to donated workers — and stay byte-identical to the sequential
+// run, with identical plan and LP counters. Mask-level donation is a
+// mid-run raise of the effective worker count, nothing more.
+func TestMaskDonationParallelizesNarrowQueries(t *testing.T) {
+	cfgs := []workload.Config{
+		{Tables: 5, Params: 1, Shape: workload.Chain, Seed: 21},
+		{Tables: 4, Params: 2, Shape: workload.Star, Seed: 7},
+	}
+	for _, cfg := range cfgs {
+		seq := core.DefaultOptions()
+		seq.Workers = 1
+		resSeq, bytesSeq := optimizeAndSave(t, cfg, seq)
+
+		donor := &inlineDonor{idle: 2}
+		don := core.DefaultOptions()
+		don.Workers = 1
+		don.Donor = donor
+		resDon, bytesDon := optimizeAndSave(t, cfg, don)
+
+		if !bytes.Equal(bytesSeq, bytesDon) {
+			t.Errorf("%v: mask-donated run's plan set differs from the sequential run", cfg)
+		}
+		if resSeq.Stats.CreatedPlans != resDon.Stats.CreatedPlans ||
+			resSeq.Stats.PrunedPlans != resDon.Stats.PrunedPlans ||
+			resSeq.Stats.FinalPlans != resDon.Stats.FinalPlans {
+			t.Errorf("%v: plan counters differ: sequential %+v, donated %+v",
+				cfg, resSeq.Stats, resDon.Stats)
+		}
+		if resSeq.Stats.Geometry != resDon.Stats.Geometry {
+			t.Errorf("%v: geometry counters differ: sequential %+v, donated %+v",
+				cfg, resSeq.Stats.Geometry, resDon.Stats.Geometry)
+		}
+		if resDon.Stats.Scheduler.DonatedMasks == 0 {
+			t.Errorf("%v: no whole masks were donated (stints: %d)", cfg, donor.stints)
+		}
+	}
+}
+
 // TestDonorWithoutSplitsIsHarmless: a donor on a run whose masks never
 // reach the split threshold changes nothing, and a declining donor
 // (zero idle capacity) never blocks the run.

@@ -35,10 +35,16 @@ type SchedulerStats struct {
 	// SplitChunks counts parallel accumulation chunks executed across
 	// all split jobs.
 	SplitChunks int
-	// DonatedTasks counts split-job work stints executed by goroutines
-	// lent through Options.Donor (each stint claims chunks until its
-	// job is exhausted). Zero without a donor.
+	// DonatedTasks counts work stints executed by goroutines lent
+	// through Options.Donor (each stint claims split chunks or whole
+	// ready masks until none are immediately runnable). Zero without a
+	// donor.
 	DonatedTasks int
+	// DonatedMasks counts whole masks planned by donated workers —
+	// mask-level donation raises the effective worker count mid-run, so
+	// narrow queries without split jobs parallelize too. Zero without a
+	// donor.
+	DonatedMasks int
 	// Busy is the summed per-worker time spent inside tasks, including
 	// donated workers.
 	Busy time.Duration
@@ -328,14 +334,15 @@ type scheduler struct {
 	// cancellable context — the byte-identity contract is untouched.
 	aborted atomic.Bool
 
-	// Donated split-job helpers (Options.Donor): accepted offers are
-	// tracked by donateWG so the run cannot complete (and stats cannot
-	// be read) while a donated worker is still mid-chunk; finished
+	// Donated helpers (Options.Donor): accepted offers are tracked by
+	// donateWG so the run cannot complete (and stats cannot be read)
+	// while a donated worker is still mid-chunk or mid-mask; finished
 	// helpers park their worker state in donated for the stat merge.
 	donateWG     sync.WaitGroup
 	donatedMu    sync.Mutex
 	donated      []*worker
 	donatedTasks atomic.Int64
+	donatedMasks atomic.Int64
 }
 
 // newScheduler builds the dependency graph: deps[i] counts the
@@ -389,6 +396,10 @@ func (s *scheduler) run() SchedulerStats {
 			}
 		}()
 	}
+	// The initial ready queue (no scheduled dependencies) is the first
+	// chance for mask-level donation: lend idle pool goroutines before
+	// the resident workers have even started.
+	s.tryDonateMasks()
 	var wg sync.WaitGroup
 	for _, w := range s.o.workers {
 		wg.Add(1)
@@ -408,6 +419,7 @@ func (s *scheduler) run() SchedulerStats {
 		SplitJobs:    int(s.splitJobs.Load()),
 		SplitChunks:  int(s.splitChunks.Load()),
 		DonatedTasks: int(s.donatedTasks.Load()),
+		DonatedMasks: int(s.donatedMasks.Load()),
 		Wall:         time.Since(start), //mpq:wallclock SchedulerStats.Wall timing; never reaches plan bytes
 	}
 	for _, w := range s.o.workers {
@@ -594,6 +606,93 @@ func (s *scheduler) tryDonate(j *splitJob, want int) {
 	}
 }
 
+// tryDonateMasks offers whole-mask help to the donor pool: up to one
+// transient worker per runnable mask beyond what the resident pool can
+// absorb, each claiming ready masks (and split chunks) until none are
+// immediately runnable, then retiring back to the pool. A mask is a
+// self-contained unit — it reads only completed subset sets and
+// publishes through complete() — so mask-level donation is exactly a
+// mid-run raise of the effective worker count: results and plan/LP
+// counters are identical for every donation schedule, only wall-clock
+// time changes (the byte-identity contract of DESIGN.md, "Concurrency
+// model", covers any worker count).
+func (s *scheduler) tryDonateMasks() {
+	donor := s.o.opts.Donor
+	if donor == nil || s.o.forkable == nil {
+		return
+	}
+	want := s.donorIdle()
+	s.mu.Lock()
+	if backlog := len(s.ready) - s.readyHead - s.idle; want > backlog {
+		// Parked resident workers will absorb part of the queue the
+		// moment they wake; only lend for the excess.
+		want = backlog
+	}
+	s.mu.Unlock()
+	for i := 0; i < want; i++ {
+		s.donateWG.Add(1)
+		accepted := donor.Offer(func() {
+			defer s.donateWG.Done()
+			solver := s.o.ctx.Fork()
+			w := &worker{o: s.o, solver: solver, algebra: s.o.forkable.Fork(solver)}
+			start := time.Now() //mpq:wallclock donated-worker busy-time stat; never reaches plan bytes
+			s.runReadyTasks(w)
+			w.busy = time.Since(start) //mpq:wallclock donated-worker busy-time stat; never reaches plan bytes
+			s.donatedTasks.Add(1)
+			s.donatedMu.Lock()
+			s.donated = append(s.donated, w)
+			s.donatedMu.Unlock()
+		})
+		if !accepted {
+			s.donateWG.Done()
+			return
+		}
+	}
+}
+
+// runReadyTasks is a donated worker's stint: claim split chunks and
+// ready masks without ever parking — donated goroutines belong to the
+// serving pool and must return the moment nothing is immediately
+// runnable.
+func (s *scheduler) runReadyTasks(w *worker) {
+	for {
+		j, mi := s.tryNext()
+		if j == nil && mi < 0 {
+			return
+		}
+		if j != nil {
+			s.runJobChunks(w, j)
+		} else {
+			s.donatedMasks.Add(1)
+			s.planMask(w, s.masks[mi])
+		}
+	}
+}
+
+// tryNext is next() without the blocking wait: it returns (nil, -1)
+// when no task is immediately runnable instead of parking.
+func (s *scheduler) tryNext() (*splitJob, int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aborted.Load() {
+		return nil, -1
+	}
+	for len(s.jobs) > 0 {
+		j := s.jobs[len(s.jobs)-1]
+		if j.exhausted() {
+			s.jobs = s.jobs[:len(s.jobs)-1]
+			continue
+		}
+		return j, -1
+	}
+	if s.readyHead < len(s.ready) {
+		mi := s.ready[s.readyHead]
+		s.readyHead++
+		return nil, mi
+	}
+	return nil, -1
+}
+
 // runJobChunks claims and processes chunks of j until none remain. The
 // worker finishing the last chunk runs the order-preserving reduction
 // and completes the mask.
@@ -642,14 +741,22 @@ func (s *scheduler) complete(q catalog.TableSet, infos []*PlanInfo) {
 	}
 	s.mu.Lock()
 	s.remaining--
+	readied := 0
 	if i, ok := s.idx[q]; ok {
 		for _, di := range s.dependents[i] {
 			s.deps[di]--
 			if s.deps[di] == 0 {
 				s.ready = append(s.ready, di)
+				readied++
 			}
 		}
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if readied > 0 {
+		// Freshly runnable masks are another donation opportunity: lend
+		// idle pool goroutines for whatever the resident workers cannot
+		// absorb right now.
+		s.tryDonateMasks()
+	}
 }

@@ -24,6 +24,16 @@
 // from monopolizing the pool, and Options.DonateWorkers lends idle
 // pool workers to in-flight Prepares' split jobs. See DESIGN.md,
 // "Fleet serving".
+//
+// With Options.RefineLadder set, Prepare is anytime: a
+// deadline-bounded request for an uncached template computes a coarse
+// ε-approximate generation that fits its budget, serves it
+// regret-certified, and schedules background refinement through the
+// ladder down to the template's resolved factor; each finished
+// generation atomically replaces the previous one in the cache, the
+// persistence directory, the shared store, and the peer-visible
+// document endpoint. See DESIGN.md, "Anytime Prepare & generation
+// refinement".
 package serve
 
 import (
@@ -51,6 +61,7 @@ import (
 	"mpq/internal/index"
 	"mpq/internal/obs"
 	"mpq/internal/pwl"
+	"mpq/internal/refine"
 	"mpq/internal/region"
 	"mpq/internal/selection"
 	"mpq/internal/store"
@@ -139,6 +150,26 @@ type Options struct {
 	// Prepare may split wide table sets across them. Results are
 	// byte-identical with or without donation.
 	DonateWorkers bool
+	// RefineLadder enables anytime Prepare: a descending sequence of
+	// approximation factors (e.g. 0.5, 0.1). A deadline-bounded Prepare
+	// of an uncached template computes the coarsest ladder generation
+	// within the caller's budget, serves it regret-certified (every
+	// generation honors the (1+ε) contract), and refines through the
+	// remaining steps down to the template's resolved ε on a background
+	// executor; each finished generation atomically replaces the
+	// previous one in the cache, Dir, the shared store, and the
+	// peer-visible document. Prepares without a deadline compute the
+	// final generation directly. The ladder must be strictly descending
+	// with every step in [0, 1); New panics on an invalid one (a
+	// configuration bug, caught at construction like an invalid listen
+	// address).
+	RefineLadder []float64
+	// BaseContext, when non-nil, is the server lifecycle context
+	// background refinement runs under: cancelling it aborts the
+	// in-flight refinement job at the optimizer's checkpoints and
+	// drains the refinement queue, exactly like Close. Nil defaults to
+	// an uncancellable root (refinement then stops only at Close).
+	BaseContext context.Context
 	// FS is the filesystem the Dir persistence reads and writes through
 	// (nil = the real one) — the fault-injection seam for crash and
 	// I/O-error tests. The shared store carries its own (see
@@ -214,6 +245,16 @@ type PrepareResult struct {
 	// configuration, which the fleet benchmark's regression gate relies
 	// on.
 	Stats core.Stats
+	// Epsilon is the approximation factor of the generation this
+	// request served; on an anytime server it may be coarser than the
+	// template's resolved factor while refinement is outstanding.
+	// Generation is its index in the template's effective refinement
+	// ladder (0 = coarsest), and Final reports whether it is the
+	// resolved factor — false means background refinement is running
+	// and a later Pick may observe a finer generation.
+	Epsilon    float64
+	Generation int
+	Final      bool
 }
 
 // Policy selects the run-time preference policy of a Pick request.
@@ -260,6 +301,15 @@ type PickResult struct {
 	// Choices holds the selected plans; exactly one for the
 	// single-plan policies.
 	Choices []selection.Choice
+	// Epsilon is the approximation factor of the generation the pick
+	// was served from, Generation its index in the template's effective
+	// refinement ladder, and Final whether it is the template's
+	// resolved factor. The entry is pinned for the whole request, so
+	// one pick observes exactly one generation even while a refinement
+	// swap lands concurrently.
+	Epsilon    float64
+	Generation int
+	Final      bool
 }
 
 // Stats is a snapshot of the server's counters.
@@ -313,8 +363,16 @@ type Stats struct {
 	// queued, waited, wait time) when MaxConcurrentPrepares is set.
 	Admission fleet.AdmissionStats
 	// DonatedTasks counts idle-worker stints donated to in-flight
-	// Prepares' split jobs (Options.DonateWorkers).
+	// Prepares' split jobs (Options.DonateWorkers); DonatedMasks the
+	// whole ready masks those stints planned (mask-level donation
+	// raises the effective worker count of an in-flight optimization
+	// mid-run).
 	DonatedTasks int64
+	DonatedMasks int64
+	// Refine reports the anytime-refinement subsystem
+	// (Options.RefineLadder): background generation upgrades and the
+	// coarse traffic served while they were outstanding.
+	Refine RefineStats
 	// Geometry aggregates the solver work of all pool workers.
 	Geometry geometry.Stats
 	// PipelineBusy sums the per-worker busy time inside the optimizer's
@@ -331,6 +389,34 @@ type Stats struct {
 	// SplitJobs counts table sets planned with intra-mask split
 	// parallelism across all Prepares.
 	SplitJobs int64
+}
+
+// RefineStats is the anytime-refinement slice of the server counters
+// (all zero unless Options.RefineLadder is set).
+type RefineStats struct {
+	// Scheduled counts ladder steps enqueued for background
+	// refinement; Completed the jobs whose generation was computed (or
+	// fetched) and swapped in; Cancelled the jobs aborted by shutdown,
+	// lifecycle-context cancellation, or a failed predecessor in their
+	// chain; Failed the jobs whose computation failed; Skipped the jobs
+	// obsoleted by an already-finer resident generation (typically a
+	// sibling refined first).
+	Scheduled int64
+	Completed int64
+	Cancelled int64
+	Failed    int64
+	Skipped   int64
+	// Pending is the number of queued refinement jobs and Running is 1
+	// while one executes (gauges).
+	Pending int64
+	Running int64
+	// CoarsePrepares counts deadline-bounded Prepares answered with a
+	// freshly computed coarse generation; Swaps the refined generations
+	// atomically swapped into the serve cache; CoarsePicks the pick
+	// points served from a non-final generation.
+	CoarsePrepares int64
+	Swaps          int64
+	CoarsePicks    int64
 }
 
 // IndexStats is the pick-index slice of the server counters.
@@ -376,6 +462,25 @@ type Server struct {
 	inflight  map[string]*inflightPrepare
 	reloading map[string]*inflightReload
 	stats     Stats
+
+	// Anytime refinement (Options.RefineLadder): the background
+	// executor, its dedicated solver-equipped worker (serial use on the
+	// refiner goroutine only), and the per-key refinement state.
+	refiner      *refine.Refiner
+	refineWorker *worker
+	refineMu     sync.Mutex
+	refineStates map[string]*refineState
+}
+
+// refineState is the per-key record the refinement subsystem needs to
+// recompute a template finer: the resolved schema and cost-model
+// configuration, and the template-effective ladder (the configured
+// steps coarser than the template's resolved ε, then the resolved ε
+// itself as the final generation).
+type refineState struct {
+	schema   *catalog.Schema
+	cloudCfg cloud.Config
+	ladder   refine.Ladder
 }
 
 // entry is a cached plan set with its precomputed selection
@@ -497,6 +602,18 @@ func New(opts Options) *Server {
 		inflight:  make(map[string]*inflightPrepare),
 		reloading: make(map[string]*inflightReload),
 	}
+	if len(opts.RefineLadder) > 0 {
+		if err := refine.Ladder(opts.RefineLadder).Validate(); err != nil {
+			panic(err)
+		}
+		base := opts.BaseContext
+		if base == nil {
+			base = context.Background() //mpq:ctxroot no lifecycle context supplied; background refinement then stops only at Close
+		}
+		s.refineWorker = &worker{solver: geometry.NewSolver(opts.Solver)}
+		s.refineStates = make(map[string]*refineState)
+		s.refiner = refine.New(base, s.runRefineJob)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		w := &worker{solver: geometry.NewSolver(opts.Solver)}
 		s.wg.Add(1)
@@ -519,8 +636,9 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Close drains the queue, stops the workers, and flushes the shared
-// store. Requests submitted after Close fail with ErrServerClosed.
+// Close stops background refinement, drains the queue, stops the
+// workers, and flushes the shared store. Requests submitted after Close
+// fail with ErrServerClosed.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -528,6 +646,16 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	s.mu.Unlock()
+	// Refinement retires first: the in-flight job aborts at the
+	// optimizer's next checkpoint and its donated stints return to the
+	// pool, so the queue drain below cannot deadlock on a donation and
+	// no refinement goroutine outlives Close (queued jobs count as
+	// cancelled, never silently lost).
+	if s.refiner != nil {
+		s.refiner.Close()
+	}
+	s.mu.Lock()
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -575,6 +703,16 @@ func (s *Server) Stats() Stats {
 		ps := s.opts.Peers.Stats()
 		st.PeerRetries = ps.Retries
 		st.PeerBreakerTrips = ps.BreakerTrips
+	}
+	if s.refiner != nil {
+		rst := s.refiner.Stats()
+		st.Refine.Scheduled = rst.Scheduled
+		st.Refine.Completed = rst.Completed
+		st.Refine.Cancelled = rst.Cancelled
+		st.Refine.Failed = rst.Failed
+		st.Refine.Skipped = rst.Skipped
+		st.Refine.Pending = rst.Pending
+		st.Refine.Running = rst.Running
 	}
 	if st.PipelineCapacity > 0 {
 		st.PipelineUtilization = float64(st.PipelineBusy) / float64(st.PipelineCapacity)
@@ -765,7 +903,7 @@ func (s *Server) prepareKey(ctx context.Context, key string, schema *catalog.Sch
 			s.stats.Prepares++
 			s.stats.PrepareHits++
 			s.mu.Unlock()
-			return PrepareResult{Key: key, NumPlans: len(v.(*entry).set.Plans), Cached: true}, nil
+			return s.hitResult(key, v.(*entry)), nil
 		}
 		s.mu.Lock()
 		if v, ok := s.cache.Get(key, false); ok {
@@ -776,7 +914,7 @@ func (s *Server) prepareKey(ctx context.Context, key string, schema *catalog.Sch
 			s.stats.Prepares++
 			s.stats.PrepareHits++
 			s.mu.Unlock()
-			return PrepareResult{Key: key, NumPlans: len(v.(*entry).set.Plans), Cached: true}, nil
+			return s.hitResult(key, v.(*entry)), nil
 		}
 		if fl, ok := s.inflight[key]; ok {
 			// Another request is already optimizing this template; wait
@@ -821,6 +959,67 @@ func (s *Server) prepareKey(ctx context.Context, key string, schema *catalog.Sch
 		close(fl.done)
 		return res, err
 	}
+}
+
+// hitResult builds the PrepareResult of a cache hit, annotated with
+// the resident generation — which may still be coarse while background
+// refinement is outstanding. A coarse hit also re-nudges the refiner:
+// the Schedule is deduplicated when the chain is still queued, and it
+// resurrects a chain dropped by an earlier failure.
+func (s *Server) hitResult(key string, e *entry) PrepareResult {
+	res := PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}
+	s.annotate(&res, key, e)
+	if !res.Final {
+		s.ensureRefinement(key, e)
+	}
+	return res
+}
+
+// annotate stamps a Prepare result with the generation it served.
+func (s *Server) annotate(res *PrepareResult, key string, e *entry) {
+	res.Epsilon = e.set.Epsilon
+	res.Generation, res.Final = s.generationOf(key, e.set.Epsilon)
+}
+
+// generationOf maps an entry's approximation factor to its index in
+// the key's effective refinement ladder. Keys that never took the
+// anytime path have a single, final generation.
+func (s *Server) generationOf(key string, eps float64) (gen int, final bool) {
+	s.refineMu.Lock()
+	st, ok := s.refineStates[key]
+	s.refineMu.Unlock()
+	if !ok {
+		return 0, true
+	}
+	for i, v := range st.ladder {
+		if v == eps {
+			return i, i == len(st.ladder)-1
+		}
+	}
+	// Not a ladder member (e.g. a finer document published by a
+	// sibling running a different ladder): final iff at or below the
+	// template's resolved factor.
+	return 0, eps <= st.ladder[len(st.ladder)-1]
+}
+
+// ensureRefinement schedules a key's outstanding refinement chain —
+// idempotent (the refiner dedupes queued keys) and cheap.
+func (s *Server) ensureRefinement(key string, e *entry) {
+	s.refineMu.Lock()
+	st, ok := s.refineStates[key]
+	s.refineMu.Unlock()
+	if !ok {
+		return
+	}
+	s.scheduleRefine(st.ladder.Jobs(key, e.set.Epsilon))
+}
+
+// scheduleRefine enqueues background refinement jobs.
+func (s *Server) scheduleRefine(jobs []refine.Job) {
+	if s.refiner == nil || len(jobs) == 0 {
+		return
+	}
+	s.refiner.Schedule(jobs)
 }
 
 // isCtxErr reports whether err is (or wraps) a context cancellation or
@@ -957,18 +1156,21 @@ func validKey(key string) bool {
 // re-published to the shared store so the next sibling finds them one
 // hop closer. Malformed keys resolve nowhere.
 //
-// wantEps, when non-nil, is the approximation factor the caller is
-// preparing under: a document recording a different factor is treated
-// as a miss, exactly like a corrupt one — defense in depth behind the
-// key (which already binds ε by hash) against a document planted or
-// misfiled under the wrong tier's name. Pick-time reloads pass nil and
-// accept the document's own factor, which the key vouches for.
-func (s *Server) loadFromSources(ctx context.Context, w *worker, key string, wantEps *float64) (*entry, entrySource, bool) {
+// acceptEps, when non-nil, filters documents by their recorded
+// approximation factor: one recording an unacceptable factor is
+// treated as a miss, exactly like a corrupt one — defense in depth
+// behind the key (which already binds ε by hash) against a document
+// planted or misfiled under the wrong tier's name. A classic Prepare
+// accepts exactly its resolved factor, an anytime Prepare any
+// generation of its effective ladder, and a refinement job anything at
+// or below its step. Pick-time reloads pass nil and accept the
+// document's own factor, which the key vouches for.
+func (s *Server) loadFromSources(ctx context.Context, w *worker, key string, acceptEps func(eps float64) bool) (*entry, entrySource, bool) {
 	if !validKey(key) {
 		return nil, sourceComputed, false
 	}
 	accept := func(e *entry) bool {
-		return wantEps == nil || e.set.Epsilon == *wantEps
+		return acceptEps == nil || acceptEps(e.set.Epsilon)
 	}
 	if s.opts.Dir != "" {
 		if raw, err := s.fs.ReadFile(s.docPath(key)); err == nil {
@@ -1012,18 +1214,126 @@ func (s *Server) publishShared(key string, doc []byte) {
 // Save through the store format, persist (Dir and shared store) and
 // cache the deserialized set. Picks therefore serve exactly the bytes
 // a separate run-time process would load, wherever they came from.
+//
+// With a refinement ladder configured, a deadline-bounded request for
+// a cold template takes the anytime path instead: compute the
+// coarsest ladder generation within the caller's budget and refine in
+// the background (see prepareAnytime).
 func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config, epsilon float64, tr *obs.PrepareTrace) (PrepareResult, error) {
-	e, src, ok := s.loadFromSources(ctx, w, key, &epsilon)
+	if lad := s.anytimeLadder(ctx, epsilon); lad != nil {
+		return s.prepareAnytime(ctx, w, key, schema, cloudCfg, lad, tr)
+	}
+	e, src, ok := s.loadFromSources(ctx, w, key, func(got float64) bool { return got == epsilon })
 	tr.Phase("lookup")
 	if ok {
 		tr.SetSource(src.name())
 		s.insert(key, e, src)
-		return PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}, nil
+		res := PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}
+		s.annotate(&res, key, e)
+		tr.SetGeneration(res.Epsilon, res.Generation)
+		return res, nil
 	}
-
-	model, err := cloud.NewModel(schema, cloudCfg, w.solver)
+	e, cst, err := s.computeEntry(ctx, w, key, schema, cloudCfg, epsilon, tr)
 	if err != nil {
 		return PrepareResult{}, err
+	}
+	s.insert(key, e, sourceComputed)
+	tr.Phase("save")
+	res := PrepareResult{Key: key, NumPlans: len(e.set.Plans), Duration: cst.Duration, Stats: cst}
+	s.annotate(&res, key, e)
+	tr.SetGeneration(res.Epsilon, res.Generation)
+	return res, nil
+}
+
+// anytimeLadder decides whether a Prepare takes the anytime path: the
+// server has a refinement ladder, the caller brought a deadline (an
+// unbounded caller gets the final generation directly — coarse-first
+// would only add total work), and the template-effective ladder
+// actually has a coarse step above the resolved factor.
+func (s *Server) anytimeLadder(ctx context.Context, epsilon float64) refine.Ladder {
+	if s.refiner == nil {
+		return nil
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		return nil
+	}
+	lad := refine.Ladder(s.opts.RefineLadder).For(epsilon)
+	if len(lad) < 2 {
+		return nil
+	}
+	return lad
+}
+
+// prepareAnytime is the deadline-budgeted Prepare of a cold template
+// on a ladder-configured server: serve the finest generation any
+// non-compute source already has, otherwise compute the coarsest
+// ladder step — a fraction of the exact optimization's work — under
+// the caller's deadline, and schedule the remaining steps as
+// background refinement jobs. Every generation is a full
+// regret-certified plan set, so picks served before refinement
+// finishes are coarse but never wrong; each finished generation
+// atomically replaces the previous one (see runRefineJob).
+func (s *Server) prepareAnytime(ctx context.Context, w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config, lad refine.Ladder, tr *obs.PrepareTrace) (PrepareResult, error) {
+	inLadder := func(got float64) bool {
+		for _, v := range lad {
+			if v == got {
+				return true
+			}
+		}
+		return false
+	}
+	s.noteRefineState(key, schema, cloudCfg, lad)
+	e, src, ok := s.loadFromSources(ctx, w, key, inLadder)
+	tr.Phase("lookup")
+	if ok {
+		tr.SetSource(src.name())
+		s.insert(key, e, src)
+		res := PrepareResult{Key: key, NumPlans: len(e.set.Plans), Cached: true}
+		s.annotate(&res, key, e)
+		if !res.Final {
+			s.scheduleRefine(lad.Jobs(key, e.set.Epsilon))
+		}
+		tr.SetGeneration(res.Epsilon, res.Generation)
+		return res, nil
+	}
+	coarse := lad[0]
+	e, cst, err := s.computeEntry(ctx, w, key, schema, cloudCfg, coarse, tr)
+	if err != nil {
+		return PrepareResult{}, err
+	}
+	s.insert(key, e, sourceComputed)
+	tr.Phase("save")
+	s.mu.Lock()
+	s.stats.Refine.CoarsePrepares++
+	s.mu.Unlock()
+	s.scheduleRefine(lad.Jobs(key, coarse))
+	res := PrepareResult{Key: key, NumPlans: len(e.set.Plans), Duration: cst.Duration, Stats: cst}
+	s.annotate(&res, key, e)
+	tr.SetGeneration(res.Epsilon, res.Generation)
+	return res, nil
+}
+
+// noteRefineState records a key's refinement state once (first Prepare
+// wins; the ladder is deterministic in the template, so later requests
+// would record the same).
+func (s *Server) noteRefineState(key string, schema *catalog.Schema, cloudCfg cloud.Config, lad refine.Ladder) {
+	s.refineMu.Lock()
+	if _, ok := s.refineStates[key]; !ok {
+		s.refineStates[key] = &refineState{schema: schema, cloudCfg: cloudCfg, ladder: lad}
+	}
+	s.refineMu.Unlock()
+}
+
+// computeEntry optimizes a template at one approximation factor on
+// worker w and round-trips the result through the store format: the
+// returned entry is deserialized from exactly the bytes persisted to
+// Dir and published to the shared store, so picks serve what a
+// separate process would load. Shared by the classic Prepare path, the
+// anytime coarse path, and background refinement.
+func (s *Server) computeEntry(ctx context.Context, w *worker, key string, schema *catalog.Schema, cloudCfg cloud.Config, epsilon float64, tr *obs.PrepareTrace) (*entry, core.Stats, error) {
+	model, err := cloud.NewModel(schema, cloudCfg, w.solver)
+	if err != nil {
+		return nil, core.Stats{}, err
 	}
 	opts := s.opts.Optimizer
 	opts.Context = w.solver
@@ -1035,13 +1345,14 @@ func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *c
 		opts.Workers = 1
 	}
 	if s.opts.DonateWorkers {
-		// Idle pool workers may join this Prepare's split jobs.
+		// Idle pool workers may join this optimization's split jobs and
+		// ready masks.
 		opts.Donor = (*serverDonor)(s)
 	}
 	result, err := core.OptimizeCtx(ctx, schema, model, opts)
 	tr.Phase("optimize")
 	if err != nil {
-		return PrepareResult{}, err
+		return nil, core.Stats{}, err
 	}
 	s.recordPipeline(result.Stats)
 
@@ -1059,26 +1370,104 @@ func (s *Server) prepareOn(ctx context.Context, w *worker, key string, schema *c
 	// so transports report 5xx instead of 4xx.
 	var buf bytes.Buffer
 	if err := store.SaveIndexedEpsilon(&buf, model.MetricNames(), model.Space(), result.Plans, ix, epsilon); err != nil {
-		return PrepareResult{}, fmt.Errorf("%w: %v", ErrInternal, err)
+		return nil, core.Stats{}, fmt.Errorf("%w: %v", ErrInternal, err)
 	}
 	if s.opts.Dir != "" {
 		if err := s.persist(key, buf.Bytes()); err != nil {
-			return PrepareResult{}, fmt.Errorf("%w: persisting plan set: %v", ErrInternal, err)
+			return nil, core.Stats{}, fmt.Errorf("%w: persisting plan set: %v", ErrInternal, err)
 		}
 	}
 	s.publishShared(key, buf.Bytes())
-	e, err = s.newEntry(buf.Bytes(), w)
+	e, err := s.newEntry(buf.Bytes(), w)
 	if err != nil {
-		return PrepareResult{}, fmt.Errorf("%w: reloading saved plan set: %v", ErrInternal, err)
+		return nil, core.Stats{}, fmt.Errorf("%w: reloading saved plan set: %v", ErrInternal, err)
 	}
-	s.insert(key, e, sourceComputed)
+	return e, result.Stats, nil
+}
+
+// runRefineJob executes one background refinement step on the
+// refiner's goroutine: compute (or fetch) the job's generation and
+// atomically swap it into the serve cache, the persistence directory,
+// and the shared store. The cache swap is the linearization point — a
+// pick pins its entry for the whole request, so every pick observes
+// exactly one generation. A sibling may refine first: a source
+// document at or below the job's factor is swapped in instead of
+// recomputed, and a job whose generation is already resident is
+// obsolete (counted Skipped, the chain continues).
+func (s *Server) runRefineJob(ctx context.Context, job refine.Job) error {
+	s.refineMu.Lock()
+	st, ok := s.refineStates[job.Key]
+	s.refineMu.Unlock()
+	if !ok {
+		return refine.ErrObsolete
+	}
+	if v, ok := s.cache.Get(job.Key, false); ok && v.(*entry).set.Epsilon <= job.Epsilon {
+		return refine.ErrObsolete
+	}
+	w := s.refineWorker
+	before := w.solver.Stats
+	defer func() {
+		diff := w.solver.Stats
+		diff.Sub(before)
+		s.mu.Lock()
+		s.stats.Geometry.Add(diff)
+		s.mu.Unlock()
+	}()
+	tr := s.opts.Trace.Start("refine", job.Key)
+	tr.SetGeneration(job.Epsilon, job.Gen)
+	if e, src, ok := s.loadFromSources(ctx, w, job.Key, func(got float64) bool { return got <= job.Epsilon }); ok {
+		tr.Phase("lookup")
+		tr.SetSource(src.name())
+		s.swapEntry(job.Key, e, src)
+		tr.Finish(nil)
+		return nil
+	}
+	tr.Phase("lookup")
+	e, _, err := s.computeEntry(ctx, w, job.Key, st.schema, st.cloudCfg, job.Epsilon, tr)
+	if err != nil {
+		tr.Finish(err)
+		return err
+	}
+	s.swapEntry(job.Key, e, sourceComputed)
 	tr.Phase("save")
-	return PrepareResult{
-		Key:      key,
-		NumPlans: len(e.set.Plans),
-		Duration: result.Stats.Duration,
-		Stats:    result.Stats,
-	}, nil
+	tr.Finish(nil)
+	return nil
+}
+
+// swapEntry atomically replaces a key's resident generation with a
+// finer one. The ε guard runs under the cache lock, so a straggling
+// coarser generation never downgrades, and pins (in-flight picks on
+// the old generation) carry over — those picks keep their pinned
+// object and observe exactly one generation. Source counters are
+// bumped like insert's.
+func (s *Server) swapEntry(key string, e *entry, src entrySource) {
+	newEps := e.set.Epsilon
+	_, swapped := s.cache.Replace(key, e, e.footprint(), func(old any) bool {
+		return old.(*entry).set.Epsilon <= newEps
+	})
+	s.mu.Lock()
+	if swapped {
+		s.stats.Refine.Swaps++
+	}
+	switch src {
+	case sourceDisk:
+		s.stats.PrepareDiskHits++
+	case sourceShared:
+		s.stats.SharedHits++
+	case sourcePeer:
+		s.stats.PeerHits++
+	}
+	s.mu.Unlock()
+}
+
+// WaitRefinement blocks until every scheduled background refinement
+// has settled — completed, skipped, failed, or cancelled — or ctx is
+// done. On servers without a refinement ladder it returns immediately.
+func (s *Server) WaitRefinement(ctx context.Context) error {
+	if s.refiner == nil {
+		return nil
+	}
+	return s.refiner.Wait(orBackground(ctx))
 }
 
 // serverDonor adapts the server's idle pool capacity to the
@@ -1157,6 +1546,7 @@ func (s *Server) recordPipeline(st core.Stats) {
 	s.stats.PipelineBusy += st.Scheduler.Busy
 	s.stats.PipelineCapacity += time.Duration(int64(st.Scheduler.Wall) * int64(st.Workers))
 	s.stats.SplitJobs += int64(st.Scheduler.SplitJobs)
+	s.stats.DonatedMasks += int64(st.Scheduler.DonatedMasks)
 	s.mu.Unlock()
 }
 
@@ -1296,6 +1686,12 @@ type PickBatchResult struct {
 	// Choices holds, per point, the selected plans (exactly one for the
 	// single-plan policies).
 	Choices [][]selection.Choice
+	// Epsilon, Generation, and Final describe the generation the whole
+	// batch was served from (the entry is pinned for the request, so a
+	// batch never straddles a refinement swap); see PickResult.
+	Epsilon    float64
+	Generation int
+	Final      bool
 }
 
 // PickBatch evaluates a selection policy at every point of the request
@@ -1381,17 +1777,22 @@ func (s *Server) pickBatchOn(ctx context.Context, w *worker, req PickBatchReques
 		}
 		choices[i] = cs
 	}
+	gen, final := s.generationOf(req.Key, e.set.Epsilon)
 	s.mu.Lock()
 	s.stats.Picks += int64(len(req.Points))
 	s.stats.Index.IndexPicks += int64(indexPicks)
 	s.stats.Index.FallbackPicks += int64(len(req.Points) - indexPicks)
 	s.stats.Index.BatchRequests++
 	s.stats.Index.BatchPoints += int64(len(req.Points))
+	if !final {
+		s.stats.Refine.CoarsePicks += int64(len(req.Points))
+	}
 	s.mu.Unlock()
 	for _, x := range req.Points {
 		s.recordPickPoint(req.Key, e, x)
 	}
-	return PickBatchResult{Metrics: e.set.Metrics, Choices: choices}, nil
+	return PickBatchResult{Metrics: e.set.Metrics, Choices: choices,
+		Epsilon: e.set.Epsilon, Generation: gen, Final: final}, nil
 }
 
 // pickOn executes a Pick on a pool worker. Selection is pure point
@@ -1415,6 +1816,7 @@ func (s *Server) pickOn(ctx context.Context, w *worker, req PickRequest) (PickRe
 	if err != nil {
 		return PickResult{}, err
 	}
+	gen, final := s.generationOf(req.Key, e.set.Epsilon)
 	s.mu.Lock()
 	s.stats.Picks++
 	if viaIndex {
@@ -1422,9 +1824,13 @@ func (s *Server) pickOn(ctx context.Context, w *worker, req PickRequest) (PickRe
 	} else {
 		s.stats.Index.FallbackPicks++
 	}
+	if !final {
+		s.stats.Refine.CoarsePicks++
+	}
 	s.mu.Unlock()
 	s.recordPickPoint(req.Key, e, req.Point)
-	return PickResult{Metrics: e.set.Metrics, Choices: choices}, nil
+	return PickResult{Metrics: e.set.Metrics, Choices: choices,
+		Epsilon: e.set.Epsilon, Generation: gen, Final: final}, nil
 }
 
 // entryFor resolves a plan-set key, transparently reloading evicted
